@@ -1,0 +1,104 @@
+"""Figure 11: end-to-end training speedup with a single GPU.
+
+For each dataset and device (V100 with TT rank 128 in the paper, T4
+with rank 64), composes measured substrate kernel times through each
+framework's strategy model and reports the speedup over the DLRM
+(CPU+GPU) baseline — the paper's Figure 11 bars.
+
+Expected shape: EL-Rec fastest everywhere (~3x over DLRM on V100),
+FAE ~2x, TT-Rec between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit, run_once
+from repro.bench.harness import format_table
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.frameworks import DlrmPS, ELRec, FAE, TTRec
+from repro.system.devices import TESLA_T4, TESLA_V100
+
+FRAMEWORKS = (DlrmPS, FAE, TTRec, ELRec)
+
+
+def build_fig11(cost_model, workload_profiles) -> str:
+    rows = []
+    for device in (TESLA_V100, TESLA_T4):
+        for name, profile in workload_profiles.items():
+            base = DlrmPS(cost_model).iteration_time(profile, device)
+            for F in FRAMEWORKS:
+                bd = F(cost_model).iteration_time(profile, device)
+                rows.append(
+                    [
+                        device.name,
+                        name,
+                        bd.framework,
+                        round(bd.total * 1e3, 3),
+                        round(bd.speedup_over(base), 2),
+                    ]
+                )
+    return format_table(
+        ["device", "dataset", "framework", "iter ms", "speedup vs DLRM"],
+        rows,
+        title=(
+            "Figure 11: end-to-end single-GPU speedup over DLRM "
+            "(measured kernels composed through the device cost model)"
+        ),
+    )
+
+
+def test_fig11_efftt_kernel(benchmark, dataset_specs):
+    """Benchmark the real Eff-TT train cycle behind the figure."""
+    import numpy as np
+
+    from repro.data.dataloader import SyntheticClickLog
+
+    spec = dataset_specs["criteo-kaggle"]
+    log = SyntheticClickLog(spec, batch_size=2048, seed=0)
+    batch = log.batch(0)
+    largest = int(np.argmax([t.num_rows for t in spec.tables]))
+    bag = EffTTEmbeddingBag(
+        spec.tables[largest].num_rows, 32, tt_rank=32, seed=0
+    )
+    idx = batch.sparse_indices[largest]
+    off = batch.sparse_offsets[largest]
+    grad = np.random.default_rng(0).standard_normal((2048, 32))
+
+    def cycle():
+        bag.forward(idx, off)
+        bag.backward_and_step(grad, 0.01)
+
+    benchmark(cycle)
+
+
+def test_fig11_orderings(benchmark, cost_model, workload_profiles):
+    table = run_once(benchmark, lambda: build_fig11(cost_model, workload_profiles))
+    emit("fig11_end_to_end", table)
+    for device in (TESLA_V100, TESLA_T4):
+        for name, profile in workload_profiles.items():
+            times = {
+                F.name: F(cost_model).iteration_time(profile, device).total
+                for F in FRAMEWORKS
+            }
+            assert times["EL-Rec"] == min(times.values()), (device.name, name)
+            assert times["DLRM"] == max(times.values()), (device.name, name)
+            speedup = times["DLRM"] / times["EL-Rec"]
+            assert speedup > 1.5, (device.name, name, speedup)
+
+
+if __name__ == "__main__":
+    from repro.bench.harness import measure_workload
+    from repro.data.datasets import avazu_like, criteo_kaggle_like, criteo_tb_like
+    from repro.system.devices import KernelCostModel
+
+    profiles = {
+        spec.name: measure_workload(spec, batch_size=2048, embedding_dim=32,
+                                    tt_rank=32)
+        for spec in (
+            avazu_like(scale=2e-3),
+            criteo_kaggle_like(scale=2e-3),
+            criteo_tb_like(scale=2e-3),
+        )
+    }
+    print(build_fig11(KernelCostModel(), profiles))

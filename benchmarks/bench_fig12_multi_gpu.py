@@ -1,0 +1,115 @@
+"""Figure 12: training throughput under the multi-GPU setting.
+
+EL-Rec replicates Eff-TT tables and trains data-parallel; DLRM shards
+dense tables model-parallel.  The paper's shape: EL-Rec (4 GPU) beats
+DLRM (4 GPU) by ~1.4x; with 1 GPU, DLRM (when it fits) is slightly
+faster than EL-Rec because tensorization adds compute.
+
+Also runs the *functional* data-parallel trainer to validate that the
+simulated configuration actually trains (replicas stay synchronized).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit, run_once
+from repro.bench.harness import format_table
+from repro.data.dataloader import SyntheticClickLog
+from repro.data.datasets import criteo_kaggle_like
+from repro.frameworks import DlrmPS, ELRec
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.system.devices import TESLA_V100
+from repro.system.multi_gpu import DataParallelTrainer
+
+GPU_COUNTS = (1, 4)
+
+
+def build_fig12(cost_model, workload_profiles) -> str:
+    rows = []
+    for name, profile in workload_profiles.items():
+        for num_gpus in GPU_COUNTS:
+            for F in (DlrmPS, ELRec):
+                fw = F(cost_model)
+                if num_gpus == 1 and F is DlrmPS:
+                    # single-GPU DLRM in Figure 12 is the pure-GPU dense
+                    # variant (the dataset fits after scaling); model it
+                    # as the all-on-GPU hot path.
+                    gpu_lookup = cost_model.scale_memory(
+                        profile.host_dense_emb_time, TESLA_V100
+                    )
+                    gpu_mlp = cost_model.scale_compute(
+                        profile.host_mlp_time, TESLA_V100
+                    )
+                    total = gpu_lookup + gpu_mlp
+                    feasible = fw.fits_single_gpu(profile, TESLA_V100)
+                else:
+                    bd = fw.iteration_time(profile, TESLA_V100, num_gpus=num_gpus)
+                    total = bd.total
+                    feasible = bd.feasible
+                throughput = (
+                    num_gpus * profile.batch_size / total if feasible else 0.0
+                )
+                rows.append(
+                    [
+                        name,
+                        fw.name,
+                        num_gpus,
+                        round(total * 1e3, 3) if feasible else "n/a",
+                        f"{throughput / 1e3:.1f}K" if feasible else "OOM",
+                    ]
+                )
+    return format_table(
+        ["dataset", "framework", "GPUs", "iter ms", "samples/s"],
+        rows,
+        title="Figure 12: training throughput, 1 vs 4 GPUs (V100 model)",
+    )
+
+
+def test_fig12_functional_data_parallel(benchmark):
+    spec = criteo_kaggle_like(scale=2e-5)
+    log = SyntheticClickLog(spec, batch_size=64, seed=0)
+    cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    dp = DataParallelTrainer(cfg, num_replicas=4, seed=0)
+    counter = iter(range(10**9))
+
+    def step():
+        return dp.train_step(log.batch(next(counter)), lr=0.05)
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+    assert dp.replicas_synchronized()
+
+
+def test_fig12_shapes(benchmark, cost_model, workload_profiles):
+    emit("fig12_multi_gpu", run_once(benchmark, lambda: build_fig12(cost_model, workload_profiles)))
+    for name, profile in workload_profiles.items():
+        el = ELRec(cost_model)
+        dl = DlrmPS(cost_model)
+        el4 = el.iteration_time(profile, TESLA_V100, num_gpus=4)
+        dl4 = dl.iteration_time(profile, TESLA_V100, num_gpus=4)
+        # EL-Rec 4-GPU beats hybrid-parallel DLRM 4-GPU (paper: ~1.4x)
+        assert el4.total < dl4.total, name
+        # scaling: 4 GPUs give more throughput than 1
+        el1 = el.iteration_time(profile, TESLA_V100, num_gpus=1)
+        assert 4 * profile.batch_size / el4.total > profile.batch_size / el1.total
+
+
+if __name__ == "__main__":
+    from repro.bench.harness import measure_workload
+    from repro.data.datasets import avazu_like, criteo_tb_like
+    from repro.system.devices import KernelCostModel
+
+    profiles = {
+        spec.name: measure_workload(spec, batch_size=2048, embedding_dim=32,
+                                    tt_rank=32)
+        for spec in (
+            avazu_like(scale=2e-3),
+            criteo_kaggle_like(scale=2e-3),
+            criteo_tb_like(scale=2e-3),
+        )
+    }
+    print(build_fig12(KernelCostModel(), profiles))

@@ -1,0 +1,107 @@
+"""Figure 17: Eff-TT table lookup latency vs TT-Rec across batch sizes.
+
+Real measured forward-kernel latencies on one compressed table, with
+the two input-side configurations of the paper: intermediate-result
+reuse on/off and locality-based index reordering on/off.  Expected
+shape: Eff-TT speedup over TT-Rec grows with batch size (more reuse
+opportunity); reordering adds a further ~5%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import emit, run_once
+from repro.bench.harness import format_series
+from repro.data.synthetic import ClusteredZipfSampler
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.tt_embedding import TTEmbeddingBag
+from repro.reorder.bijection import build_bijection
+from repro.utils.timer import measure_median
+
+NUM_ROWS = 1_000_000
+DIM = 32
+TT_RANK = 32
+BATCH_SIZES = (512, 1024, 2048, 4096, 8192)
+
+
+def _make_batches(batch_size: int, num_batches: int = 4):
+    sampler = ClusteredZipfSampler(
+        NUM_ROWS, alpha=1.05, locality=0.5, cluster_size=2048, seed=0
+    )
+    return [
+        sampler.sample_batch(batch_size, np.random.default_rng(i))
+        for i in range(num_batches)
+    ]
+
+
+def _lookup_latency(bag, batches) -> float:
+    state = {"i": 0}
+
+    def fwd():
+        bag.forward(batches[state["i"] % len(batches)])
+        state["i"] += 1
+
+    return measure_median(fwd, repeats=3, warmup=1)
+
+
+def build_fig17() -> str:
+    tt = TTEmbeddingBag(NUM_ROWS, DIM, tt_rank=TT_RANK, seed=0)
+    eff = EffTTEmbeddingBag(NUM_ROWS, DIM, tt_rank=TT_RANK, seed=0)
+    series = {"TT-Rec": [], "Eff-TT (reuse)": [], "Eff-TT (reuse+reorder)": [],
+              "speedup": []}
+    for batch_size in BATCH_SIZES:
+        batches = _make_batches(batch_size)
+        bijection = build_bijection(batches, NUM_ROWS, hot_ratio=0.001, seed=0)
+        reordered = [bijection.apply(b) for b in batches]
+        t_tt = _lookup_latency(tt, batches)
+        t_eff = _lookup_latency(eff, batches)
+        t_eff_reorder = _lookup_latency(eff, reordered)
+        series["TT-Rec"].append(round(t_tt * 1e3, 3))
+        series["Eff-TT (reuse)"].append(round(t_eff * 1e3, 3))
+        series["Eff-TT (reuse+reorder)"].append(round(t_eff_reorder * 1e3, 3))
+        series["speedup"].append(round(t_tt / t_eff_reorder, 2))
+    return format_series(
+        "Figure 17: TT-table lookup latency (ms) vs batch size "
+        "(1M-row table, rank 32)",
+        "batch",
+        list(BATCH_SIZES),
+        series,
+    )
+
+
+@pytest.mark.parametrize("batch_size", [2048])
+def test_fig17_lookup_kernels(benchmark, batch_size):
+    eff = EffTTEmbeddingBag(NUM_ROWS, DIM, tt_rank=TT_RANK, seed=0)
+    batches = _make_batches(batch_size)
+    state = {"i": 0}
+
+    def fwd():
+        eff.forward(batches[state["i"] % len(batches)])
+        state["i"] += 1
+
+    benchmark(fwd)
+
+
+def test_fig17_shapes(benchmark):
+    emit("fig17_lookup", run_once(benchmark, build_fig17))
+    import time
+
+    tt = TTEmbeddingBag(NUM_ROWS, DIM, tt_rank=TT_RANK, seed=0)
+    eff = EffTTEmbeddingBag(NUM_ROWS, DIM, tt_rank=TT_RANK, seed=0)
+    large = _make_batches(8192)
+    # Interleaved min-of-k forward latencies (contention-robust).
+    times = {"tt": [], "eff": []}
+    for rep in range(4):
+        for name, bag in (("tt", tt), ("eff", eff)):
+            start = time.perf_counter()
+            bag.forward(large[rep % len(large)])
+            if rep > 0:
+                times[name].append(time.perf_counter() - start)
+    # Eff-TT lookup is faster at large batch sizes (paper Figure 17)
+    assert min(times["eff"]) < min(times["tt"])
+
+
+if __name__ == "__main__":
+    print(build_fig17())

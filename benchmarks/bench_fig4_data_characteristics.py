@@ -1,0 +1,103 @@
+"""Figure 4: characteristics of DLRM training data.
+
+(a) cumulative access percentage of embeddings sorted by popularity —
+the power-law skew; (b) average unique indices per batch vs batch size
+— the duplication gap exploited by in-advance gradient aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit, run_once
+from repro.bench.harness import format_series, format_table
+from repro.data.dataloader import (
+    SyntheticClickLog,
+    cumulative_access_curve,
+    unique_index_stats,
+)
+from repro.data.datasets import avazu_like, criteo_kaggle_like, criteo_tb_like
+
+SCALE = 2e-3
+NUM_BATCHES = 16
+BATCH_SIZES = (512, 1024, 2048, 4096)
+
+
+def _largest_table_stream(spec, batch_size, num_batches=NUM_BATCHES):
+    log = SyntheticClickLog(spec, batch_size=batch_size, seed=0)
+    largest = int(np.argmax([t.num_rows for t in spec.tables]))
+    return log.table_index_stream(largest, num_batches), spec.tables[largest]
+
+
+def build_fig4a() -> str:
+    fractions = [0.01, 0.05, 0.10, 0.25, 0.50, 1.00]
+    series = {}
+    for spec in (
+        avazu_like(scale=SCALE),
+        criteo_tb_like(scale=SCALE / 10),
+        criteo_kaggle_like(scale=SCALE),
+    ):
+        stream, table = _largest_table_stream(spec, 2048)
+        rows, access = cumulative_access_curve(stream, table.num_rows, points=100)
+        picks = [access[min(99, int(f * 100) - 1)] * 100 for f in fractions]
+        series[spec.name] = [round(p, 1) for p in picks]
+    return format_series(
+        "Figure 4(a): cumulative access % of embeddings (sorted by popularity)",
+        "top rows %",
+        [f"{f * 100:.0f}%" for f in fractions],
+        series,
+    )
+
+
+def build_fig4b() -> str:
+    rows = []
+    for spec in (avazu_like(scale=SCALE), criteo_kaggle_like(scale=SCALE)):
+        for batch_size in BATCH_SIZES:
+            stream, _ = _largest_table_stream(spec, batch_size, 8)
+            stats = unique_index_stats(stream)
+            rows.append(
+                [
+                    spec.name,
+                    batch_size,
+                    round(stats["mean_unique_per_batch"], 1),
+                    round(stats["duplication_factor"], 2),
+                ]
+            )
+    return format_table(
+        ["dataset", "batch size", "avg unique indices", "duplication factor"],
+        rows,
+        title="Figure 4(b): unique indices per batch vs batch size",
+    )
+
+
+def test_fig4a_access_skew(benchmark):
+    spec = criteo_kaggle_like(scale=SCALE)
+    stream, table = _largest_table_stream(spec, 2048)
+
+    def curve():
+        return cumulative_access_curve(stream, table.num_rows, points=100)
+
+    rows, access = benchmark(curve)
+    # power-law: top 10% of rows must dominate accesses
+    assert access[9] > 0.5
+    emit("fig4a_access_skew", build_fig4a())
+
+
+def test_fig4b_unique_gap(benchmark):
+    spec = criteo_kaggle_like(scale=SCALE)
+    stream, _ = _largest_table_stream(spec, 4096, 8)
+
+    def stats():
+        return unique_index_stats(stream)
+
+    result = benchmark(stats)
+    # the paper's gap: unique << batch size
+    assert result["mean_unique_per_batch"] < 4096
+    assert result["duplication_factor"] > 1.2
+    emit("fig4b_unique_gap", build_fig4b())
+
+
+if __name__ == "__main__":
+    print(build_fig4a())
+    print()
+    print(build_fig4b())

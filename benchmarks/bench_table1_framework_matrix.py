@@ -1,0 +1,59 @@
+"""Table I: qualitative framework comparison.
+
+Regenerates the paper's framework feature matrix from each strategy
+model's self-description, and benchmarks the cost-model evaluation
+itself (it is called thousands of times by the sweep benchmarks).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.bench.harness import format_table
+from repro.frameworks import DlrmPS, ELRec, FAE, TTRec
+from repro.system.devices import TESLA_V100
+
+TABLE1_FRAMEWORKS = (DlrmPS, FAE, TTRec, ELRec)
+
+
+def build_table1(cost_model) -> str:
+    rows = []
+    for F in TABLE1_FRAMEWORKS:
+        row = F(cost_model).table1_row()
+        rows.append(
+            [
+                row["framework"],
+                row["host_memory"],
+                row["embedding_compression"],
+                row["cpu_gpu_comm_latency"],
+                row["compression_overhead"],
+            ]
+        )
+    return format_table(
+        [
+            "Framework",
+            "Host Memory",
+            "Embedding Compression",
+            "CPU-GPU Comm. Latency",
+            "Compression Overhead",
+        ],
+        rows,
+        title="Table I: Comparison with the most relevant DLRM frameworks",
+    )
+
+
+def test_table1_matrix(cost_model, workload_profiles, benchmark):
+    profile = workload_profiles["criteo-kaggle"]
+    frameworks = [F(cost_model) for F in TABLE1_FRAMEWORKS]
+
+    def evaluate_all():
+        return [f.iteration_time(profile, TESLA_V100) for f in frameworks]
+
+    breakdowns = benchmark(evaluate_all)
+    assert all(b.feasible for b in breakdowns)
+    emit("table1_framework_matrix", build_table1(cost_model))
+
+
+if __name__ == "__main__":
+    from repro.system.devices import KernelCostModel
+
+    print(build_table1(KernelCostModel()))

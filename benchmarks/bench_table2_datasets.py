@@ -1,0 +1,60 @@
+"""Table II: dataset details.
+
+Regenerates the dataset-statistics table from the specs (full scale)
+and benchmarks batch generation throughput of the synthetic click-log
+stream at the benchmark scale.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_BATCH, BENCH_SCALE, emit
+from repro.bench.harness import format_table
+from repro.data.dataloader import SyntheticClickLog
+from repro.data.datasets import avazu_like, criteo_kaggle_like, criteo_tb_like
+
+
+def build_table2() -> str:
+    rows = []
+    for spec in (avazu_like(), criteo_tb_like(), criteo_kaggle_like()):
+        info = spec.describe()
+        rows.append(
+            [
+                info["dataset"],
+                info["days"],
+                f"{info['samples']:,}",
+                info["dense_features"],
+                info["sparse_features"],
+                f"{info['total_rows']:,}",
+                f"{spec.embedding_footprint_bytes(64) / 1e9:.1f}",
+            ]
+        )
+    return format_table(
+        [
+            "Dataset",
+            "Days",
+            "Samples",
+            "Dense feats",
+            "Sparse feats",
+            "Total rows",
+            "Emb. GB (dim 64, fp32)",
+        ],
+        rows,
+        title="Table II: Details of the datasets (full-scale schema)",
+    )
+
+
+def test_table2_dataset_stats(benchmark, dataset_specs):
+    spec = dataset_specs["criteo-kaggle"]
+    log = SyntheticClickLog(spec, batch_size=BENCH_BATCH, seed=0)
+    counter = iter(range(10**9))
+
+    def make_batch():
+        return log.batch(next(counter))
+
+    batch = benchmark(make_batch)
+    assert batch.batch_size == BENCH_BATCH
+    emit("table2_datasets", build_table2())
+
+
+if __name__ == "__main__":
+    print(build_table2())

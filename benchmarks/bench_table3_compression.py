@@ -1,0 +1,86 @@
+"""Table III: embedding-table memory saving from Eff-TT compression.
+
+For each dataset (full-scale schema): the dense fp32 footprint, the
+EL-Rec footprint (tables >1M rows TT-compressed at the paper's ranks,
+small tables kept dense), and the compression ratio.  Benchmarks the
+placement planning itself (TT shape selection over all 26 tables).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.bench.harness import format_table
+from repro.data.datasets import avazu_like, criteo_kaggle_like, criteo_tb_like
+from repro.system.devices import TESLA_V100
+from repro.system.memory import PlacementDecision, plan_placement
+
+EMBEDDING_DIM = 64
+TT_RANK = 128  # paper's V100 setting
+TT_THRESHOLD = 1_000_000
+
+
+def build_table3() -> str:
+    rows = []
+    for spec in (avazu_like(), criteo_tb_like(), criteo_kaggle_like()):
+        table_rows = [t.num_rows for t in spec.tables]
+        dense_gb = spec.embedding_footprint_bytes(EMBEDDING_DIM) / 1e9
+        plan = plan_placement(
+            table_rows,
+            EMBEDDING_DIM,
+            TESLA_V100,
+            tt_rank=TT_RANK,
+            tt_threshold_rows=TT_THRESHOLD,
+            hbm_fraction=1.0,
+        )
+        compressed_bytes = sum(p.nbytes for p in plan.placements)
+        rows.append(
+            [
+                spec.name,
+                f"{dense_gb:.2f}",
+                f"{compressed_bytes / 1e9:.4f}",
+                f"{dense_gb * 1e9 / compressed_bytes:.1f}x",
+                len(plan.tt_tables),
+                "yes" if compressed_bytes <= TESLA_V100.hbm_bytes else "no",
+            ]
+        )
+    return format_table(
+        [
+            "Dataset",
+            "Dense GB (fp32)",
+            "EL-Rec GB",
+            "Compression",
+            "TT tables",
+            "Fits 16GB HBM",
+        ],
+        rows,
+        title=(
+            f"Table III: Embedding footprint, dim={EMBEDDING_DIM}, "
+            f"TT rank={TT_RANK}, threshold={TT_THRESHOLD:,} rows"
+        ),
+    )
+
+
+def test_table3_compression(benchmark):
+    spec = criteo_tb_like()
+    table_rows = [t.num_rows for t in spec.tables]
+
+    def plan():
+        return plan_placement(
+            table_rows,
+            EMBEDDING_DIM,
+            TESLA_V100,
+            tt_rank=TT_RANK,
+            tt_threshold_rows=TT_THRESHOLD,
+            hbm_fraction=1.0,
+        )
+
+    result = benchmark(plan)
+    # the paper's claim: the largest public DLRM dataset fits one GPU
+    assert all(
+        p.decision is not PlacementDecision.HOST_DENSE for p in result.placements
+    )
+    emit("table3_compression", build_table3())
+
+
+if __name__ == "__main__":
+    print(build_table3())

@@ -1,0 +1,21 @@
+"""Benchmark harness shared by the per-figure/table benchmarks.
+
+:mod:`repro.bench.harness` measures real substrate kernels into
+:class:`~repro.frameworks.base.WorkloadProfile` objects and provides
+plain-text table/series printers so every benchmark emits the same
+rows and series the paper reports.
+"""
+
+from repro.bench.harness import (
+    format_series,
+    format_table,
+    measure_workload,
+    workload_for_dataset,
+)
+
+__all__ = [
+    "measure_workload",
+    "workload_for_dataset",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the host calibration and device cost-model summary.
+``datasets``
+    Print the Table II dataset schemas.
+``compression``
+    Print the Table III compression summary.
+``quickcheck``
+    Train a tiny DLRM on every backend and report losses — a fast
+    smoke test that the whole stack works on this machine.
+``figures``
+    Regenerate every paper table/figure by invoking the benchmark
+    builders (several minutes; results also land in
+    ``benchmarks/results/`` when run via pytest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    from repro.system.devices import (
+        TESLA_T4,
+        TESLA_V100,
+        calibrate_host,
+    )
+
+    profile = calibrate_host()
+    print("host calibration:")
+    print(f"  large-GEMM throughput : {profile.gemm_gflops:10.1f} GFLOP/s")
+    print(f"  batched-GEMM (TT)     : {profile.batched_gemm_gflops:10.1f} GFLOP/s")
+    print(f"  gather bandwidth      : {profile.gather_gbps:10.1f} GB/s")
+    for device in (TESLA_V100, TESLA_T4):
+        print(f"device {device.name}:")
+        print(f"  effective GEMM        : {device.effective_gflops:10.1f} GFLOP/s")
+        print(
+            f"  effective batched GEMM: "
+            f"{device.effective_batched_gflops:10.1f} GFLOP/s"
+        )
+        print(f"  HBM / PCIe / P2P      : {device.hbm_bytes / 1e9:.0f} GB / "
+              f"{device.h2d_gbps:.0f} GB/s / {device.p2p_gbps:.0f} GB/s")
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    from repro.bench.harness import format_table
+    from repro.data.datasets import DATASET_FACTORIES
+
+    rows = []
+    for factory in DATASET_FACTORIES.values():
+        spec = factory()
+        info = spec.describe()
+        rows.append(
+            [
+                info["dataset"],
+                info["days"],
+                f"{info['samples']:,}",
+                info["dense_features"],
+                info["sparse_features"],
+                f"{info['total_rows']:,}",
+            ]
+        )
+    print(
+        format_table(
+            ["dataset", "days", "samples", "dense", "sparse", "total rows"],
+            rows,
+            title="Dataset schemas (paper Table II, full scale)",
+        )
+    )
+    return 0
+
+
+def _cmd_compression(_: argparse.Namespace) -> int:
+    import importlib.util
+    from pathlib import Path
+
+    bench = Path(__file__).resolve().parents[2] / "benchmarks"
+    spec = importlib.util.spec_from_file_location(
+        "bench_table3", bench / "bench_table3_compression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    print(module.build_table3())
+    return 0
+
+
+def _cmd_quickcheck(args: argparse.Namespace) -> int:
+    from repro.data.dataloader import SyntheticClickLog
+    from repro.data.datasets import criteo_kaggle_like
+    from repro.models.config import DLRMConfig, EmbeddingBackend
+    from repro.models.dlrm import DLRM
+
+    spec = criteo_kaggle_like(scale=3e-5)
+    log = SyntheticClickLog(spec, batch_size=128, seed=0)
+    ok = True
+    for backend in EmbeddingBackend:
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=backend, tt_rank=8,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(cfg, seed=0)
+        losses = [
+            model.train_step(log.batch(i), lr=0.1).loss
+            for i in range(args.steps)
+        ]
+        learned = losses[-1] < losses[0]
+        ok = ok and learned
+        status = "ok" if learned else "FAILED (loss did not decrease)"
+        print(
+            f"{backend.value:8s} loss {losses[0]:.4f} -> {losses[-1]:.4f}  "
+            f"[{status}]"
+        )
+    return 0 if ok else 1
+
+
+def _cmd_figures(_: argparse.Namespace) -> int:
+    import importlib.util
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.exists():
+        print(
+            "benchmarks/ directory not found (installed package without "
+            "the repository); clone the repo to regenerate figures",
+            file=sys.stderr,
+        )
+        return 1
+    sys.path.insert(0, str(bench_dir))
+    failures = 0
+    for path in sorted(bench_dir.glob("bench_*.py")):
+        spec = importlib.util.spec_from_file_location(path.stem, path)
+        module = importlib.util.module_from_spec(spec)
+        try:
+            spec.loader.exec_module(module)  # type: ignore[union-attr]
+            builders = [
+                name for name in dir(module) if name.startswith("build_")
+            ]
+            for name in builders:
+                print(getattr(module, name)())
+                print()
+        except Exception as exc:  # pragma: no cover - CLI robustness
+            failures += 1
+            print(f"[{path.name}] failed: {exc}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EL-Rec reproduction command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="host calibration + device summary")
+    sub.add_parser("datasets", help="Table II dataset schemas")
+    sub.add_parser("compression", help="Table III compression summary")
+    quick = sub.add_parser("quickcheck", help="fast end-to-end smoke test")
+    quick.add_argument("--steps", type=int, default=20)
+    sub.add_parser("figures", help="regenerate every paper table/figure")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "datasets": _cmd_datasets,
+        "compression": _cmd_compression,
+        "quickcheck": _cmd_quickcheck,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Synthetic DLRM training data.
+
+The paper evaluates on Avazu, Criteo Kaggle, and Criteo Terabyte.  Those
+datasets are not shipped here; instead :mod:`repro.data.synthetic`
+generates click logs with the two statistical properties the paper's
+optimizations exploit (Figure 4):
+
+* power-law ("Zipf") access skew over each table's rows, and
+* a large gap between batch size and unique indices per batch,
+
+plus a *temporal locality* knob (batch-level index clustering) that
+models the local information §IV leverages.  The dataset specs in
+:mod:`repro.data.datasets` carry the exact schema of Table II at a
+configurable scale.
+"""
+
+from repro.data.synthetic import (
+    ClusteredZipfSampler,
+    ZipfSampler,
+    zipf_probabilities,
+)
+from repro.data.datasets import (
+    DatasetSpec,
+    TableSpec,
+    avazu_like,
+    criteo_kaggle_like,
+    criteo_tb_like,
+    DATASET_FACTORIES,
+)
+from repro.data.dataloader import (
+    Batch,
+    SyntheticClickLog,
+    cumulative_access_curve,
+    unique_index_stats,
+)
+
+__all__ = [
+    "zipf_probabilities",
+    "ZipfSampler",
+    "ClusteredZipfSampler",
+    "TableSpec",
+    "DatasetSpec",
+    "avazu_like",
+    "criteo_kaggle_like",
+    "criteo_tb_like",
+    "DATASET_FACTORIES",
+    "Batch",
+    "SyntheticClickLog",
+    "unique_index_stats",
+    "cumulative_access_curve",
+]

@@ -1,0 +1,55 @@
+"""Embedding-table implementations.
+
+This package contains the paper's central artifact and its baselines:
+
+* :class:`DenseEmbeddingBag` — uncompressed table, the PyTorch
+  ``nn.EmbeddingBag`` equivalent (used by the DLRM / FAE baselines).
+* :class:`TTEmbeddingBag` — TT-Rec-style Tensor-Train table: compressed
+  storage, but naive per-occurrence lookup and per-occurrence backward
+  with materialized core gradients.
+* :class:`EffTTEmbeddingBag` — the paper's Eff-TT table (§III): batch
+  reuse buffer over shared TT-index prefixes, in-advance gradient
+  aggregation over unique indices, and a fused core update.
+* :class:`EmbeddingCache` — the LC-managed GPU-side cache that resolves
+  the read-after-write conflict in pipelined training (§V-B).
+
+All bags share one contract (see :class:`EmbeddingBagBase`):
+``forward(indices, offsets) -> (B, dim)`` with sum pooling,
+``backward(grad_output)`` capturing sparse gradient state, and
+``step(lr)`` applying the update.
+"""
+
+from repro.embeddings.base import EmbeddingBagBase, normalize_offsets, segment_sum
+from repro.embeddings.dense import DenseEmbeddingBag
+from repro.embeddings.tt_indices import (
+    prefix_keys,
+    row_index_to_tt,
+    tt_to_row_index,
+)
+from repro.embeddings.tt_core import TTCores, TTSpec, tt_svd
+from repro.embeddings.tt_embedding import TTEmbeddingBag
+from repro.embeddings.reuse_buffer import ReusePlan, build_reuse_plan
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.cache import EmbeddingCache
+from repro.embeddings.collection import EmbeddingCollection
+from repro.embeddings.inference import HotRowCachedLookup
+
+__all__ = [
+    "EmbeddingBagBase",
+    "normalize_offsets",
+    "segment_sum",
+    "DenseEmbeddingBag",
+    "row_index_to_tt",
+    "tt_to_row_index",
+    "prefix_keys",
+    "TTSpec",
+    "TTCores",
+    "tt_svd",
+    "TTEmbeddingBag",
+    "ReusePlan",
+    "build_reuse_plan",
+    "EffTTEmbeddingBag",
+    "EmbeddingCache",
+    "HotRowCachedLookup",
+    "EmbeddingCollection",
+]

@@ -1,0 +1,148 @@
+"""Shared embedding-bag contract and pooling helpers.
+
+All embedding implementations expose PyTorch ``nn.EmbeddingBag``
+semantics with ``mode="sum"``: a flat index array plus per-bag offsets,
+one pooled embedding per bag.  The paper's Eff-TT table is explicitly a
+drop-in replacement for that API (§I, §VI-A), so the reproduction keeps
+the same calling convention everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_1d_int_array
+
+__all__ = ["normalize_offsets", "segment_sum", "EmbeddingBagBase"]
+
+
+def normalize_offsets(
+    offsets: np.ndarray, num_indices: int
+) -> np.ndarray:
+    """Canonicalize bag offsets to the ``B+1`` boundary form.
+
+    Accepts either the PyTorch form (length ``B``, first element 0) or
+    the boundary form (length ``B+1``, last element ``num_indices``).
+    Returns the boundary form as int64.  Offsets must be
+    non-decreasing and within ``[0, num_indices]``; empty bags
+    (consecutive equal offsets) are allowed and pool to zeros.
+    """
+    off = check_1d_int_array(offsets, "offsets", min_value=0, max_value=num_indices)
+    if off.size == 0:
+        raise ValueError("offsets must contain at least one bag")
+    if off[0] != 0:
+        raise ValueError(f"offsets must start at 0, got {off[0]}")
+    if np.any(np.diff(off) < 0):
+        raise ValueError("offsets must be non-decreasing")
+    if off[-1] != num_indices:
+        off = np.concatenate([off, [num_indices]])
+    return off
+
+
+def segment_sum(values: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
+    """Sum ``values`` rows within each ``[boundaries[b], boundaries[b+1])`` span.
+
+    Parameters
+    ----------
+    values:
+        ``(L, dim)`` array of per-index rows.
+    boundaries:
+        ``(B+1,)`` boundary-form offsets (see :func:`normalize_offsets`).
+
+    Returns
+    -------
+    ``(B, dim)`` pooled array; empty segments yield zero rows.
+    """
+    num_bags = boundaries.size - 1
+    dim = values.shape[1]
+    out = np.zeros((num_bags, dim), dtype=values.dtype)
+    if values.shape[0] == 0:
+        return out
+    non_empty = boundaries[:-1] < boundaries[1:]
+    if not non_empty.any():
+        return out
+    # reduceat needs strictly valid start positions; restrict to
+    # non-empty segments then scatter back.
+    starts = boundaries[:-1][non_empty]
+    pooled = np.add.reduceat(values, starts, axis=0)
+    out[non_empty] = pooled
+    return out
+
+
+def expand_bag_ids(boundaries: np.ndarray) -> np.ndarray:
+    """Per-index bag id array for boundary-form offsets.
+
+    ``expand_bag_ids([0, 2, 2, 5]) -> [0, 0, 2, 2, 2]``
+    """
+    lengths = np.diff(boundaries)
+    return np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+
+
+class EmbeddingBagBase:
+    """Abstract sum-pooling embedding bag.
+
+    Subclasses implement :meth:`forward`, :meth:`backward` and
+    :meth:`step`; shared validation lives here.
+
+    Attributes
+    ----------
+    num_embeddings:
+        Number of logical rows (valid index range ``[0, num_embeddings)``).
+    embedding_dim:
+        Width of each embedding row.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int) -> None:
+        if num_embeddings < 1:
+            raise ValueError(f"num_embeddings must be >= 1, got {num_embeddings}")
+        if embedding_dim < 1:
+            raise ValueError(f"embedding_dim must be >= 1, got {embedding_dim}")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    # -- helpers -------------------------------------------------------
+    def _validate_inputs(
+        self, indices: np.ndarray, offsets: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        idx = check_1d_int_array(
+            indices, "indices", min_value=0, max_value=self.num_embeddings - 1
+        )
+        if offsets is None:
+            # One index per bag.
+            boundaries = np.arange(idx.size + 1, dtype=np.int64)
+        else:
+            boundaries = normalize_offsets(offsets, idx.size)
+        return idx, boundaries
+
+    # -- interface -------------------------------------------------------
+    def forward(
+        self, indices: np.ndarray, offsets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Pooled lookup: returns ``(num_bags, embedding_dim)``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        """Capture sparse gradient state for the most recent forward."""
+        raise NotImplementedError
+
+    def step(self, lr: float) -> None:
+        """Apply the captured gradients with SGD and clear them."""
+        raise NotImplementedError
+
+    def lookup_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Un-pooled lookup of individual rows, ``(len(indices), dim)``."""
+        idx = check_1d_int_array(
+            indices, "indices", min_value=0, max_value=self.num_embeddings - 1
+        )
+        boundaries = np.arange(idx.size + 1, dtype=np.int64)
+        return self.forward(idx, boundaries)
+
+    @property
+    def nbytes(self) -> int:
+        """Parameter memory footprint in bytes."""
+        raise NotImplementedError
+
+    def __call__(self, indices, offsets=None):
+        return self.forward(indices, offsets)

@@ -1,0 +1,207 @@
+"""GPU-side embedding cache with life-cycle management (paper §V-B).
+
+Pipelined DLRM training prefetches host-resident embedding rows a few
+batches ahead, so a prefetched row can be *stale*: an in-flight batch
+may still owe it a gradient update (the read-after-write conflict of
+Figure 10a).  The paper's fix is a small software-managed cache on the
+worker:
+
+* after a batch's update completes on the worker, its embedding rows
+  are ``put`` into the cache with a life-cycle (LC) counter equal to
+  the maximum request-queue length;
+* each prefetched batch is ``synchronize``\\ d against the cache — rows
+  found in the cache are replaced by the cache's fresh values;
+* whenever the server drains one batch from the gradient queue (host
+  memory now reflects that batch), ``decrement`` lowers the LC of that
+  batch's rows; rows reaching LC 0 are evicted.
+
+The cache therefore only ever holds rows whose updates have not yet
+landed in host memory — the minimal footprint the paper claims.
+
+Rows are stored in one contiguous buffer with a free-list so the
+footprint is explicit and bounded; the index table is a hash map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_1d_int_array, check_positive
+
+__all__ = ["EmbeddingCache"]
+
+_INITIAL_CAPACITY = 64
+
+
+class EmbeddingCache:
+    """LC-managed embedding cache.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Width of cached rows.
+    default_lifecycle:
+        LC assigned on ``put`` — set this to the maximum combined
+        length of the prefetch and gradient queues (paper §V-B).
+
+    Notes
+    -----
+    ``put`` on an already-cached index overwrites the value and resets
+    its LC: the row has been written again by a newer batch and must
+    survive until *that* batch's gradients reach host memory.
+    """
+
+    def __init__(self, embedding_dim: int, default_lifecycle: int) -> None:
+        check_positive(embedding_dim, "embedding_dim")
+        check_positive(default_lifecycle, "default_lifecycle")
+        self.embedding_dim = int(embedding_dim)
+        self.default_lifecycle = int(default_lifecycle)
+        self._slots: Dict[int, int] = {}  # index -> buffer row
+        self._buffer = np.zeros((_INITIAL_CAPACITY, self.embedding_dim))
+        self._lifecycle = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._slot_index = np.full(_INITIAL_CAPACITY, -1, dtype=np.int64)
+        self._free: List[int] = list(range(_INITIAL_CAPACITY - 1, -1, -1))
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- capacity management -------------------------------------------
+    def _grow(self) -> None:
+        old = self._buffer.shape[0]
+        new = old * 2
+        self._buffer = np.vstack([self._buffer, np.zeros((old, self.embedding_dim))])
+        self._lifecycle = np.concatenate(
+            [self._lifecycle, np.zeros(old, dtype=np.int64)]
+        )
+        self._slot_index = np.concatenate(
+            [self._slot_index, np.full(old, -1, dtype=np.int64)]
+        )
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _allocate(self) -> int:
+        if not self._free:
+            self._grow()
+        return self._free.pop()
+
+    # -- cache operations ----------------------------------------------
+    def put(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Insert (or refresh) rows after a batch's update completes.
+
+        Duplicate indices within the call are allowed; the *last*
+        occurrence wins, matching sequential write order.
+        """
+        idx = check_1d_int_array(indices, "indices", min_value=0)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (idx.size, self.embedding_dim):
+            raise ValueError(
+                f"values shape {values.shape} does not match "
+                f"({idx.size}, {self.embedding_dim})"
+            )
+        for pos, index in enumerate(idx.tolist()):
+            slot = self._slots.get(index)
+            if slot is None:
+                slot = self._allocate()
+                self._slots[index] = slot
+                self._slot_index[slot] = index
+            self._buffer[slot] = values[pos]
+            self._lifecycle[slot] = self.default_lifecycle
+
+    def synchronize(
+        self, indices: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Overwrite stale prefetched rows with cached fresh values.
+
+        Parameters
+        ----------
+        indices:
+            Row ids of a prefetched embedding batch.
+        values:
+            The (possibly stale) prefetched rows, ``(len(indices), dim)``.
+
+        Returns
+        -------
+        (fresh_values, hit_mask):
+            ``fresh_values`` is a new array with cache hits replaced;
+            ``hit_mask[i]`` is True where the cache supplied the row.
+        """
+        idx = check_1d_int_array(indices, "indices", min_value=0)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (idx.size, self.embedding_dim):
+            raise ValueError(
+                f"values shape {values.shape} does not match "
+                f"({idx.size}, {self.embedding_dim})"
+            )
+        fresh = values.copy()
+        hit_mask = np.zeros(idx.size, dtype=bool)
+        for pos, index in enumerate(idx.tolist()):
+            slot = self._slots.get(index)
+            if slot is not None:
+                fresh[pos] = self._buffer[slot]
+                hit_mask[pos] = True
+        self.hits += int(hit_mask.sum())
+        self.misses += int((~hit_mask).sum())
+        return fresh, hit_mask
+
+    def decrement(self, indices: np.ndarray) -> int:
+        """Lower LC of the given rows by one; evict rows reaching zero.
+
+        Called when the server drains one batch from the gradient
+        queue.  Duplicate indices in the call decrement only once
+        (a batch touches each unique row once on the host side).
+        Returns the number of evictions.
+        """
+        idx = np.unique(check_1d_int_array(indices, "indices", min_value=0))
+        evicted = 0
+        for index in idx.tolist():
+            slot = self._slots.get(index)
+            if slot is None:
+                continue
+            self._lifecycle[slot] -= 1
+            if self._lifecycle[slot] <= 0:
+                del self._slots[index]
+                self._slot_index[slot] = -1
+                self._free.append(slot)
+                evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def get(self, index: int) -> Optional[np.ndarray]:
+        """Fetch one cached row (copy), or None on miss."""
+        slot = self._slots.get(int(index))
+        if slot is None:
+            return None
+        return self._buffer[slot].copy()
+
+    def lifecycle_of(self, index: int) -> Optional[int]:
+        """Remaining LC of a cached row, or None if absent."""
+        slot = self._slots.get(int(index))
+        if slot is None:
+            return None
+        return int(self._lifecycle[slot])
+
+    def __contains__(self, index: int) -> bool:
+        return int(index) in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def nbytes(self) -> int:
+        """Current buffer footprint (allocated capacity, not occupancy)."""
+        return (
+            self._buffer.nbytes + self._lifecycle.nbytes + self._slot_index.nbytes
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        capacity = self._buffer.shape[0]
+        self._slots.clear()
+        self._slot_index.fill(-1)
+        self._lifecycle.fill(0)
+        self._free = list(range(capacity - 1, -1, -1))

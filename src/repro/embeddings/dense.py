@@ -1,0 +1,114 @@
+"""Uncompressed embedding bag — the PyTorch ``nn.EmbeddingBag`` stand-in.
+
+This is the representation the DLRM and FAE baselines use, and the
+memory-footprint reference for Table III's compression ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.embeddings.base import (
+    EmbeddingBagBase,
+    expand_bag_ids,
+    segment_sum,
+)
+from repro.nn.optim import SparseSGD
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["DenseEmbeddingBag"]
+
+
+class DenseEmbeddingBag(EmbeddingBagBase):
+    """Dense ``(num_embeddings, embedding_dim)`` table with sum pooling.
+
+    Initialization follows the reference DLRM: uniform in
+    ``(-1/sqrt(num_embeddings), 1/sqrt(num_embeddings))``.
+
+    Parameters
+    ----------
+    num_embeddings, embedding_dim:
+        Table shape.
+    seed:
+        RNG for initialization.
+    dtype:
+        Storage dtype (float64 default to match the NN substrate; the
+        footprint accounting in Table III reports float32-equivalent
+        bytes via :meth:`nbytes_as` when comparing with the paper).
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        seed: RngLike = None,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        super().__init__(num_embeddings, embedding_dim)
+        rng = ensure_rng(seed)
+        bound = 1.0 / np.sqrt(num_embeddings)
+        self.weight = rng.uniform(
+            -bound, bound, size=(num_embeddings, embedding_dim)
+        ).astype(dtype)
+        self._saved_indices: Optional[np.ndarray] = None
+        self._saved_boundaries: Optional[np.ndarray] = None
+        self._saved_row_grads: Optional[np.ndarray] = None
+
+    def forward(
+        self, indices: np.ndarray, offsets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        idx, boundaries = self._validate_inputs(indices, offsets)
+        self._saved_indices = idx
+        self._saved_boundaries = boundaries
+        rows = self.weight[idx]
+        return segment_sum(rows, boundaries)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        if self._saved_indices is None or self._saved_boundaries is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        num_bags = self._saved_boundaries.size - 1
+        if grad_output.shape != (num_bags, self.embedding_dim):
+            raise ValueError(
+                f"expected grad_output shape {(num_bags, self.embedding_dim)}, "
+                f"got {grad_output.shape}"
+            )
+        bag_ids = expand_bag_ids(self._saved_boundaries)
+        # Sum pooling: each member of a bag receives the bag's gradient.
+        self._saved_row_grads = grad_output[bag_ids]
+
+    def step(self, lr: float) -> None:
+        if self._saved_row_grads is None:
+            raise RuntimeError("step called before backward")
+        SparseSGD(lr).step_rows(
+            self.weight, self._saved_indices, self._saved_row_grads
+        )
+        self._saved_indices = None
+        self._saved_boundaries = None
+        self._saved_row_grads = None
+
+    # -- gradient access for the PS / cache machinery -----------------
+    def pop_row_gradients(self) -> tuple:
+        """Return and clear ``(indices, per-row gradients)``.
+
+        Used by the parameter-server path (§V) where the *server*
+        applies the update after the gradient queue delivers it, rather
+        than the table itself.
+        """
+        if self._saved_row_grads is None:
+            raise RuntimeError("no gradients captured")
+        out = (self._saved_indices, self._saved_row_grads)
+        self._saved_indices = None
+        self._saved_boundaries = None
+        self._saved_row_grads = None
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return self.weight.nbytes
+
+    def nbytes_as(self, dtype: np.dtype = np.float32) -> int:
+        """Footprint if stored at ``dtype`` (paper reports fp32 tables)."""
+        return self.weight.size * np.dtype(dtype).itemsize

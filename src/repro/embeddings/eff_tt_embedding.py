@@ -1,0 +1,407 @@
+"""Eff-TT embedding bag — the paper's core contribution (§III).
+
+Drop-in replacement for ``nn.EmbeddingBag`` backed by Tensor-Train
+cores, with the three optimizations of the paper, each independently
+toggleable for the ablation studies (Figures 14, 17, 18):
+
+``enable_reuse``
+    Two-level intermediate-result reuse (§III-A).  The forward pass
+    deduplicates full rows across the batch (sample- *and* batch-level)
+    and computes the partial product of the first ``d-1`` cores once
+    per unique TT-index prefix via one batched einsum over the Reuse
+    Buffer — the NumPy analog of Algorithm 1's pointer preparation +
+    ``cublasGemmBatchedEx`` call.
+``enable_grad_aggregation``
+    In-advance gradient aggregation (§III-B).  Embedding-row gradients
+    are summed over unique indices *before* the chain-rule contraction
+    into TT cores, shrinking the expensive per-row tensor
+    multiplications from one per occurrence to one per unique row.
+``enable_fused_update``
+    Fused TT-core update (§III-B).  The SGD step scatters
+    ``-lr * slice_grad`` directly into the live cores instead of
+    materializing full-size core-gradient arrays and running a separate
+    dense optimizer pass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.embeddings.base import (
+    EmbeddingBagBase,
+    expand_bag_ids,
+    segment_sum,
+)
+from repro.embeddings.reuse_buffer import ReusePlan, build_reuse_plan
+from repro.embeddings.tt_core import TTCores, TTSpec
+from repro.embeddings.tt_embedding import tt_chain_backward, tt_chain_forward
+from repro.embeddings.tt_indices import row_index_to_tt
+from repro.utils.factorize import suggest_tt_shapes
+from repro.utils.rng import RngLike
+from repro.utils.scatter import coalesce_rows, scatter_add_rows
+
+__all__ = ["EffTTEmbeddingBag"]
+
+
+class EffTTEmbeddingBag(EmbeddingBagBase):
+    """TT embedding bag with reuse, gradient aggregation and fused update.
+
+    Parameters
+    ----------
+    num_embeddings, embedding_dim:
+        Logical table shape; rows are padded to a balanced TT
+        factorization.
+    tt_rank:
+        Scalar rank or explicit internal rank list (paper: 128 on V100,
+        64 on T4).
+    num_cores:
+        ``d`` (paper uses 3).
+    row_shape, col_shape:
+        Optional explicit factorizations.
+    enable_reuse, enable_grad_aggregation, enable_fused_update:
+        Optimization toggles, all on by default.
+    optimizer:
+        ``"sgd"`` (the paper's setting) or ``"adagrad"`` — row-wise
+        Adagrad on TT slices with coalesced sparse gradients (the
+        TT-Rec training setup), still applied as a fused update.
+    adagrad_eps:
+        Adagrad denominator floor.
+    seed:
+        RNG for core initialization.
+
+    Examples
+    --------
+    >>> bag = EffTTEmbeddingBag(1000, 16, tt_rank=8, seed=0)
+    >>> out = bag.forward(np.array([1, 5, 5, 2]), np.array([0, 2, 4]))
+    >>> out.shape
+    (2, 16)
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        tt_rank: Union[int, Sequence[int]] = 64,
+        num_cores: int = 3,
+        row_shape: Optional[Sequence[int]] = None,
+        col_shape: Optional[Sequence[int]] = None,
+        enable_reuse: bool = True,
+        enable_grad_aggregation: bool = True,
+        enable_fused_update: bool = True,
+        optimizer: str = "sgd",
+        adagrad_eps: float = 1e-10,
+        seed: RngLike = None,
+    ) -> None:
+        super().__init__(num_embeddings, embedding_dim)
+        if row_shape is None or col_shape is None:
+            auto_rows, auto_cols, _ = suggest_tt_shapes(
+                num_embeddings, embedding_dim, num_cores
+            )
+            row_shape = row_shape if row_shape is not None else auto_rows
+            col_shape = col_shape if col_shape is not None else auto_cols
+        if math.prod(row_shape) < num_embeddings:
+            raise ValueError(
+                f"prod(row_shape)={math.prod(row_shape)} cannot address "
+                f"{num_embeddings} rows"
+            )
+        if math.prod(col_shape) != embedding_dim:
+            raise ValueError(
+                f"prod(col_shape)={math.prod(col_shape)} != embedding_dim="
+                f"{embedding_dim}"
+            )
+        self.spec = TTSpec.create(row_shape, col_shape, tt_rank)
+        self.tt = TTCores.random_init(self.spec, seed=seed)
+        self.enable_reuse = enable_reuse
+        self.enable_grad_aggregation = enable_grad_aggregation
+        self.enable_fused_update = enable_fused_update
+        if optimizer not in ("sgd", "adagrad"):
+            raise ValueError(
+                f"optimizer must be 'sgd' or 'adagrad', got {optimizer!r}"
+            )
+        self.optimizer = optimizer
+        if adagrad_eps <= 0:
+            raise ValueError(f"adagrad_eps must be > 0, got {adagrad_eps}")
+        self.adagrad_eps = float(adagrad_eps)
+        self._adagrad_acc: Optional[List[np.ndarray]] = (
+            [np.zeros_like(core) for core in self.tt.cores]
+            if optimizer == "adagrad"
+            else None
+        )
+        self._saved: Optional[dict] = None
+        self._pending_update: Optional[dict] = None
+        self.last_plan: Optional[ReusePlan] = None
+
+    @classmethod
+    def from_dense_table(
+        cls,
+        table: np.ndarray,
+        tt_rank: Union[int, Sequence[int]] = 64,
+        num_cores: int = 3,
+        **kwargs,
+    ) -> "EffTTEmbeddingBag":
+        """Warm-start an Eff-TT table from a pretrained dense table.
+
+        TT-SVD compresses the given ``(num_rows, dim)`` weights (rows
+        are zero-padded up to the balanced factorization; padding rows
+        are never addressed).  This is the deployment path for
+        compressing an existing model rather than training from
+        scratch; reconstruction error is the optimal rank-``tt_rank``
+        truncation error.
+        """
+        table = np.asarray(table, dtype=np.float64)
+        if table.ndim != 2:
+            raise ValueError(f"table must be 2-D, got shape {table.shape}")
+        num_rows, dim = table.shape
+        bag = cls(
+            num_rows, dim, tt_rank=tt_rank, num_cores=num_cores, **kwargs
+        )
+        padded = np.zeros((bag.spec.padded_rows, dim))
+        padded[:num_rows] = table
+        bag.tt = TTCores.from_dense(
+            padded, bag.spec.row_shape, bag.spec.col_shape, tt_rank
+        )
+        # TT-SVD may achieve lower ranks than requested.
+        bag.spec = bag.tt.spec
+        return bag
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def forward(
+        self, indices: np.ndarray, offsets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        idx, boundaries = self._validate_inputs(indices, offsets)
+        plan = build_reuse_plan(idx, self.spec.row_shape)
+        self.last_plan = plan
+        if self.enable_reuse:
+            rows_unique, left_stages = self._forward_reused(plan)
+            rows = rows_unique[plan.row_inverse]
+            self._saved = {
+                "plan": plan,
+                "boundaries": boundaries,
+                "left_stages": left_stages,  # per unique prefix
+                "reused": True,
+            }
+        else:
+            occ_tt_idx = row_index_to_tt(idx, self.spec.row_shape)
+            rows, left_partials = tt_chain_forward(self.tt.cores, occ_tt_idx)
+            self._saved = {
+                "plan": plan,
+                "boundaries": boundaries,
+                "occ_tt_idx": occ_tt_idx,
+                "occ_left_partials": left_partials,
+                "reused": False,
+            }
+        return segment_sum(rows, boundaries)
+
+    def _forward_reused(
+        self, plan: ReusePlan
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Compute unique rows via the prefix Reuse Buffer.
+
+        Returns ``(unique_rows_values, left_stages)`` where
+        ``left_stages[k]`` is the product of cores ``0..k`` for each
+        unique prefix (the Reuse Buffer content at stage ``k``).
+        """
+        cores = self.tt.cores
+        d = self.spec.num_cores
+        # Batched partial product over unique prefixes only.
+        left = cores[0][plan.prefix_tt_indices[0]]  # (P, 1, n1, R1)
+        num_prefixes = left.shape[0]
+        left = left.reshape(num_prefixes, -1, left.shape[-1])
+        left_stages = [left]
+        for k in range(1, d - 1):
+            slice_k = cores[k][plan.prefix_tt_indices[k]]
+            r_prev, n_k, r_next = slice_k.shape[1:]
+            # batched GEMM over unique prefixes only (the Reuse Buffer
+            # fill of Algorithm 1).
+            left = np.matmul(
+                left, slice_k.reshape(num_prefixes, r_prev, n_k * r_next)
+            ).reshape(num_prefixes, -1, r_next)
+            left_stages.append(left)
+        # Final core applied per unique row, gathering its prefix partial.
+        partial = left[plan.prefix_ids]  # (U, A, R_{d-1})
+        last = cores[d - 1][plan.tt_indices[d - 1]]  # (U, R_{d-1}, n_d, 1)
+        last = last.reshape(last.shape[0], last.shape[1], -1)
+        rows_unique = np.matmul(partial, last)  # (U, A, n_d)
+        rows_unique = rows_unique.reshape(rows_unique.shape[0], -1)
+        return rows_unique, left_stages
+
+    # ------------------------------------------------------------------
+    # backward
+    # ------------------------------------------------------------------
+    def backward(self, grad_output: np.ndarray) -> None:
+        if self._saved is None:
+            raise RuntimeError("backward called before forward")
+        saved = self._saved
+        plan: ReusePlan = saved["plan"]
+        boundaries = saved["boundaries"]
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        num_bags = boundaries.size - 1
+        if grad_output.shape != (num_bags, self.embedding_dim):
+            raise ValueError(
+                f"expected grad_output shape {(num_bags, self.embedding_dim)}, "
+                f"got {grad_output.shape}"
+            )
+        bag_ids = expand_bag_ids(boundaries)
+        row_grads = grad_output[bag_ids]  # (L, N), one per occurrence
+
+        if self.enable_grad_aggregation:
+            # In-advance aggregation: sum occurrence gradients into one
+            # gradient per *unique* row before the expensive chain rule.
+            agg = np.zeros((plan.num_unique_rows, self.embedding_dim))
+            scatter_add_rows(agg, plan.row_inverse, row_grads)
+            tt_idx = plan.tt_indices
+            left_partials = self._unique_left_partials(saved, plan)
+            slice_grads = tt_chain_backward(
+                self.tt.cores, tt_idx, left_partials, agg, self.spec.col_shape
+            )
+        else:
+            # Ablation path: per-occurrence chain rule, as TT-Rec does.
+            if saved["reused"]:
+                tt_idx = tuple(
+                    arr[plan.row_inverse] for arr in plan.tt_indices
+                )
+                left_partials = [
+                    stage[plan.prefix_ids][plan.row_inverse]
+                    for stage in saved["left_stages"]
+                ]
+            else:
+                tt_idx = saved["occ_tt_idx"]
+                left_partials = saved["occ_left_partials"]
+            slice_grads = tt_chain_backward(
+                self.tt.cores,
+                tt_idx,
+                left_partials,
+                row_grads,
+                self.spec.col_shape,
+            )
+
+        if self.enable_fused_update:
+            # Defer only the scatter; step() applies it in place without
+            # materializing core-sized gradient arrays.
+            self._pending_update = {
+                "mode": "fused",
+                "tt_idx": tt_idx,
+                "slice_grads": slice_grads,
+            }
+        else:
+            core_grads = [np.zeros_like(core) for core in self.tt.cores]
+            for k, grads_k in enumerate(slice_grads):
+                scatter_add_rows(core_grads[k], tt_idx[k], grads_k)
+            self._pending_update = {"mode": "dense", "core_grads": core_grads}
+        self._saved = None
+
+    def _unique_left_partials(
+        self, saved: dict, plan: ReusePlan
+    ) -> List[np.ndarray]:
+        """Left-partial chain per unique row for the backward contraction."""
+        if saved["reused"]:
+            return [stage[plan.prefix_ids] for stage in saved["left_stages"]]
+        # Reuse disabled: recompute the (cheaper) chain over unique rows.
+        _, left_partials = tt_chain_forward(self.tt.cores, plan.tt_indices)
+        return left_partials
+
+    # ------------------------------------------------------------------
+    # update
+    # ------------------------------------------------------------------
+    def step(self, lr: float) -> None:
+        if self._pending_update is None:
+            raise RuntimeError("step called before backward")
+        self.apply_pending_update(self._pending_update, lr)
+        self._pending_update = None
+
+    def pop_pending_update(self) -> dict:
+        """Detach the captured sparse update without applying it.
+
+        Used by the data-parallel trainer (§V-A): replicas exchange
+        pending updates (the TT-gradient AllReduce) and then apply the
+        merged set via :meth:`apply_pending_update`.
+        """
+        if self._pending_update is None:
+            raise RuntimeError("no pending update captured")
+        pending = self._pending_update
+        self._pending_update = None
+        return pending
+
+    def apply_pending_update(
+        self, pending: dict, lr: float, scale: float = 1.0
+    ) -> None:
+        """Apply a (possibly remote) sparse update scaled by ``scale``."""
+        if self.optimizer == "adagrad":
+            if scale != 1.0:
+                raise ValueError(
+                    "adagrad updates are stateful and cannot be rescaled; "
+                    "use the sgd optimizer for data-parallel training"
+                )
+            self._apply_adagrad(pending, lr)
+            return
+        step_size = lr * scale
+        if pending["mode"] == "fused":
+            for k, grads_k in enumerate(pending["slice_grads"]):
+                scatter_add_rows(
+                    self.tt.cores[k],
+                    pending["tt_idx"][k],
+                    grads_k,
+                    scale=-step_size,
+                )
+        else:
+            for core, grad in zip(self.tt.cores, pending["core_grads"]):
+                core -= step_size * grad
+
+    def _apply_adagrad(self, pending: dict, lr: float) -> None:
+        """Fused row-wise Adagrad over TT slices.
+
+        Sparse gradients are coalesced (duplicate slice rows summed)
+        before squaring — PyTorch's sparse-Adagrad convention — then
+        the accumulator and cores are updated with one gather/scatter
+        per core.
+        """
+        assert self._adagrad_acc is not None
+        if pending["mode"] == "fused":
+            for k, grads_k in enumerate(pending["slice_grads"]):
+                unique, summed = coalesce_rows(pending["tt_idx"][k], grads_k)
+                acc_flat = self._adagrad_acc[k].reshape(
+                    self._adagrad_acc[k].shape[0], -1
+                )
+                core_flat = self.tt.cores[k].reshape(
+                    self.tt.cores[k].shape[0], -1
+                )
+                acc_flat[unique] += summed**2
+                core_flat[unique] -= lr * summed / (
+                    np.sqrt(acc_flat[unique]) + self.adagrad_eps
+                )
+        else:
+            for core, acc, grad in zip(
+                self.tt.cores, self._adagrad_acc, pending["core_grads"]
+            ):
+                acc += grad**2
+                core -= lr * grad / (np.sqrt(acc) + self.adagrad_eps)
+
+    def backward_and_step(self, grad_output: np.ndarray, lr: float) -> None:
+        """Fused backward + update in one call (the paper's fused kernel)."""
+        self.backward(grad_output)
+        self.step(lr)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self.tt.nbytes
+
+    def nbytes_as(self, dtype: np.dtype = np.float32) -> int:
+        """Footprint if cores were stored at ``dtype``."""
+        return self.spec.num_params * np.dtype(dtype).itemsize
+
+    def compression_ratio(self) -> float:
+        """Dense ``num_embeddings x dim`` footprint over TT footprint."""
+        dense = self.num_embeddings * self.embedding_dim
+        return dense / self.spec.num_params
+
+    def materialize(self) -> np.ndarray:
+        """Reconstruct the logical table (tests / small tables only)."""
+        return self.tt.reconstruct()[: self.num_embeddings]

@@ -1,0 +1,143 @@
+"""Exact FLOP accounting for TT-table kernels.
+
+The Eff-TT optimizations are *computation-count* reductions: the reuse
+buffer shrinks the partial-product GEMMs from one per occurrence to one
+per unique prefix, and in-advance gradient aggregation shrinks the
+backward chain from one per occurrence to one per unique row.  These
+functions count the multiply-add FLOPs of each kernel variant exactly
+(2 FLOPs per multiply-add), given a TT spec and the batch's reuse
+statistics.
+
+Two uses:
+
+* the device cost model projects TT kernel times as
+  ``flops / batched-GEMM-throughput`` — free of the Python-side
+  overhead that inflates host wall-clock measurements;
+* tests cross-check that the measured Eff-TT/TT-Rec speedups track the
+  analytic FLOP ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.embeddings.reuse_buffer import ReusePlan
+from repro.embeddings.tt_core import TTSpec
+
+__all__ = [
+    "tt_forward_flops",
+    "efftt_forward_flops",
+    "tt_backward_flops",
+    "efftt_backward_flops",
+]
+
+
+def _chain_stage_flops(spec: TTSpec, k: int) -> int:
+    """FLOPs of the k-th forward chain GEMM for ONE item.
+
+    Stage ``k`` multiplies the accumulated prefix ``(a, R_{k-1})`` with
+    the gathered slice ``(R_{k-1}, n_k * R_k)`` where
+    ``a = prod_{l<k} n_l``.
+    """
+    a = math.prod(spec.col_shape[:k])
+    return 2 * a * spec.ranks[k] * spec.col_shape[k] * spec.ranks[k + 1]
+
+
+def tt_forward_flops(spec: TTSpec, num_items: int) -> int:
+    """Naive (TT-Rec) lookup FLOPs: the full chain per index occurrence."""
+    if num_items < 0:
+        raise ValueError(f"num_items must be >= 0, got {num_items}")
+    per_item = sum(
+        _chain_stage_flops(spec, k) for k in range(1, spec.num_cores)
+    )
+    return per_item * num_items
+
+
+def efftt_forward_flops(
+    spec: TTSpec, num_unique_prefixes: int, num_unique_rows: int
+) -> int:
+    """Eff-TT lookup FLOPs with the reuse buffer.
+
+    Stages ``1..d-2`` run once per unique prefix; the final stage runs
+    once per unique row (paper §III-A: the Reuse Buffer holds the
+    product of the first ``d-1`` cores).
+    """
+    if num_unique_prefixes < 0 or num_unique_rows < 0:
+        raise ValueError("counts must be >= 0")
+    prefix_flops = sum(
+        _chain_stage_flops(spec, k) for k in range(1, spec.num_cores - 1)
+    )
+    final_flops = _chain_stage_flops(spec, spec.num_cores - 1)
+    return (
+        prefix_flops * num_unique_prefixes + final_flops * num_unique_rows
+    )
+
+
+def _backward_per_item_flops(spec: TTSpec) -> int:
+    """Backward-chain FLOPs for ONE row gradient (Equation 6).
+
+    Counts the suffix-partial chain plus, per core, the two GEMMs
+    ``tmp = left^T G`` and ``grad = tmp right^T``.
+    """
+    d = spec.num_cores
+    total = 0
+    # suffix (right) partials: for k = d-1 .. 1, (r*b, s) @ (s, c)
+    suffix_cols = 1
+    for k in range(d - 1, 0, -1):
+        r_prev, n_k, r_next = (
+            spec.ranks[k],
+            spec.col_shape[k],
+            spec.ranks[k + 1],
+        )
+        total += 2 * r_prev * n_k * r_next * suffix_cols
+        suffix_cols *= n_k
+    # per-core slice gradients
+    prefix_cols = 1
+    for k in range(d):
+        n_k = spec.col_shape[k]
+        suffix = spec.embedding_dim // (prefix_cols * n_k)
+        r_prev, r_next = spec.ranks[k], spec.ranks[k + 1]
+        # tmp: (r, a) @ (a, b*c)
+        total += 2 * r_prev * prefix_cols * n_k * suffix
+        # grad: (r*b, c) @ (c, s)
+        total += 2 * r_prev * n_k * suffix * r_next
+        prefix_cols *= n_k
+    return total
+
+
+def tt_backward_flops(spec: TTSpec, num_items: int) -> int:
+    """Naive (TT-Rec) backward FLOPs: full chain per index occurrence."""
+    if num_items < 0:
+        raise ValueError(f"num_items must be >= 0, got {num_items}")
+    return _backward_per_item_flops(spec) * num_items
+
+
+def efftt_backward_flops(spec: TTSpec, num_unique_rows: int) -> int:
+    """Eff-TT backward FLOPs after in-advance gradient aggregation.
+
+    The aggregation itself is additions over the embedding dimension
+    (memory-bound, negligible FLOPs next to the chain); the chain then
+    runs once per *unique* row (paper §III-B, Figure 6b).
+    """
+    if num_unique_rows < 0:
+        raise ValueError(f"num_unique_rows must be >= 0, got {num_unique_rows}")
+    return _backward_per_item_flops(spec) * num_unique_rows
+
+
+def plan_forward_flops(spec: TTSpec, plan: ReusePlan, reuse: bool = True) -> int:
+    """Forward FLOPs for a concrete batch plan."""
+    if reuse:
+        return efftt_forward_flops(
+            spec, plan.num_unique_prefixes, plan.num_unique_rows
+        )
+    return tt_forward_flops(spec, plan.num_occurrences)
+
+
+def plan_backward_flops(
+    spec: TTSpec, plan: ReusePlan, aggregate: bool = True
+) -> int:
+    """Backward FLOPs for a concrete batch plan."""
+    if aggregate:
+        return efftt_backward_flops(spec, plan.num_unique_rows)
+    return tt_backward_flops(spec, plan.num_occurrences)

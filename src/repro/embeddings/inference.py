@@ -1,0 +1,137 @@
+"""Serving-time hot-row cache over a TT table.
+
+Training wants the compressed representation (small, updatable);
+serving wants latency.  Because the access distribution is power-law
+(paper Figure 4a), materializing a small set of *hot* rows captures
+most lookups: hot indices are served by a plain gather while the long
+tail falls back to the TT contraction.  This combines the paper's two
+observations — FAE-style hot caching and TT compression — on the
+inference path.
+
+The view is read-only: training steps on the underlying bag invalidate
+it (call :meth:`refresh` after updates, or rebuild).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.embeddings.base import normalize_offsets, segment_sum
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.tt_embedding import TTEmbeddingBag
+from repro.utils.validation import check_1d_int_array
+
+__all__ = ["HotRowCachedLookup"]
+
+TTBag = Union[TTEmbeddingBag, EffTTEmbeddingBag]
+
+
+class HotRowCachedLookup:
+    """Read-only lookup view with materialized hot rows.
+
+    Parameters
+    ----------
+    bag:
+        The TT-compressed table to serve from.
+    hot_rows:
+        Row indices to materialize (e.g. the most frequent rows from a
+        profiling pass, or ``ZipfSampler.rows_covering(0.9)`` many).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.embeddings import EffTTEmbeddingBag
+    >>> bag = EffTTEmbeddingBag(1000, 8, tt_rank=4, seed=0)
+    >>> view = HotRowCachedLookup(bag, hot_rows=np.arange(100))
+    >>> out = view.forward(np.array([3, 500]), np.array([0, 1]))
+    >>> out.shape
+    (2, 8)
+    >>> view.hits, view.misses
+    (1, 1)
+    """
+
+    def __init__(self, bag: TTBag, hot_rows: np.ndarray) -> None:
+        if not isinstance(bag, (TTEmbeddingBag, EffTTEmbeddingBag)):
+            raise TypeError(
+                f"bag must be a TT-compressed table, got {type(bag).__name__}"
+            )
+        self.bag = bag
+        hot = np.unique(
+            check_1d_int_array(
+                hot_rows, "hot_rows", min_value=0,
+                max_value=bag.num_embeddings - 1,
+            )
+        )
+        self._hot_rows = hot
+        self._hot_values: Optional[np.ndarray] = None
+        self.hits = 0
+        self.misses = 0
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-materialize the hot rows from the current TT cores."""
+        if self._hot_rows.size:
+            self._hot_values = self.bag.tt.reconstruct_rows(self._hot_rows)
+        else:
+            self._hot_values = np.zeros((0, self.bag.embedding_dim))
+
+    # ------------------------------------------------------------------
+    def _split(self, idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Positions of cached indices and their slots in the cache."""
+        pos = np.searchsorted(self._hot_rows, idx)
+        pos = np.minimum(pos, max(0, self._hot_rows.size - 1))
+        if self._hot_rows.size:
+            is_hot = self._hot_rows[pos] == idx
+        else:
+            is_hot = np.zeros(idx.size, dtype=bool)
+        return is_hot, pos
+
+    def lookup_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Un-pooled row lookup, cache-accelerated."""
+        idx = check_1d_int_array(
+            indices, "indices", min_value=0,
+            max_value=self.bag.num_embeddings - 1,
+        )
+        is_hot, pos = self._split(idx)
+        rows = np.empty((idx.size, self.bag.embedding_dim))
+        if is_hot.any():
+            rows[is_hot] = self._hot_values[pos[is_hot]]
+        cold = ~is_hot
+        if cold.any():
+            rows[cold] = self.bag.tt.reconstruct_rows(idx[cold])
+        self.hits += int(is_hot.sum())
+        self.misses += int(cold.sum())
+        return rows
+
+    def forward(
+        self, indices: np.ndarray, offsets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Pooled lookup with EmbeddingBag semantics (sum pooling)."""
+        idx = check_1d_int_array(
+            indices, "indices", min_value=0,
+            max_value=self.bag.num_embeddings - 1,
+        )
+        if offsets is None:
+            boundaries = np.arange(idx.size + 1, dtype=np.int64)
+        else:
+            boundaries = normalize_offsets(offsets, idx.size)
+        rows = self.lookup_rows(idx)
+        return segment_sum(rows, boundaries)
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------
+    @property
+    def num_hot_rows(self) -> int:
+        return int(self._hot_rows.size)
+
+    @property
+    def cache_nbytes(self) -> int:
+        return 0 if self._hot_values is None else self._hot_values.nbytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

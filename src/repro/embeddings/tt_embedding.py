@@ -1,0 +1,255 @@
+"""TT-Rec-style Tensor-Train embedding bag (the compression baseline).
+
+This implements the TT table as TT-Rec [20] does, *without* the paper's
+Eff-TT optimizations:
+
+* forward: one full TT contraction chain **per index occurrence** — no
+  dedup, no prefix reuse buffer;
+* backward: per-occurrence slice gradients scattered into materialized
+  full-size core-gradient arrays (the extra data copy the paper calls
+  out in §III-B);
+* update: a separate dense optimizer pass over whole cores.
+
+The class is deliberately kept algorithmically naive so that the
+Eff-TT/TT-Rec comparisons in Figures 14, 17 and 18 measure exactly the
+paper's claimed optimizations on a shared substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.embeddings.base import (
+    EmbeddingBagBase,
+    expand_bag_ids,
+    segment_sum,
+)
+from repro.embeddings.tt_core import TTCores, TTSpec
+from repro.embeddings.tt_indices import row_index_to_tt
+from repro.utils.factorize import suggest_tt_shapes
+from repro.utils.rng import RngLike
+from repro.utils.scatter import scatter_add_rows
+
+__all__ = ["TTEmbeddingBag", "tt_chain_forward", "tt_chain_backward"]
+
+
+def tt_chain_forward(
+    cores: List[np.ndarray], tt_idx: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Sequential TT contraction for a list of per-core indices.
+
+    Returns ``(rows, left_partials)`` where ``rows`` is
+    ``(L, embedding_dim)`` and ``left_partials[k]`` is the accumulated
+    product of cores ``0..k`` gathered at the given indices, shape
+    ``(L, prod_{l<=k} n_l, R_{k+1})`` — cached for the backward chain.
+    """
+    left = cores[0][tt_idx[0]]  # (L, 1, n_1, R_1)
+    batch = left.shape[0]
+    left = left.reshape(batch, -1, left.shape[-1])
+    left_partials = [left]
+    for k in range(1, len(cores)):
+        slice_k = cores[k][tt_idx[k]]  # (L, R_{k-1}, n_k, R_k)
+        r_prev, n_k, r_next = slice_k.shape[1:]
+        # (L, a, r) @ (L, r, n*s) -> (L, a*n, s): one batched GEMM per
+        # core, the cublasGemmBatchedEx shape of the paper's kernel.
+        left = np.matmul(left, slice_k.reshape(batch, r_prev, n_k * r_next))
+        left = left.reshape(batch, -1, r_next)
+        left_partials.append(left)
+    rows = left.reshape(batch, -1)
+    return rows, left_partials
+
+
+def tt_chain_backward(
+    cores: List[np.ndarray],
+    tt_idx: Sequence[np.ndarray],
+    left_partials: List[np.ndarray],
+    row_grads: np.ndarray,
+    col_shape: Sequence[int],
+) -> List[np.ndarray]:
+    """Per-occurrence slice gradients for every core.
+
+    Parameters
+    ----------
+    cores:
+        Core arrays in storage layout ``(m_k, R_{k-1}, n_k, R_k)``.
+    tt_idx:
+        Per-core indices, each ``(L,)``.
+    left_partials:
+        Cached prefix products from :func:`tt_chain_forward`.
+    row_grads:
+        ``(L, embedding_dim)`` gradients of the looked-up rows.
+    col_shape:
+        Column factors ``[n_1, ..., n_d]``.
+
+    Returns
+    -------
+    List of ``d`` arrays, each ``(L, R_{k-1}, n_k, R_k)`` — the gradient
+    of every gathered TT slice (Equation 6 evaluated for all cores).
+    """
+    d = len(cores)
+    batch = row_grads.shape[0]
+    # Right (suffix) partials: right[k] = product of slices k+1..d-1,
+    # shape (L, R_k, prod_{l>k} n_l).  One batched GEMM per core.
+    right = np.ones((batch, 1, 1))
+    rights: List[Optional[np.ndarray]] = [None] * d
+    rights[d - 1] = right
+    for k in range(d - 1, 0, -1):
+        slice_k = cores[k][tt_idx[k]]  # (L, R_{k-1}, n_k, R_k)
+        r_prev, n_k, r_next = slice_k.shape[1:]
+        # (L, r*b, s) @ (L, s, c) -> (L, r*b, c) -> (L, r, b*c)
+        right = np.matmul(
+            slice_k.reshape(batch, r_prev * n_k, r_next), right
+        ).reshape(batch, r_prev, -1)
+        rights[k - 1] = right
+
+    slice_grads: List[np.ndarray] = []
+    prefix_cols = 1
+    for k in range(d):
+        n_k = col_shape[k]
+        suffix_cols = row_grads.shape[1] // (prefix_cols * n_k)
+        grad_tensor = row_grads.reshape(batch, prefix_cols, n_k * suffix_cols)
+        left = (
+            left_partials[k - 1]
+            if k > 0
+            else np.ones((batch, 1, 1))
+        )
+        right_k = rights[k]
+        assert right_k is not None
+        # dSlice[l, r, b, s] = sum_{a, c} left[l,a,r] G[l,a,b,c] right[l,s,c]
+        # as two batched GEMMs (Equation 6 in cuBLAS form):
+        #   tmp = left^T G     : (L, r, a) @ (L, a, b*c) -> (L, r, b*c)
+        #   grad = tmp right^T : (L, r*b, c) @ (L, c, s) -> (L, r*b, s)
+        r_prev = left.shape[2]
+        r_next = right_k.shape[1]
+        tmp = np.matmul(left.transpose(0, 2, 1), grad_tensor)
+        grad_k = np.matmul(
+            tmp.reshape(batch, r_prev * n_k, suffix_cols),
+            right_k.transpose(0, 2, 1),
+        ).reshape(batch, r_prev, n_k, r_next)
+        slice_grads.append(grad_k)
+        prefix_cols *= n_k
+    return slice_grads
+
+
+class TTEmbeddingBag(EmbeddingBagBase):
+    """Tensor-Train embedding bag with naive (TT-Rec-style) kernels.
+
+    Parameters
+    ----------
+    num_embeddings, embedding_dim:
+        Logical table shape; rows are padded up to a balanced TT
+        factorization (padding rows are never addressed).
+    tt_rank:
+        Scalar TT rank or explicit internal rank list.
+    num_cores:
+        Number of TT cores ``d`` (paper uses 3).
+    row_shape, col_shape:
+        Optional explicit factorizations overriding the automatic ones.
+    seed:
+        RNG for core initialization.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        tt_rank: Union[int, Sequence[int]] = 64,
+        num_cores: int = 3,
+        row_shape: Optional[Sequence[int]] = None,
+        col_shape: Optional[Sequence[int]] = None,
+        seed: RngLike = None,
+    ) -> None:
+        super().__init__(num_embeddings, embedding_dim)
+        if row_shape is None or col_shape is None:
+            auto_rows, auto_cols, _ = suggest_tt_shapes(
+                num_embeddings, embedding_dim, num_cores
+            )
+            row_shape = row_shape if row_shape is not None else auto_rows
+            col_shape = col_shape if col_shape is not None else auto_cols
+        if math.prod(row_shape) < num_embeddings:
+            raise ValueError(
+                f"prod(row_shape)={math.prod(row_shape)} cannot address "
+                f"{num_embeddings} rows"
+            )
+        if math.prod(col_shape) != embedding_dim:
+            raise ValueError(
+                f"prod(col_shape)={math.prod(col_shape)} != embedding_dim="
+                f"{embedding_dim}"
+            )
+        self.spec = TTSpec.create(row_shape, col_shape, tt_rank)
+        self.tt = TTCores.random_init(self.spec, seed=seed)
+        self._saved: Optional[dict] = None
+        self._core_grads: Optional[List[np.ndarray]] = None
+
+    # -- forward -------------------------------------------------------
+    def forward(
+        self, indices: np.ndarray, offsets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        idx, boundaries = self._validate_inputs(indices, offsets)
+        tt_idx = row_index_to_tt(idx, self.spec.row_shape)
+        rows, left_partials = tt_chain_forward(self.tt.cores, tt_idx)
+        self._saved = {
+            "tt_idx": tt_idx,
+            "left_partials": left_partials,
+            "boundaries": boundaries,
+        }
+        return segment_sum(rows, boundaries)
+
+    # -- backward ----------------------------------------------------------
+    def backward(self, grad_output: np.ndarray) -> None:
+        if self._saved is None:
+            raise RuntimeError("backward called before forward")
+        saved = self._saved
+        boundaries = saved["boundaries"]
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        num_bags = boundaries.size - 1
+        if grad_output.shape != (num_bags, self.embedding_dim):
+            raise ValueError(
+                f"expected grad_output shape {(num_bags, self.embedding_dim)}, "
+                f"got {grad_output.shape}"
+            )
+        bag_ids = expand_bag_ids(boundaries)
+        row_grads = grad_output[bag_ids]  # one gradient per occurrence
+        slice_grads = tt_chain_backward(
+            self.tt.cores,
+            saved["tt_idx"],
+            saved["left_partials"],
+            row_grads,
+            self.spec.col_shape,
+        )
+        # TT-Rec path: materialize full-size core gradients (the extra
+        # allocation + scatter the paper's fused update avoids).
+        core_grads = [np.zeros_like(core) for core in self.tt.cores]
+        for k, grads_k in enumerate(slice_grads):
+            scatter_add_rows(core_grads[k], saved["tt_idx"][k], grads_k)
+        self._core_grads = core_grads
+        self._saved = None
+
+    def step(self, lr: float) -> None:
+        if self._core_grads is None:
+            raise RuntimeError("step called before backward")
+        # Separate dense optimizer pass over whole cores.
+        for core, grad in zip(self.tt.cores, self._core_grads):
+            core -= lr * grad
+        self._core_grads = None
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self.tt.nbytes
+
+    def nbytes_as(self, dtype: np.dtype = np.float32) -> int:
+        """Footprint if cores were stored at ``dtype``."""
+        return self.spec.num_params * np.dtype(dtype).itemsize
+
+    def compression_ratio(self) -> float:
+        """Dense ``num_embeddings x dim`` footprint over TT footprint."""
+        dense = self.num_embeddings * self.embedding_dim
+        return dense / self.spec.num_params
+
+    def materialize(self) -> np.ndarray:
+        """Reconstruct the logical table (tests / small tables only)."""
+        return self.tt.reconstruct()[: self.num_embeddings]

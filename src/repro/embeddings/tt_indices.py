@@ -1,0 +1,119 @@
+"""TT-index conversion (paper Equation 3, §III-A Step 1).
+
+A flat embedding-table row index ``i`` maps to one sub-index per TT
+core via mixed-radix decomposition over the row factorization
+``M = m_1 * m_2 * ... * m_d``:
+
+    ``i_k = (i // prod_{l>k} m_l) mod m_k``
+
+All functions are fully vectorized; these run on every batch in the
+Eff-TT hot path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["row_strides", "row_index_to_tt", "tt_to_row_index", "prefix_keys"]
+
+
+def row_strides(row_shape: Sequence[int]) -> np.ndarray:
+    """Mixed-radix strides: ``strides[k] = prod_{l>k} row_shape[l]``.
+
+    >>> row_strides([4, 3, 2]).tolist()
+    [6, 2, 1]
+    """
+    shape = np.asarray(row_shape, dtype=np.int64)
+    if shape.ndim != 1 or shape.size == 0:
+        raise ValueError(f"row_shape must be a non-empty 1-D sequence, got {row_shape}")
+    if np.any(shape < 1):
+        raise ValueError(f"row_shape entries must be >= 1, got {row_shape}")
+    strides = np.ones_like(shape)
+    strides[:-1] = np.cumprod(shape[::-1])[::-1][1:]
+    return strides
+
+
+def row_index_to_tt(
+    indices: np.ndarray, row_shape: Sequence[int]
+) -> List[np.ndarray]:
+    """Decompose flat row indices into per-core TT indices.
+
+    Parameters
+    ----------
+    indices:
+        1-D int array of row indices in ``[0, prod(row_shape))``.
+    row_shape:
+        Per-core row factors ``[m_1, ..., m_d]``.
+
+    Returns
+    -------
+    List of ``d`` int64 arrays, each the same length as ``indices``.
+
+    Examples
+    --------
+    >>> [a.tolist() for a in row_index_to_tt(np.array([0, 5, 23]), [4, 3, 2])]
+    [[0, 0, 3], [0, 2, 2], [0, 1, 1]]
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    shape = np.asarray(row_shape, dtype=np.int64)
+    strides = row_strides(row_shape)
+    total = int(np.prod(shape))
+    if idx.size and (idx.min() < 0 or idx.max() >= total):
+        raise ValueError(
+            f"indices must lie in [0, {total}), got range "
+            f"[{idx.min()}, {idx.max()}]"
+        )
+    return [(idx // strides[k]) % shape[k] for k in range(shape.size)]
+
+
+def tt_to_row_index(
+    tt_indices: Sequence[np.ndarray], row_shape: Sequence[int]
+) -> np.ndarray:
+    """Inverse of :func:`row_index_to_tt`.
+
+    >>> tt_to_row_index([np.array([3]), np.array([2]), np.array([1])], [4, 3, 2]).tolist()
+    [23]
+    """
+    shape = np.asarray(row_shape, dtype=np.int64)
+    if len(tt_indices) != shape.size:
+        raise ValueError(
+            f"expected {shape.size} index arrays, got {len(tt_indices)}"
+        )
+    strides = row_strides(row_shape)
+    out = np.zeros_like(np.asarray(tt_indices[0], dtype=np.int64))
+    for k, part in enumerate(tt_indices):
+        part = np.asarray(part, dtype=np.int64)
+        if part.size and (part.min() < 0 or part.max() >= shape[k]):
+            raise ValueError(
+                f"tt index {k} out of range [0, {shape[k]}): "
+                f"[{part.min()}, {part.max()}]"
+            )
+        out = out + part * strides[k]
+    return out
+
+
+def prefix_keys(
+    tt_indices: Sequence[np.ndarray], row_shape: Sequence[int], depth: int
+) -> np.ndarray:
+    """Collapse the first ``depth`` TT indices into a single key array.
+
+    The Eff-TT reuse buffer (§III-A, Algorithm 1) identifies shared
+    partial products by the tuple of the first ``d-1`` TT indices; this
+    packs that tuple into one int64 key suitable for ``np.unique``.
+
+    >>> tt = row_index_to_tt(np.array([0, 1, 6, 7]), [4, 3, 2])
+    >>> prefix_keys(tt, [4, 3, 2], depth=2).tolist()
+    [0, 0, 3, 3]
+    """
+    if not 1 <= depth <= len(tt_indices):
+        raise ValueError(
+            f"depth must be in [1, {len(tt_indices)}], got {depth}"
+        )
+    shape = np.asarray(row_shape, dtype=np.int64)
+    key = np.asarray(tt_indices[0], dtype=np.int64).copy()
+    for k in range(1, depth):
+        key *= shape[k]
+        key += np.asarray(tt_indices[k], dtype=np.int64)
+    return key

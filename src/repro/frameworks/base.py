@@ -1,0 +1,222 @@
+"""Shared framework interface, workload profile, and time breakdowns."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.system.devices import DeviceSpec, KernelCostModel
+from repro.utils.validation import check_positive
+
+__all__ = ["WorkloadProfile", "TimeBreakdown", "Framework"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One DLRM workload with *measured* host kernel times.
+
+    The benchmark harness measures each kernel class once on real
+    NumPy implementations (the substrate), and every framework composes
+    iteration time from the same measurements — strategies differ, the
+    substrate does not.
+
+    Attributes
+    ----------
+    name:
+        Workload label (dataset name).
+    batch_size, embedding_dim:
+        Training configuration.
+    table_rows:
+        Cardinality per sparse table.
+    indices_per_batch:
+        Total sparse index occurrences per batch (all tables).
+    host_mlp_time:
+        Host seconds for bottom+top MLP fwd+bwd plus interaction.
+    host_dense_emb_time:
+        Host seconds for dense gather + pool + sparse update over all
+        tables (the CPU-side PS work and the GPU dense-lookup kernel,
+        scaled per roofline axis).
+    host_tt_fwd_time / host_tt_bwd_time:
+        Host seconds for TT-Rec-style naive TT kernels over all
+        compressed tables.
+    host_efftt_fwd_time / host_efftt_bwd_time:
+        Host seconds for Eff-TT kernels (reuse + aggregation + fused
+        update) over all compressed tables.
+    hot_fraction:
+        Fraction of batches that touch only GPU-cached hot rows (FAE's
+        profiling; the paper reports ~75%).
+    tt_kernel_launches / efftt_kernel_launches:
+        Kernel-launch counts per iteration for the compressed paths
+        (the fused update removes launches).
+    """
+
+    name: str
+    batch_size: int
+    embedding_dim: int
+    table_rows: Tuple[int, ...]
+    indices_per_batch: int
+    host_mlp_time: float
+    host_dense_emb_time: float
+    host_tt_fwd_time: float
+    host_tt_bwd_time: float
+    host_efftt_fwd_time: float
+    host_efftt_bwd_time: float
+    hot_fraction: float = 0.75
+    tt_kernel_launches: int = 24
+    efftt_kernel_launches: int = 8
+    tt_param_bytes: int = 0
+    dtype_bytes: int = 4
+    # Analytic per-iteration FLOP counts for the TT kernels (GFLOPs,
+    # summed over all compressed tables).  When > 0, framework models
+    # project TT kernel times as flops / batched-GEMM throughput,
+    # which removes the interpreter overhead baked into host wall
+    # clocks; 0 falls back to scaling the measured host time.
+    tt_gflops_fwd: float = 0.0
+    tt_gflops_bwd: float = 0.0
+    efftt_gflops_fwd: float = 0.0
+    efftt_gflops_bwd: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.batch_size, "batch_size")
+        check_positive(self.embedding_dim, "embedding_dim")
+        if not 0 <= self.hot_fraction <= 1:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+            )
+        for attr in (
+            "host_mlp_time",
+            "host_dense_emb_time",
+            "host_tt_fwd_time",
+            "host_tt_bwd_time",
+            "host_efftt_fwd_time",
+            "host_efftt_bwd_time",
+        ):
+            check_positive(getattr(self, attr), attr, strict=False)
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.table_rows)
+
+    @property
+    def embedding_transfer_bytes(self) -> int:
+        """Bytes of pooled embeddings (or their grads) for one batch."""
+        return (
+            self.batch_size
+            * self.num_tables
+            * self.embedding_dim
+            * self.dtype_bytes
+        )
+
+    @property
+    def dense_table_bytes(self) -> int:
+        """Uncompressed embedding parameter footprint."""
+        return sum(self.table_rows) * self.embedding_dim * self.dtype_bytes
+
+    def shard(self, num_shards: int) -> "WorkloadProfile":
+        """Per-device workload under data parallelism (batch split).
+
+        Kernel times for batched ops scale ~linearly in batch size;
+        that is slightly optimistic for small shards, which *favors the
+        baselines* (they shard more), keeping the comparison fair.
+        """
+        check_positive(num_shards, "num_shards")
+        f = 1.0 / num_shards
+        return replace(
+            self,
+            batch_size=max(1, self.batch_size // num_shards),
+            indices_per_batch=max(1, self.indices_per_batch // num_shards),
+            host_mlp_time=self.host_mlp_time * f,
+            host_dense_emb_time=self.host_dense_emb_time * f,
+            host_tt_fwd_time=self.host_tt_fwd_time * f,
+            host_tt_bwd_time=self.host_tt_bwd_time * f,
+            host_efftt_fwd_time=self.host_efftt_fwd_time * f,
+            host_efftt_bwd_time=self.host_efftt_bwd_time * f,
+            tt_gflops_fwd=self.tt_gflops_fwd * f,
+            tt_gflops_bwd=self.tt_gflops_bwd * f,
+            efftt_gflops_fwd=self.efftt_gflops_fwd * f,
+            efftt_gflops_bwd=self.efftt_gflops_bwd * f,
+        )
+
+
+@dataclass
+class TimeBreakdown:
+    """Per-component iteration time for one framework on one device."""
+
+    framework: str
+    device: str
+    num_gpus: int
+    components: Dict[str, float] = field(default_factory=dict)
+    feasible: bool = True
+    infeasible_reason: str = ""
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def throughput(self, batch_size: int) -> float:
+        """Samples per second (0 when infeasible)."""
+        if not self.feasible or self.total <= 0:
+            return 0.0
+        return batch_size / self.total
+
+    def speedup_over(self, other: "TimeBreakdown") -> float:
+        """How much faster this framework is than ``other``."""
+        if not (self.feasible and other.feasible) or self.total <= 0:
+            return 0.0
+        return other.total / self.total
+
+
+class Framework(abc.ABC):
+    """One DLRM training framework's strategy model."""
+
+    name: str = "framework"
+
+    def __init__(self, cost_model: Optional[KernelCostModel] = None) -> None:
+        self.cost = cost_model if cost_model is not None else KernelCostModel()
+
+    @abc.abstractmethod
+    def iteration_time(
+        self,
+        profile: WorkloadProfile,
+        device: DeviceSpec,
+        num_gpus: int = 1,
+    ) -> TimeBreakdown:
+        """Model one training iteration; returns the component breakdown."""
+
+    @abc.abstractmethod
+    def table1_row(self) -> Dict[str, str]:
+        """This framework's qualitative row in the paper's Table I."""
+
+    def gpu_embedding_bytes(self, profile: WorkloadProfile) -> int:
+        """Embedding bytes this framework must place in one GPU's HBM."""
+        return profile.dense_table_bytes
+
+    def fits_single_gpu(
+        self, profile: WorkloadProfile, device: DeviceSpec, hbm_fraction: float = 0.8
+    ) -> bool:
+        return self.gpu_embedding_bytes(profile) <= device.hbm_bytes * hbm_fraction
+
+    def _breakdown(
+        self, device: DeviceSpec, num_gpus: int, **components: float
+    ) -> TimeBreakdown:
+        return TimeBreakdown(
+            framework=self.name,
+            device=device.name,
+            num_gpus=num_gpus,
+            components={k: float(v) for k, v in components.items()},
+        )
+
+    def _infeasible(
+        self, device: DeviceSpec, num_gpus: int, reason: str
+    ) -> TimeBreakdown:
+        return TimeBreakdown(
+            framework=self.name,
+            device=device.name,
+            num_gpus=num_gpus,
+            components={},
+            feasible=False,
+            infeasible_reason=reason,
+        )

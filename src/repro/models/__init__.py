@@ -1,0 +1,20 @@
+"""DLRM model assembly.
+
+:class:`~repro.models.dlrm.DLRM` wires the NN substrate (bottom/top
+MLPs, dot interaction, BCE loss) around pluggable embedding bags —
+dense, TT-Rec-style, or Eff-TT — exactly as EL-Rec's drop-in-replacement
+claim requires: the model code is identical across embedding backends.
+"""
+
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.models.dlrm import DLRM, TrainStepResult
+from repro.models.serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "DLRMConfig",
+    "EmbeddingBackend",
+    "DLRM",
+    "TrainStepResult",
+    "save_checkpoint",
+    "load_checkpoint",
+]

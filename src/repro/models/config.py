@@ -1,0 +1,119 @@
+"""DLRM architecture configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.data.datasets import DatasetSpec
+from repro.nn.interaction import DotInteraction
+
+__all__ = ["EmbeddingBackend", "DLRMConfig"]
+
+
+class EmbeddingBackend(str, enum.Enum):
+    """Which embedding-table implementation backs each sparse feature."""
+
+    DENSE = "dense"
+    TT = "tt"          # TT-Rec-style naive TT table
+    EFF_TT = "eff_tt"  # the paper's Eff-TT table
+
+
+@dataclass(frozen=True)
+class DLRMConfig:
+    """Hyper-parameters of one DLRM instance.
+
+    Attributes
+    ----------
+    num_dense:
+        Dense (numerical) input width.
+    table_rows:
+        Cardinality per sparse feature.
+    embedding_dim:
+        Shared embedding width (must equal the bottom MLP output).
+    bottom_mlp / top_mlp:
+        Hidden widths; input/output widths are derived.
+    backend:
+        Default embedding backend for all tables.
+    tt_rank:
+        TT rank for compressed backends.
+    tt_threshold_rows:
+        Tables larger than this use the compressed backend, smaller
+        ones stay dense (the paper compresses tables with more than 1M
+        rows in the end-to-end comparison, §VI-A).
+    """
+
+    num_dense: int
+    table_rows: Tuple[int, ...]
+    embedding_dim: int = 16
+    bottom_mlp: Tuple[int, ...] = (64, 32)
+    top_mlp: Tuple[int, ...] = (64, 32)
+    backend: EmbeddingBackend = EmbeddingBackend.EFF_TT
+    tt_rank: int = 16
+    tt_threshold_rows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_dense < 1:
+            raise ValueError(f"num_dense must be >= 1, got {self.num_dense}")
+        if not self.table_rows:
+            raise ValueError("table_rows must not be empty")
+        if any(r < 1 for r in self.table_rows):
+            raise ValueError(f"table_rows must all be >= 1, got {self.table_rows}")
+        if self.embedding_dim < 1:
+            raise ValueError(
+                f"embedding_dim must be >= 1, got {self.embedding_dim}"
+            )
+        object.__setattr__(self, "table_rows", tuple(int(r) for r in self.table_rows))
+        object.__setattr__(self, "bottom_mlp", tuple(int(w) for w in self.bottom_mlp))
+        object.__setattr__(self, "top_mlp", tuple(int(w) for w in self.top_mlp))
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.table_rows)
+
+    @property
+    def bottom_mlp_sizes(self) -> Tuple[int, ...]:
+        """Full bottom-MLP widths: dense input -> ... -> embedding_dim."""
+        return (self.num_dense, *self.bottom_mlp, self.embedding_dim)
+
+    @property
+    def interaction_dim(self) -> int:
+        return DotInteraction.output_dim(self.embedding_dim, self.num_tables)
+
+    @property
+    def top_mlp_sizes(self) -> Tuple[int, ...]:
+        """Full top-MLP widths: interaction output -> ... -> 1 logit."""
+        return (self.interaction_dim, *self.top_mlp, 1)
+
+    def backend_for_table(self, table_idx: int) -> EmbeddingBackend:
+        """Resolve the backend for one table, honoring the TT threshold."""
+        rows = self.table_rows[table_idx]
+        if self.backend is EmbeddingBackend.DENSE:
+            return EmbeddingBackend.DENSE
+        if rows > self.tt_threshold_rows:
+            return self.backend
+        return EmbeddingBackend.DENSE
+
+    @classmethod
+    def from_dataset(
+        cls,
+        spec: DatasetSpec,
+        embedding_dim: int = 16,
+        backend: EmbeddingBackend = EmbeddingBackend.EFF_TT,
+        tt_rank: int = 16,
+        tt_threshold_rows: int = 0,
+        bottom_mlp: Sequence[int] = (64, 32),
+        top_mlp: Sequence[int] = (64, 32),
+    ) -> "DLRMConfig":
+        """Derive a config from a dataset schema."""
+        return cls(
+            num_dense=spec.num_dense,
+            table_rows=tuple(t.num_rows for t in spec.tables),
+            embedding_dim=embedding_dim,
+            bottom_mlp=tuple(bottom_mlp),
+            top_mlp=tuple(top_mlp),
+            backend=backend,
+            tt_rank=tt_rank,
+            tt_threshold_rows=tt_threshold_rows,
+        )

@@ -1,0 +1,135 @@
+"""Checkpoint save/load for DLRM models.
+
+Serializes a model to a single ``.npz`` archive: the config as JSON,
+every dense parameter, and every embedding bag's state (dense weights
+or TT cores with their spec).  Deliberately framework-free so
+checkpoints are portable and inspectable with plain NumPy.
+
+Host-backed bags (parameter-server tables) own no local state; their
+weights live in the server and must be checkpointed there — attempting
+to save a model containing one raises.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.embeddings.dense import DenseEmbeddingBag
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.tt_embedding import TTEmbeddingBag
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.models.dlrm import DLRM
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def _config_to_json(config: DLRMConfig) -> str:
+    return json.dumps(
+        {
+            "num_dense": config.num_dense,
+            "table_rows": list(config.table_rows),
+            "embedding_dim": config.embedding_dim,
+            "bottom_mlp": list(config.bottom_mlp),
+            "top_mlp": list(config.top_mlp),
+            "backend": config.backend.value,
+            "tt_rank": config.tt_rank,
+            "tt_threshold_rows": config.tt_threshold_rows,
+        }
+    )
+
+
+def _config_from_json(payload: str) -> DLRMConfig:
+    raw = json.loads(payload)
+    return DLRMConfig(
+        num_dense=raw["num_dense"],
+        table_rows=tuple(raw["table_rows"]),
+        embedding_dim=raw["embedding_dim"],
+        bottom_mlp=tuple(raw["bottom_mlp"]),
+        top_mlp=tuple(raw["top_mlp"]),
+        backend=EmbeddingBackend(raw["backend"]),
+        tt_rank=raw["tt_rank"],
+        tt_threshold_rows=raw["tt_threshold_rows"],
+    )
+
+
+def save_checkpoint(model: DLRM, path: Union[str, "io.IOBase"]) -> None:
+    """Write the model's config and all parameters to ``path`` (.npz)."""
+    arrays: Dict[str, np.ndarray] = {
+        "__meta__": np.array(
+            [json.dumps({"version": _FORMAT_VERSION})], dtype=object
+        ),
+        "__config__": np.array([_config_to_json(model.config)], dtype=object),
+    }
+    for name, param in model.named_parameters():
+        arrays[f"param/{name}"] = param.data
+    for t, bag in enumerate(model.embedding_bags):
+        if isinstance(bag, DenseEmbeddingBag):
+            arrays[f"bag{t}/weight"] = bag.weight
+        elif isinstance(bag, (TTEmbeddingBag, EffTTEmbeddingBag)):
+            spec = bag.spec
+            arrays[f"bag{t}/row_shape"] = np.asarray(spec.row_shape)
+            arrays[f"bag{t}/col_shape"] = np.asarray(spec.col_shape)
+            arrays[f"bag{t}/ranks"] = np.asarray(spec.ranks)
+            for k, core in enumerate(bag.tt.cores):
+                arrays[f"bag{t}/core{k}"] = core
+        else:
+            raise TypeError(
+                f"bag {t} ({type(bag).__name__}) has no local parameters "
+                "to checkpoint; persist its parameter-server state instead"
+            )
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path) -> DLRM:
+    """Rebuild a DLRM (config + parameters) from a checkpoint."""
+    with np.load(path, allow_pickle=True) as archive:
+        meta = json.loads(str(archive["__meta__"][0]))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {meta.get('version')!r}"
+            )
+        config = _config_from_json(str(archive["__config__"][0]))
+        model = DLRM(config, seed=0)
+        for name, param in model.named_parameters():
+            key = f"param/{name}"
+            if key not in archive:
+                raise KeyError(f"checkpoint missing parameter {name!r}")
+            stored = archive[key]
+            if stored.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {name!r} shape mismatch: checkpoint "
+                    f"{stored.shape} vs model {param.data.shape}"
+                )
+            param.data = stored.astype(np.float64)
+        for t, bag in enumerate(model.embedding_bags):
+            if isinstance(bag, DenseEmbeddingBag):
+                stored = archive[f"bag{t}/weight"]
+                if stored.shape != bag.weight.shape:
+                    raise ValueError(
+                        f"bag {t} weight shape mismatch: {stored.shape} vs "
+                        f"{bag.weight.shape}"
+                    )
+                bag.weight = stored.astype(np.float64)
+            else:
+                stored_rows = tuple(archive[f"bag{t}/row_shape"].tolist())
+                if stored_rows != bag.spec.row_shape:
+                    raise ValueError(
+                        f"bag {t} TT row_shape mismatch: {stored_rows} vs "
+                        f"{bag.spec.row_shape}"
+                    )
+                for k in range(bag.spec.num_cores):
+                    core = archive[f"bag{t}/core{k}"]
+                    if core.shape != bag.tt.cores[k].shape:
+                        raise ValueError(
+                            f"bag {t} core {k} shape mismatch"
+                        )
+                    bag.tt.cores[k] = np.ascontiguousarray(
+                        core, dtype=np.float64
+                    )
+        return model

@@ -1,0 +1,43 @@
+"""Minimal manual-backward neural-network substrate.
+
+The paper builds on PyTorch; this reproduction re-implements the small
+slice of it that DLRM needs — dense linear layers, ReLU/Sigmoid, the
+dot-product feature-interaction layer, binary cross-entropy, and
+SGD/Adagrad optimizers with sparse row-wise variants — as NumPy modules
+with hand-written backward passes.
+
+Every module follows the same contract:
+
+* ``forward(inputs) -> outputs`` caches whatever the backward pass
+  needs;
+* ``backward(grad_outputs) -> grad_inputs`` accumulates parameter
+  gradients into ``Parameter.grad`` and returns the gradient w.r.t.
+  the forward inputs;
+* ``parameters()`` yields :class:`Parameter` objects for optimizers.
+
+Gradients are validated against central finite differences in the test
+suite.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.activations import ReLU, Sigmoid
+from repro.nn.mlp import MLP
+from repro.nn.interaction import DotInteraction
+from repro.nn.loss import BCEWithLogitsLoss
+from repro.nn.optim import SGD, Adagrad, Optimizer, SparseSGD
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "MLP",
+    "DotInteraction",
+    "BCEWithLogitsLoss",
+    "Optimizer",
+    "SGD",
+    "SparseSGD",
+    "Adagrad",
+]

@@ -1,0 +1,63 @@
+"""Elementwise activation layers used by DLRM MLP stacks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["ReLU", "Sigmoid"]
+
+
+class ReLU(Module):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._mask = inputs > 0
+        return np.where(self._mask, inputs, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.where(self._mask, np.asarray(grad_output, dtype=np.float64), 0.0)
+        self._mask = None
+        return grad
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid, ``1 / (1 + exp(-x))``.
+
+    The forward output is cached so the backward pass reuses
+    ``s * (1 - s)`` without recomputing the exponential.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        # Numerically stable piecewise evaluation avoids overflow for
+        # large negative inputs.
+        out = np.empty_like(inputs)
+        positive = inputs >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-inputs[positive]))
+        exp_x = np.exp(inputs[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        s = self._output
+        grad = np.asarray(grad_output, dtype=np.float64) * s * (1.0 - s)
+        self._output = None
+        return grad

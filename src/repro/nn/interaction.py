@@ -1,0 +1,84 @@
+"""DLRM dot-product feature-interaction layer (paper §II-A, Figure 2).
+
+The interaction layer takes the bottom-MLP output plus one pooled
+embedding per sparse feature (all with the same dimension ``d``),
+computes dot products of all feature pairs, and concatenates the
+strictly-lower-triangular results with the original dense feature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["DotInteraction"]
+
+
+class DotInteraction(Module):
+    """Pairwise dot-product interaction with self-interaction excluded.
+
+    Given dense feature ``x`` of shape ``(B, d)`` and ``k`` embeddings
+    each of shape ``(B, d)``, stacks them into ``T`` of shape
+    ``(B, k+1, d)``, forms ``Z = T @ T^T`` and emits
+    ``concat([x, Z[lower_triangle]])`` with output width
+    ``d + (k+1) * k / 2``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cached: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    @staticmethod
+    def output_dim(dense_dim: int, num_embeddings: int) -> int:
+        """Width of the interaction output for given inputs."""
+        num_features = num_embeddings + 1
+        return dense_dim + (num_features * (num_features - 1)) // 2
+
+    def forward(
+        self, dense: np.ndarray, embeddings: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError(f"dense must be 2-D, got shape {dense.shape}")
+        batch, dim = dense.shape
+        for i, emb in enumerate(embeddings):
+            if emb.shape != (batch, dim):
+                raise ValueError(
+                    f"embedding {i} has shape {emb.shape}, expected {(batch, dim)}"
+                )
+        stacked = np.stack([dense, *embeddings], axis=1)  # (B, F, d)
+        num_features = stacked.shape[1]
+        z = np.einsum("bfd,bgd->bfg", stacked, stacked)
+        rows, cols = np.tril_indices(num_features, k=-1)
+        interactions = z[:, rows, cols]  # (B, F*(F-1)/2)
+        self._cached = (stacked, rows, cols)
+        return np.concatenate([dense, interactions], axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Return ``(grad_dense, [grad_emb_1, ..., grad_emb_k])``."""
+        if self._cached is None:
+            raise RuntimeError("backward called before forward")
+        stacked, rows, cols = self._cached
+        batch, num_features, dim = stacked.shape
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        expected = dim + rows.size
+        if grad_output.shape != (batch, expected):
+            raise ValueError(
+                f"expected grad_output of shape {(batch, expected)}, "
+                f"got {grad_output.shape}"
+            )
+        grad_dense_direct = grad_output[:, :dim]
+        grad_inter = grad_output[:, dim:]
+        grad_z = np.zeros((batch, num_features, num_features))
+        grad_z[:, rows, cols] = grad_inter
+        # Z is symmetric in its two T factors: dT = (dZ + dZ^T) @ T.
+        grad_stacked = np.einsum(
+            "bfg,bgd->bfd", grad_z + grad_z.transpose(0, 2, 1), stacked
+        )
+        grad_dense = grad_stacked[:, 0, :] + grad_dense_direct
+        grad_embeddings = [grad_stacked[:, i, :] for i in range(1, num_features)]
+        self._cached = None
+        return grad_dense, grad_embeddings

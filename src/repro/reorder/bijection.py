@@ -1,0 +1,194 @@
+"""Index-bijection generation (paper §IV-C, Figure 8).
+
+Combines the global frequency ordering with the community structure of
+the index graph into one permutation of the table's row ids:
+
+* hot indices (top ``hot_ratio`` by access frequency) occupy the first
+  ``hot_count`` new ids, ordered by frequency — they cluster into a
+  small set of shared TT prefixes regardless of batch composition;
+* remaining indices are grouped by community, communities ordered by
+  total access frequency, members within a community ordered by
+  frequency — co-occurring indices receive *contiguous* new ids and
+  therefore share TT prefixes.
+
+Because embedding rows are randomly initialized, relabeling rows before
+training is semantics-free (§IV-B): the bijection is applied to the
+training data (offline) and to any serving-time lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.reorder.community import louvain_communities
+from repro.reorder.index_graph import IndexGraph, build_index_graph
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_1d_int_array
+
+__all__ = ["IndexBijection", "build_bijection", "build_frequency_bijection"]
+
+
+@dataclass(frozen=True)
+class IndexBijection:
+    """A permutation of table row ids with O(1) apply/invert.
+
+    Attributes
+    ----------
+    new_from_old:
+        ``new_from_old[i]`` is the new id of original index ``i``.
+    old_from_new:
+        Inverse permutation.
+    """
+
+    new_from_old: np.ndarray
+    old_from_new: np.ndarray
+
+    def __post_init__(self) -> None:
+        nfo = np.asarray(self.new_from_old, dtype=np.int64)
+        ofn = np.asarray(self.old_from_new, dtype=np.int64)
+        if nfo.shape != ofn.shape or nfo.ndim != 1:
+            raise ValueError("permutation arrays must be 1-D and equal length")
+        object.__setattr__(self, "new_from_old", nfo)
+        object.__setattr__(self, "old_from_new", ofn)
+
+    @classmethod
+    def identity(cls, num_rows: int) -> "IndexBijection":
+        eye = np.arange(num_rows, dtype=np.int64)
+        return cls(eye, eye.copy())
+
+    @classmethod
+    def from_forward(cls, new_from_old: np.ndarray) -> "IndexBijection":
+        """Build from the forward map, validating it is a permutation."""
+        nfo = np.asarray(new_from_old, dtype=np.int64)
+        n = nfo.size
+        seen = np.zeros(n, dtype=bool)
+        if nfo.min(initial=0) < 0 or nfo.max(initial=-1) >= n:
+            raise ValueError("forward map values out of range")
+        seen[nfo] = True
+        if not seen.all():
+            raise ValueError("forward map is not a permutation")
+        ofn = np.empty(n, dtype=np.int64)
+        ofn[nfo] = np.arange(n, dtype=np.int64)
+        return cls(nfo, ofn)
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.new_from_old.size)
+
+    def apply(self, indices: np.ndarray) -> np.ndarray:
+        """Map original indices to reordered indices."""
+        idx = check_1d_int_array(
+            indices, "indices", min_value=0, max_value=self.num_rows - 1
+        )
+        return self.new_from_old[idx]
+
+    def invert(self, indices: np.ndarray) -> np.ndarray:
+        """Map reordered indices back to original indices."""
+        idx = check_1d_int_array(
+            indices, "indices", min_value=0, max_value=self.num_rows - 1
+        )
+        return self.old_from_new[idx]
+
+    def is_identity(self) -> bool:
+        return bool(
+            np.array_equal(self.new_from_old, np.arange(self.num_rows))
+        )
+
+    def compose(self, other: "IndexBijection") -> "IndexBijection":
+        """Return the bijection applying ``self`` then ``other``."""
+        if other.num_rows != self.num_rows:
+            raise ValueError("cannot compose bijections of different sizes")
+        return IndexBijection.from_forward(other.new_from_old[self.new_from_old])
+
+
+def build_frequency_bijection(
+    batches: Iterable[np.ndarray], num_rows: int
+) -> IndexBijection:
+    """Global-information-only baseline: sort rows by access frequency.
+
+    The paper's §IV argument is that frequency ordering alone (the
+    *global* information prior frameworks use) is not enough — the
+    *local* co-occurrence structure is what creates shared TT prefixes
+    within a batch.  This bijection implements the frequency-only
+    strategy so that claim can be measured (see
+    ``benchmarks/bench_ablation_reorder_strategy.py``).
+    """
+    from repro.reorder.index_graph import frequency_order
+
+    index_of_rank, rank_of_index = frequency_order(list(batches), num_rows)
+    return IndexBijection.from_forward(rank_of_index)
+
+
+def build_bijection(
+    batches: Iterable[np.ndarray],
+    num_rows: int,
+    hot_ratio: float = 0.01,
+    seed: RngLike = 0,
+    graph: Optional[IndexGraph] = None,
+    resolution: float = 1.0,
+) -> IndexBijection:
+    """Generate the locality-based index bijection from training batches.
+
+    Parameters
+    ----------
+    batches:
+        Per-batch index arrays for one embedding table (a sample of the
+        training set suffices; generation is offline, §IV-C).
+    num_rows:
+        Table length.
+    hot_ratio:
+        Fraction of rows pinned as hot.
+    seed:
+        RNG seed for the (order-dependent) Louvain sweep.
+    graph:
+        Pre-built index graph; when given, ``batches``/``hot_ratio``
+        are ignored.
+    resolution:
+        Louvain resolution.
+
+    Returns
+    -------
+    :class:`IndexBijection` mapping original to locality-improved ids.
+    """
+    if graph is None:
+        graph = build_index_graph(list(batches), num_rows, hot_ratio)
+    if graph.num_vertices + graph.hot_count != num_rows:
+        raise ValueError(
+            "graph size does not match num_rows: "
+            f"{graph.num_vertices} + {graph.hot_count} != {num_rows}"
+        )
+    labels = louvain_communities(
+        graph.num_vertices, graph.src, graph.dst, graph.weight,
+        seed=seed, resolution=resolution,
+    )
+
+    # Order communities by their best (lowest) frequency rank so that
+    # frequently-accessed communities sit next to the hot region.
+    num_comms = int(labels.max()) + 1 if labels.size else 0
+    first_rank = np.full(num_comms, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(first_rank, labels, np.arange(graph.num_vertices))
+    comm_order = np.argsort(first_rank, kind="stable")
+    comm_position = np.empty_like(comm_order)
+    comm_position[comm_order] = np.arange(num_comms)
+
+    # Sort vertices by (community position, frequency rank) — members
+    # of one community become contiguous, ordered by frequency.
+    sort_keys = comm_position[labels] * np.int64(graph.num_vertices) + np.arange(
+        graph.num_vertices
+    )
+    vertex_order = np.argsort(sort_keys, kind="stable")
+
+    new_from_old = np.empty(num_rows, dtype=np.int64)
+    # Hot region: frequency ranks 0..hot_count-1 keep their rank as id.
+    hot_indices = graph.index_of_rank[: graph.hot_count]
+    new_from_old[hot_indices] = np.arange(graph.hot_count, dtype=np.int64)
+    # Non-hot region: vertex v (frequency rank hot_count + v) gets id
+    # hot_count + position in the community-sorted order.
+    nonhot_indices = graph.index_of_rank[graph.hot_count :]
+    positions = np.empty(graph.num_vertices, dtype=np.int64)
+    positions[vertex_order] = np.arange(graph.num_vertices, dtype=np.int64)
+    new_from_old[nonhot_indices] = graph.hot_count + positions
+    return IndexBijection.from_forward(new_from_old)

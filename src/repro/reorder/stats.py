@@ -1,0 +1,100 @@
+"""Locality metrics quantifying the effect of index reordering.
+
+These metrics drive the reordering ablations (Figures 14, 17, 18): the
+Eff-TT reuse buffer issues one partial GEMM per unique TT prefix in a
+batch, so the unique-prefix count directly measures the computation a
+reordering saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.embeddings.reuse_buffer import build_reuse_plan
+from repro.reorder.bijection import IndexBijection
+
+__all__ = ["BatchLocalityStats", "batch_locality_stats", "reuse_improvement"]
+
+
+@dataclass(frozen=True)
+class BatchLocalityStats:
+    """Reuse statistics of one batch against one TT factorization.
+
+    Attributes
+    ----------
+    num_occurrences:
+        Total index occurrences ``L`` in the batch.
+    num_unique_rows:
+        Unique row count ``U`` (Figure 4b's gap is ``L - U``).
+    num_unique_prefixes:
+        Unique TT-prefix count ``P`` — partial GEMMs required.
+    """
+
+    num_occurrences: int
+    num_unique_rows: int
+    num_unique_prefixes: int
+
+    @property
+    def full_row_reuse_ratio(self) -> float:
+        return (
+            self.num_occurrences / self.num_unique_rows
+            if self.num_unique_rows
+            else 1.0
+        )
+
+    @property
+    def prefix_reuse_ratio(self) -> float:
+        return (
+            self.num_unique_rows / self.num_unique_prefixes
+            if self.num_unique_prefixes
+            else 1.0
+        )
+
+
+def batch_locality_stats(
+    indices: np.ndarray,
+    row_shape: Sequence[int],
+    bijection: Optional[IndexBijection] = None,
+) -> BatchLocalityStats:
+    """Compute reuse statistics for one batch, optionally reordered."""
+    idx = np.asarray(indices, dtype=np.int64)
+    if bijection is not None:
+        idx = bijection.apply(idx)
+    plan = build_reuse_plan(idx, row_shape)
+    return BatchLocalityStats(
+        num_occurrences=plan.num_occurrences,
+        num_unique_rows=plan.num_unique_rows,
+        num_unique_prefixes=plan.num_unique_prefixes,
+    )
+
+
+def reuse_improvement(
+    batches: Iterable[np.ndarray],
+    row_shape: Sequence[int],
+    bijection: IndexBijection,
+) -> Dict[str, float]:
+    """Aggregate before/after-reordering reuse statistics.
+
+    Returns a dict with mean unique-prefix counts before and after the
+    bijection and the resulting partial-GEMM reduction factor
+    (``>1`` means the reordering saved work).
+    """
+    before_prefixes = []
+    after_prefixes = []
+    for batch in batches:
+        before = batch_locality_stats(batch, row_shape)
+        after = batch_locality_stats(batch, row_shape, bijection)
+        before_prefixes.append(before.num_unique_prefixes)
+        after_prefixes.append(after.num_unique_prefixes)
+    if not before_prefixes:
+        raise ValueError("no batches supplied")
+    mean_before = float(np.mean(before_prefixes))
+    mean_after = float(np.mean(after_prefixes))
+    return {
+        "mean_unique_prefixes_before": mean_before,
+        "mean_unique_prefixes_after": mean_after,
+        "partial_gemm_reduction": mean_before / mean_after if mean_after else 1.0,
+    }

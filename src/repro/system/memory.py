@@ -1,0 +1,198 @@
+"""Embedding-table placement planning across the memory hierarchy.
+
+Given a model configuration, a device, and TT settings, decide for each
+table where its parameters live (paper §V-A):
+
+* ``GPU_TT`` — compressed with Eff-TT and replicated in HBM;
+* ``GPU_DENSE`` — small enough to stay dense in HBM;
+* ``HOST_DENSE`` — spills to host memory behind the parameter server.
+
+The paper's policy: tables with more than ``tt_threshold_rows`` rows
+are TT-compressed; everything is packed into HBM largest-first; what
+does not fit stays on the host and is served through the
+prefetch/gradient queues.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.embeddings.tt_core import TTSpec
+from repro.system.devices import DeviceSpec
+from repro.utils.factorize import suggest_tt_shapes
+
+__all__ = ["PlacementDecision", "TablePlacement", "PlacementPlan", "plan_placement"]
+
+
+class PlacementDecision(str, enum.Enum):
+    GPU_TT = "gpu_tt"
+    GPU_DENSE = "gpu_dense"
+    HOST_DENSE = "host_dense"
+
+
+@dataclass(frozen=True)
+class TablePlacement:
+    """Placement outcome for one table.
+
+    Attributes
+    ----------
+    table_idx:
+        Position in the model's table list.
+    num_rows:
+        Table cardinality.
+    decision:
+        Where the parameters live.
+    nbytes:
+        Parameter footprint under the decision (fp32).
+    tt_spec:
+        The TT shape when ``decision == GPU_TT``.
+    """
+
+    table_idx: int
+    num_rows: int
+    decision: PlacementDecision
+    nbytes: int
+    tt_spec: TTSpec | None = None
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Full placement across all tables plus capacity accounting."""
+
+    placements: Tuple[TablePlacement, ...]
+    hbm_budget_bytes: float
+    mlp_bytes: int
+
+    @property
+    def gpu_bytes(self) -> int:
+        return self.mlp_bytes + sum(
+            p.nbytes
+            for p in self.placements
+            if p.decision is not PlacementDecision.HOST_DENSE
+        )
+
+    @property
+    def host_bytes(self) -> int:
+        return sum(
+            p.nbytes
+            for p in self.placements
+            if p.decision is PlacementDecision.HOST_DENSE
+        )
+
+    @property
+    def host_tables(self) -> List[TablePlacement]:
+        return [
+            p
+            for p in self.placements
+            if p.decision is PlacementDecision.HOST_DENSE
+        ]
+
+    @property
+    def tt_tables(self) -> List[TablePlacement]:
+        return [
+            p for p in self.placements if p.decision is PlacementDecision.GPU_TT
+        ]
+
+    def fits_gpu(self) -> bool:
+        return self.gpu_bytes <= self.hbm_budget_bytes
+
+    def summary(self) -> dict:
+        return {
+            "gpu_tt_tables": len(self.tt_tables),
+            "gpu_dense_tables": sum(
+                p.decision is PlacementDecision.GPU_DENSE for p in self.placements
+            ),
+            "host_tables": len(self.host_tables),
+            "gpu_bytes": self.gpu_bytes,
+            "host_bytes": self.host_bytes,
+            "hbm_budget_bytes": self.hbm_budget_bytes,
+        }
+
+
+def plan_placement(
+    table_rows: Sequence[int],
+    embedding_dim: int,
+    device: DeviceSpec,
+    tt_rank: int = 64,
+    tt_threshold_rows: int = 1_000_000,
+    num_cores: int = 3,
+    dtype_bytes: int = 4,
+    mlp_bytes: int = 0,
+    hbm_fraction: float = 0.8,
+    compress: bool = True,
+) -> PlacementPlan:
+    """Compute a placement plan (paper §V-A policy).
+
+    Parameters
+    ----------
+    table_rows:
+        Cardinalities of all sparse features.
+    embedding_dim:
+        Embedding width.
+    device:
+        Target device (HBM capacity bounds GPU placement).
+    tt_rank / tt_threshold_rows / num_cores:
+        TT compression settings; tables above the threshold are
+        compressed when ``compress`` is True.
+    dtype_bytes:
+        Parameter dtype width (fp32 = 4, the deployment setting).
+    mlp_bytes:
+        Dense-model footprint reserved in HBM before embeddings.
+    hbm_fraction:
+        Usable fraction of HBM (activations/workspace take the rest).
+    compress:
+        False reproduces the uncompressed baselines' placement.
+    """
+    if not 0 < hbm_fraction <= 1:
+        raise ValueError(f"hbm_fraction must be in (0, 1], got {hbm_fraction}")
+    budget = device.hbm_bytes * hbm_fraction
+
+    candidates: List[TablePlacement] = []
+    for t, rows in enumerate(table_rows):
+        dense_bytes = rows * embedding_dim * dtype_bytes
+        if compress and rows > tt_threshold_rows:
+            row_shape, col_shape, _ = suggest_tt_shapes(
+                rows, embedding_dim, num_cores
+            )
+            spec = TTSpec.create(row_shape, col_shape, tt_rank)
+            candidates.append(
+                TablePlacement(
+                    table_idx=t,
+                    num_rows=rows,
+                    decision=PlacementDecision.GPU_TT,
+                    nbytes=spec.num_params * dtype_bytes,
+                    tt_spec=spec,
+                )
+            )
+        else:
+            candidates.append(
+                TablePlacement(
+                    table_idx=t,
+                    num_rows=rows,
+                    decision=PlacementDecision.GPU_DENSE,
+                    nbytes=dense_bytes,
+                )
+            )
+
+    # Pack into HBM smallest-footprint-first so the maximum number of
+    # tables stays on-device; spill the rest to host memory.
+    used = float(mlp_bytes)
+    final: List[TablePlacement] = [None] * len(candidates)  # type: ignore[list-item]
+    for placement in sorted(candidates, key=lambda p: p.nbytes):
+        if used + placement.nbytes <= budget:
+            used += placement.nbytes
+            final[placement.table_idx] = placement
+        else:
+            final[placement.table_idx] = TablePlacement(
+                table_idx=placement.table_idx,
+                num_rows=placement.num_rows,
+                decision=PlacementDecision.HOST_DENSE,
+                nbytes=placement.num_rows * embedding_dim * dtype_bytes,
+            )
+    return PlacementPlan(
+        placements=tuple(final),
+        hbm_budget_bytes=budget,
+        mlp_bytes=mlp_bytes,
+    )

@@ -1,0 +1,254 @@
+"""Multi-GPU training: functional data parallelism + collective cost models.
+
+EL-Rec's multi-GPU mode (paper §V-A, Figure 12) replicates both the
+MLPs *and* the TT tables on every GPU and trains fully data-parallel —
+possible only because the Eff-TT footprint fits each device.  The
+single communication step is a gradient AllReduce.
+
+This module provides
+
+* :class:`DataParallelTrainer` — a functional executor that maintains
+  ``K`` model replicas, shards every batch, AllReduces gradients (dense
+  parameter grads averaged; sparse TT updates exchanged and applied by
+  every replica), and keeps replicas bit-synchronized.  Tests verify
+  its result matches single-worker full-batch training.
+* Collective timing formulas (:func:`ring_allreduce_time`,
+  :func:`all2all_time`, :func:`allgather_time`) used by the framework
+  cost models to price EL-Rec's AllReduce against HugeCTR's
+  model-parallel all-to-all and TorchRec's column-sharded allgather
+  (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataloader import Batch
+from repro.embeddings.dense import DenseEmbeddingBag
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.models.config import DLRMConfig
+from repro.models.dlrm import DLRM
+from repro.nn.optim import SparseSGD
+from repro.system.devices import DeviceSpec
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "DataParallelTrainer",
+    "shard_batch",
+    "ring_allreduce_time",
+    "all2all_time",
+    "allgather_time",
+]
+
+
+# ---------------------------------------------------------------------------
+# collective cost formulas
+# ---------------------------------------------------------------------------
+def ring_allreduce_time(
+    nbytes: float, num_devices: int, device: DeviceSpec, latency_s: float = 20e-6
+) -> float:
+    """Ring AllReduce: ``2 * (K-1)/K * bytes`` over the p2p links."""
+    check_positive(nbytes, "nbytes", strict=False)
+    check_positive(num_devices, "num_devices")
+    if num_devices == 1:
+        return 0.0
+    k = num_devices
+    transfer = 2.0 * (k - 1) / k * nbytes / (device.p2p_gbps * 1e9)
+    return transfer + 2.0 * (k - 1) * latency_s
+
+
+def all2all_time(
+    nbytes_per_device: float,
+    num_devices: int,
+    device: DeviceSpec,
+    latency_s: float = 20e-6,
+    num_messages: int = 1,
+) -> float:
+    """All-to-all exchange: each device sends ``(K-1)/K`` of its payload.
+
+    ``num_messages`` counts independently launched exchanges per
+    collective: an unfused per-table all-to-all (the hybrid-parallel
+    DLRM path exchanges every embedding table separately) pays the
+    per-message latency once per table, whereas HugeCTR's fused
+    exchange pays it once.
+    """
+    check_positive(nbytes_per_device, "nbytes_per_device", strict=False)
+    check_positive(num_devices, "num_devices")
+    check_positive(num_messages, "num_messages")
+    if num_devices == 1:
+        return 0.0
+    k = num_devices
+    transfer = (k - 1) / k * nbytes_per_device / (device.p2p_gbps * 1e9)
+    return transfer + num_messages * (k - 1) * latency_s
+
+
+def allgather_time(
+    nbytes_per_device: float,
+    num_devices: int,
+    device: DeviceSpec,
+    latency_s: float = 20e-6,
+    num_messages: int = 1,
+) -> float:
+    """Ring allgather: ``(K-1) * bytes_per_device`` received per device.
+
+    ``num_messages`` counts independently launched gathers (an unfused
+    per-shard implementation pays the latency once per shard).
+    """
+    check_positive(nbytes_per_device, "nbytes_per_device", strict=False)
+    check_positive(num_devices, "num_devices")
+    check_positive(num_messages, "num_messages")
+    if num_devices == 1:
+        return 0.0
+    k = num_devices
+    transfer = (k - 1) * nbytes_per_device / (device.p2p_gbps * 1e9)
+    return transfer + num_messages * (k - 1) * latency_s
+
+
+# ---------------------------------------------------------------------------
+# functional data parallelism
+# ---------------------------------------------------------------------------
+def shard_batch(batch: Batch, num_shards: int) -> List[Batch]:
+    """Split a batch into ``num_shards`` equal contiguous shards.
+
+    The batch size must divide evenly (the trainer enforces this so
+    gradient averaging equals full-batch training exactly).
+    """
+    check_positive(num_shards, "num_shards")
+    size = batch.batch_size
+    if size % num_shards != 0:
+        raise ValueError(
+            f"batch size {size} is not divisible by {num_shards} shards"
+        )
+    shard_size = size // num_shards
+    shards: List[Batch] = []
+    for s in range(num_shards):
+        lo, hi = s * shard_size, (s + 1) * shard_size
+        indices = []
+        offsets = []
+        for idx, off in zip(batch.sparse_indices, batch.sparse_offsets):
+            start, end = off[lo], off[hi]
+            indices.append(idx[start:end])
+            offsets.append((off[lo : hi + 1] - off[lo]).astype(np.int64))
+        shards.append(
+            Batch(
+                dense=batch.dense[lo:hi],
+                sparse_indices=indices,
+                sparse_offsets=offsets,
+                labels=batch.labels[lo:hi],
+                batch_id=batch.batch_id,
+            )
+        )
+    return shards
+
+
+class DataParallelTrainer:
+    """Functional K-replica data-parallel DLRM trainer.
+
+    All replicas are built from the same seed (identical initial
+    weights).  Each step:
+
+    1. shard the global batch across replicas;
+    2. every replica runs forward/backward on its shard;
+    3. dense parameter gradients are averaged (AllReduce) and applied
+       identically everywhere;
+    4. embedding updates are exchanged: every replica applies *all*
+       replicas' sparse updates scaled by ``1/K`` — the gradient
+       AllReduce of paper Figure 9 Step 2.
+
+    Because scatter-adds commute, replicas remain synchronized; the
+    result equals single-worker training on the unsharded batch.
+
+    Parameters
+    ----------
+    config:
+        Model architecture (backend must be EFF_TT or DENSE; host
+        tables are out of scope for the data-parallel path).
+    num_replicas:
+        ``K``.
+    seed:
+        Shared replica seed.
+    """
+
+    def __init__(
+        self, config: DLRMConfig, num_replicas: int, seed: int = 0
+    ) -> None:
+        check_positive(num_replicas, "num_replicas")
+        self.config = config
+        self.num_replicas = int(num_replicas)
+        self.replicas = [
+            DLRM(config, seed=seed) for _ in range(self.num_replicas)
+        ]
+
+    def train_step(self, batch: Batch, lr: float) -> float:
+        """One data-parallel step; returns the global mean loss."""
+        shards = shard_batch(batch, self.num_replicas)
+        losses: List[float] = []
+        sparse_updates: List[List[Tuple[int, object]]] = []
+        for replica, shard in zip(self.replicas, shards):
+            logits = replica.forward(shard)
+            losses.append(replica.loss_fn.forward(logits, shard.labels))
+            replica.backward(replica.loss_fn.backward())
+            # Detach this replica's sparse updates before any apply.
+            updates: List[Tuple[int, object]] = []
+            for t, bag in enumerate(replica.embedding_bags):
+                if isinstance(bag, EffTTEmbeddingBag):
+                    updates.append((t, bag.pop_pending_update()))
+                elif isinstance(bag, DenseEmbeddingBag):
+                    updates.append((t, bag.pop_row_gradients()))
+                else:
+                    raise TypeError(
+                        f"unsupported bag type {type(bag).__name__} in "
+                        "data-parallel training"
+                    )
+            sparse_updates.append(updates)
+
+        # AllReduce dense parameter gradients (mean over replicas).
+        param_groups = [list(r.parameters()) for r in self.replicas]
+        for group in zip(*param_groups):
+            grads = [p.grad for p in group if p.grad is not None]
+            if not grads:
+                continue
+            mean_grad = sum(grads) / self.num_replicas
+            for p in group:
+                p.data -= lr * mean_grad
+                p.zero_grad()
+
+        # Exchange and apply sparse embedding updates everywhere.
+        scale = 1.0 / self.num_replicas
+        sgd = SparseSGD(lr * scale)
+        for replica in self.replicas:
+            for updates in sparse_updates:
+                for t, payload in updates:
+                    bag = replica.embedding_bags[t]
+                    if isinstance(bag, EffTTEmbeddingBag):
+                        bag.apply_pending_update(payload, lr, scale=scale)
+                    else:
+                        rows, grads = payload  # type: ignore[misc]
+                        sgd.step_rows(bag.weight, rows, grads)  # type: ignore[attr-defined]
+        return float(np.mean(losses))
+
+    def replicas_synchronized(self, atol: float = 1e-10) -> bool:
+        """Check all replicas hold identical parameters."""
+        ref = self.replicas[0]
+        for other in self.replicas[1:]:
+            for p_ref, p_other in zip(ref.parameters(), other.parameters()):
+                if not np.allclose(p_ref.data, p_other.data, atol=atol):
+                    return False
+            for bag_ref, bag_other in zip(
+                ref.embedding_bags, other.embedding_bags
+            ):
+                if isinstance(bag_ref, EffTTEmbeddingBag):
+                    for c_ref, c_other in zip(
+                        bag_ref.tt.cores, bag_other.tt.cores
+                    ):
+                        if not np.allclose(c_ref, c_other, atol=atol):
+                            return False
+                else:
+                    if not np.allclose(
+                        bag_ref.weight, bag_other.weight, atol=atol
+                    ):
+                        return False
+        return True

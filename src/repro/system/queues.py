@@ -1,0 +1,93 @@
+"""Bounded FIFO queues for the parameter-server pipeline (paper Fig. 9).
+
+The prefetch queue carries embedding batches from the server to the
+workers; the gradient queue carries sparse gradients back.  In this
+single-process reproduction the queues are deterministic data
+structures (no threads): the pipeline executor interleaves server and
+worker turns explicitly, which keeps the RAW-conflict experiments
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+
+from repro.utils.validation import check_positive
+
+__all__ = ["BoundedQueue", "QueueClosed"]
+
+T = TypeVar("T")
+
+
+class QueueClosed(RuntimeError):
+    """Raised when interacting with a closed queue."""
+
+
+class BoundedQueue(Generic[T]):
+    """Deterministic bounded FIFO.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries; ``put`` on a full queue raises (the pipeline
+        executor checks ``full()`` and applies backpressure instead of
+        blocking).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        check_positive(capacity, "capacity")
+        self.capacity = int(capacity)
+        self._items: Deque[T] = deque()
+        self._closed = False
+        self.total_puts = 0
+        self.total_gets = 0
+
+    def put(self, item: T) -> None:
+        if self._closed:
+            raise QueueClosed("put on closed queue")
+        if self.full():
+            raise OverflowError(
+                f"queue full (capacity {self.capacity}); check full() first"
+            )
+        self._items.append(item)
+        self.total_puts += 1
+
+    def get(self) -> T:
+        if not self._items:
+            if self._closed:
+                raise QueueClosed("get on closed, empty queue")
+            raise LookupError("queue empty; check empty() first")
+        self.total_gets += 1
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        if not self._items:
+            raise LookupError("queue empty")
+        return self._items[0]
+
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def empty(self) -> bool:
+        return not self._items
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(list(self._items))
+
+    def drain(self) -> List[T]:
+        """Remove and return all queued items in FIFO order."""
+        out = list(self._items)
+        self.total_gets += len(out)
+        self._items.clear()
+        return out

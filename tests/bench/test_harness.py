@@ -1,0 +1,86 @@
+"""Tests for the benchmark harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    format_series,
+    format_table,
+    measure_workload,
+    workload_for_dataset,
+)
+from repro.data.datasets import criteo_kaggle_like
+
+
+class TestMeasureWorkload:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        # Large enough that kernel compute dominates per-batch planning
+        # overhead (at degenerate scales the reuse-plan bookkeeping is
+        # the only cost and the comparison is noise).
+        spec = criteo_kaggle_like(scale=5e-4)
+        return measure_workload(
+            spec, batch_size=1024, embedding_dim=16, tt_rank=16, repeats=2
+        )
+
+    def test_all_times_positive(self, profile):
+        for attr in (
+            "host_mlp_time",
+            "host_dense_emb_time",
+            "host_tt_fwd_time",
+            "host_tt_bwd_time",
+            "host_efftt_fwd_time",
+            "host_efftt_bwd_time",
+        ):
+            assert getattr(profile, attr) > 0, attr
+
+    def test_efftt_faster_than_ttrec(self, profile):
+        """The paper's kernel claim, measured on the real substrate."""
+        assert profile.host_efftt_bwd_time < profile.host_tt_bwd_time
+        assert profile.host_efftt_fwd_time < profile.host_tt_fwd_time
+
+    def test_metadata(self, profile):
+        assert profile.name == "criteo-kaggle"
+        assert profile.batch_size == 1024
+        assert profile.indices_per_batch == 1024 * 26
+        assert profile.tt_param_bytes > 0
+
+    def test_named_factory(self):
+        prof = workload_for_dataset(
+            "avazu", scale=2e-5, batch_size=128, embedding_dim=8,
+            tt_rank=8, repeats=1,
+        )
+        assert prof.name == "avazu"
+        with pytest.raises(KeyError):
+            workload_for_dataset("bogus")
+
+
+class TestFormatters:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.0], ["longer", 2.5]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_numbers(self):
+        out = format_table(["x"], [[1234.5678], [0.000012], [0.5]])
+        assert "1.235e+03" in out
+        assert "1.200e-05" in out
+        assert "0.5" in out
+
+    def test_format_series(self):
+        out = format_series(
+            "Fig", "batch", [512, 1024], {"a": [1.0, 2.0], "b": [3.0, 4.0]}
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig"
+        assert "batch" in lines[1]
+        # title + header + separator + one row per x value
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        out = format_table(["h1", "h2"], [])
+        assert "h1" in out

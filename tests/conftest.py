@@ -1,0 +1,43 @@
+"""Shared fixtures and numerical-gradient helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = fn(x)
+        flat[i] = orig - eps
+        f_minus = fn(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def assert_grad_close(
+    analytic: np.ndarray,
+    numeric: np.ndarray,
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+) -> None:
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

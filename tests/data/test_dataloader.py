@@ -1,0 +1,143 @@
+"""Tests for the synthetic click-log stream."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import (
+    SyntheticClickLog,
+    cumulative_access_curve,
+    unique_index_stats,
+)
+from repro.data.datasets import criteo_kaggle_like
+from repro.reorder.bijection import IndexBijection
+
+
+@pytest.fixture(scope="module")
+def log():
+    spec = criteo_kaggle_like(scale=1e-4)
+    return SyntheticClickLog(spec, batch_size=256, seed=0)
+
+
+class TestBatchGeneration:
+    def test_shapes(self, log):
+        b = log.batch(0)
+        assert b.dense.shape == (256, 13)
+        assert b.labels.shape == (256,)
+        assert b.num_tables == 26
+        for idx, off in zip(b.sparse_indices, b.sparse_offsets):
+            assert idx.size == 256  # bag_size 1
+            assert off.size == 257
+            assert off[0] == 0 and off[-1] == idx.size
+
+    def test_deterministic_random_access(self, log):
+        a = log.batch(7)
+        b = log.batch(7)
+        np.testing.assert_array_equal(a.dense, b.dense)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        for x, y in zip(a.sparse_indices, b.sparse_indices):
+            np.testing.assert_array_equal(x, y)
+
+    def test_different_batches_differ(self, log):
+        assert not np.array_equal(log.batch(0).dense, log.batch(1).dense)
+
+    def test_indices_in_range(self, log):
+        b = log.batch(3)
+        for idx, table in zip(b.sparse_indices, log.spec.tables):
+            assert idx.min() >= 0
+            assert idx.max() < table.num_rows
+
+    def test_labels_binary_with_signal(self, log):
+        labels = np.concatenate([log.batch(i).labels for i in range(10)])
+        assert set(np.unique(labels)).issubset({0.0, 1.0})
+        assert 0.05 < labels.mean() < 0.8
+
+    def test_batches_iterator(self, log):
+        ids = [b.batch_id for b in log.batches(3, start=5)]
+        assert ids == [5, 6, 7]
+
+    def test_num_batches(self):
+        spec = criteo_kaggle_like(scale=1e-4)
+        log = SyntheticClickLog(spec, batch_size=100, seed=0)
+        assert log.num_batches == spec.num_samples // 100
+
+    def test_invalid_batch_id(self, log):
+        with pytest.raises(ValueError):
+            log.batch(-1)
+
+
+class TestRemap:
+    def test_bijection_applied(self, log):
+        b = log.batch(0)
+        bijections = [
+            IndexBijection.identity(t.num_rows) for t in log.spec.tables
+        ]
+        # reverse table 0's ids
+        n0 = log.spec.tables[0].num_rows
+        bijections[0] = IndexBijection.from_forward(
+            np.arange(n0)[::-1].copy()
+        )
+        remapped = b.remap(bijections)
+        np.testing.assert_array_equal(
+            remapped.sparse_indices[0], n0 - 1 - b.sparse_indices[0]
+        )
+        np.testing.assert_array_equal(
+            remapped.sparse_indices[1], b.sparse_indices[1]
+        )
+
+    def test_none_entries_passthrough(self, log):
+        b = log.batch(0)
+        remapped = b.remap([None] * b.num_tables)
+        np.testing.assert_array_equal(
+            remapped.sparse_indices[5], b.sparse_indices[5]
+        )
+
+    def test_wrong_count(self, log):
+        with pytest.raises(ValueError):
+            log.batch(0).remap([None])
+
+
+class TestTableIndexStream:
+    def test_stream(self, log):
+        stream = log.table_index_stream(2, 4)
+        assert len(stream) == 4
+        np.testing.assert_array_equal(stream[0], log.batch(0).sparse_indices[2])
+
+    def test_invalid_table(self, log):
+        with pytest.raises(ValueError):
+            log.table_index_stream(99, 2)
+
+
+class TestStatistics:
+    def test_unique_index_stats_gap(self, log):
+        """Figure 4b: unique indices per batch << batch size."""
+        stream = log.table_index_stream(2, 8)
+        stats = unique_index_stats(stream)
+        assert stats["mean_indices_per_batch"] == 256.0
+        assert stats["mean_unique_per_batch"] < 256.0
+        assert stats["duplication_factor"] > 1.0
+
+    def test_unique_index_stats_empty(self):
+        with pytest.raises(ValueError):
+            unique_index_stats([])
+
+    def test_cumulative_access_curve_skew(self, log):
+        """Figure 4a: top 10% of rows take the majority of accesses."""
+        stream = log.table_index_stream(2, 16)
+        rows, acc = cumulative_access_curve(
+            stream, log.spec.tables[2].num_rows, points=10
+        )
+        assert acc[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(acc) >= -1e-12)
+        assert acc[0] > 0.5  # strong skew at 10% of rows
+
+    def test_cumulative_curve_validation(self):
+        with pytest.raises(ValueError):
+            cumulative_access_curve([np.array([0])], 0)
+        with pytest.raises(ValueError):
+            cumulative_access_curve([np.array([], dtype=np.int64)], 5)
+
+    def test_teacher_strength_zero_noise(self):
+        spec = criteo_kaggle_like(scale=1e-4)
+        log = SyntheticClickLog(spec, batch_size=512, seed=0, teacher_strength=0.0)
+        labels = log.batch(0).labels
+        assert 0.1 < labels.mean() < 0.5

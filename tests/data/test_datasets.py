@@ -1,0 +1,90 @@
+"""Tests for dataset specifications (paper Table II)."""
+
+import pytest
+
+from repro.data.datasets import (
+    DATASET_FACTORIES,
+    TableSpec,
+    avazu_like,
+    criteo_kaggle_like,
+    criteo_tb_like,
+)
+
+
+class TestSchemas:
+    def test_criteo_kaggle_schema(self):
+        spec = criteo_kaggle_like()
+        assert spec.num_dense == 13
+        assert spec.num_sparse == 26
+        assert spec.days == 7
+        assert spec.num_samples == 45_840_617
+        # published largest table
+        assert max(t.num_rows for t in spec.tables) == 10_131_227
+
+    def test_avazu_schema(self):
+        spec = avazu_like()
+        assert spec.num_dense == 1
+        assert spec.num_sparse == 20
+        assert spec.days == 11
+
+    def test_criteo_tb_schema_footprint(self):
+        spec = criteo_tb_like()
+        assert spec.num_dense == 13
+        assert spec.num_sparse == 26
+        assert spec.days == 24
+        # Table II: ~59.2 GB dense embedding footprint at dim 64 fp32
+        gb = spec.embedding_footprint_bytes(64) / 1e9
+        assert gb == pytest.approx(59.2, rel=0.01)
+
+    def test_scaling(self):
+        full = criteo_kaggle_like()
+        small = criteo_kaggle_like(scale=1e-3)
+        assert small.total_rows < full.total_rows * 2e-3
+        assert small.num_samples < full.num_samples * 2e-3
+        assert small.num_sparse == full.num_sparse
+        assert small.scale == 1e-3
+
+    def test_invalid_scale(self):
+        for factory in DATASET_FACTORIES.values():
+            with pytest.raises(ValueError):
+                factory(scale=0.0)
+            with pytest.raises(ValueError):
+                factory(scale=1.5)
+
+
+class TestLargeTables:
+    def test_full_scale_threshold(self):
+        spec = criteo_kaggle_like()
+        large = spec.large_tables()
+        # published cardinalities: 5 tables above 1M rows
+        assert len(large) == 5
+        assert all(t.num_rows > 1_000_000 for t in large)
+
+    def test_scaled_selection_matches_full(self):
+        full = {t.name for t in criteo_kaggle_like().large_tables()}
+        scaled = {
+            t.name for t in criteo_kaggle_like(scale=1e-3).large_tables()
+        }
+        assert scaled == full
+
+
+class TestTableSpec:
+    def test_footprint(self):
+        t = TableSpec("C1", 1000)
+        assert t.footprint_bytes(64) == 1000 * 64 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableSpec("C1", 0)
+        with pytest.raises(ValueError):
+            TableSpec("C1", 10, bag_size=0)
+        with pytest.raises(ValueError):
+            TableSpec("C1", 10, alpha=-0.5)
+
+
+class TestDescribe:
+    def test_describe_keys(self):
+        row = avazu_like(scale=0.01).describe()
+        assert row["dataset"] == "avazu"
+        assert row["sparse_features"] == 20
+        assert row["scale"] == 0.01

@@ -1,0 +1,154 @@
+"""Tests for the NVTabular-style preprocessing transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.preprocess import CategoryEncoder, DenseNormalizer, hash_encode
+
+
+class TestHashEncode:
+    def test_range(self):
+        out = hash_encode(np.arange(1000), num_buckets=64)
+        assert out.min() >= 0 and out.max() < 64
+
+    def test_deterministic(self):
+        a = hash_encode(np.arange(100), 32, seed=7)
+        b = hash_encode(np.arange(100), 32, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_mapping(self):
+        a = hash_encode(np.arange(100), 1024, seed=1)
+        b = hash_encode(np.arange(100), 1024, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_roughly_uniform(self):
+        out = hash_encode(np.arange(100_000), num_buckets=16)
+        counts = np.bincount(out, minlength=16)
+        assert counts.min() > 100_000 / 16 * 0.8
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            hash_encode(np.arange(4), 0)
+
+
+class TestCategoryEncoder:
+    def test_basic_vocabulary(self):
+        enc = CategoryEncoder(min_frequency=1)
+        enc.fit([np.array([5, 5, 5, 9, 9, 3])])
+        # frequency order: 5 (3x) -> id 1, 9 (2x) -> id 2, 3 -> id 3
+        np.testing.assert_array_equal(
+            enc.transform(np.array([5, 9, 3])), [1, 2, 3]
+        )
+        assert enc.cardinality == 4
+
+    def test_frequency_threshold_folds_to_oov(self):
+        enc = CategoryEncoder(min_frequency=2)
+        enc.fit([np.array([5, 5, 9])])
+        out = enc.transform(np.array([5, 9]))
+        assert out[0] == 1
+        assert out[1] == 0  # below threshold -> OOV
+
+    def test_unseen_is_oov(self):
+        enc = CategoryEncoder().fit([np.array([1, 2])])
+        assert enc.transform(np.array([999]))[0] == 0
+
+    def test_max_cardinality_keeps_most_frequent(self):
+        enc = CategoryEncoder(max_cardinality=2)
+        enc.fit([np.array([7, 7, 7, 8, 8, 9])])
+        out = enc.transform(np.array([7, 8, 9]))
+        assert out[0] == 1       # most frequent kept
+        assert out[1] == 0       # capped out
+        assert out[2] == 0
+        assert enc.cardinality == 2
+
+    def test_partial_fit_accumulates(self):
+        enc = CategoryEncoder(min_frequency=2)
+        enc.partial_fit(np.array([4]))
+        enc.partial_fit(np.array([4]))
+        enc.finalize()
+        assert enc.transform(np.array([4]))[0] == 1
+
+    def test_fit_after_finalize_rejected(self):
+        enc = CategoryEncoder().fit([np.array([1])])
+        with pytest.raises(RuntimeError):
+            enc.partial_fit(np.array([2]))
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            CategoryEncoder().transform(np.array([1]))
+        with pytest.raises(RuntimeError):
+            _ = CategoryEncoder().cardinality
+
+    def test_oov_rate(self):
+        enc = CategoryEncoder(min_frequency=1).fit([np.array([1, 2])])
+        assert enc.oov_rate(np.array([1, 2, 3, 4])) == pytest.approx(0.5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CategoryEncoder(min_frequency=0)
+        with pytest.raises(ValueError):
+            CategoryEncoder(max_cardinality=0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_ids_contiguous(self, raw, threshold):
+        enc = CategoryEncoder(min_frequency=threshold)
+        enc.fit([np.array(raw)])
+        encoded = enc.transform(np.array(raw))
+        assert encoded.min() >= 0
+        assert encoded.max() < enc.cardinality
+        # every id below cardinality except possibly 0 is reachable
+        used = set(encoded.tolist())
+        non_oov = used - {0}
+        if non_oov:
+            assert max(non_oov) == len(non_oov)  # contiguous 1..k
+
+
+class TestDenseNormalizer:
+    def test_standardizes(self, rng):
+        data = rng.lognormal(0, 1, size=(5000, 3))
+        norm = DenseNormalizer().fit([data])
+        out = norm.transform(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-6)
+
+    def test_log_clamps_negatives(self):
+        norm = DenseNormalizer().fit([np.array([[0.0], [10.0]])])
+        out = norm.transform(np.array([[-5.0]]))
+        assert np.isfinite(out).all()
+
+    def test_chunked_fit_matches_single(self, rng):
+        data = rng.random((1000, 2)) * 10
+        single = DenseNormalizer().fit([data])
+        chunked = DenseNormalizer().fit([data[:300], data[300:]])
+        np.testing.assert_allclose(
+            single.transform(data), chunked.transform(data), atol=1e-9
+        )
+
+    def test_constant_feature_passthrough(self):
+        data = np.full((100, 1), 3.0)
+        norm = DenseNormalizer().fit([data])
+        out = norm.transform(data)
+        assert np.isfinite(out).all()
+
+    def test_no_log_mode(self, rng):
+        data = rng.normal(0, 1, size=(500, 2))
+        norm = DenseNormalizer(log_transform=False).fit([data])
+        out = norm.transform(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_errors(self):
+        with pytest.raises(RuntimeError):
+            DenseNormalizer().transform(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            DenseNormalizer().finalize()
+        norm = DenseNormalizer().fit([np.zeros((10, 2))])
+        with pytest.raises(ValueError):
+            norm.transform(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            norm.transform(np.zeros(3))

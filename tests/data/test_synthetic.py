@@ -1,0 +1,140 @@
+"""Tests for power-law index samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import (
+    ClusteredZipfSampler,
+    ZipfSampler,
+    zipf_probabilities,
+)
+
+
+class TestZipfProbabilities:
+    def test_normalized(self):
+        p = zipf_probabilities(1000, 1.05)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        p = zipf_probabilities(100, 1.2)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_uniform_at_zero_alpha(self):
+        p = zipf_probabilities(10, 0.0)
+        np.testing.assert_allclose(p, 0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestZipfSampler:
+    def test_range(self, rng):
+        sampler = ZipfSampler(100, alpha=1.05, seed=0)
+        idx = sampler.sample(10_000, rng)
+        assert idx.min() >= 0 and idx.max() < 100
+
+    def test_skew(self, rng):
+        sampler = ZipfSampler(10_000, alpha=1.05, scatter=False, seed=0)
+        ranks = sampler.sample_ranks(100_000, rng)
+        # top 10% of ranks should account for the large majority
+        top_fraction = (ranks < 1000).mean()
+        assert top_fraction > 0.6
+
+    def test_scatter_is_permutation(self, rng):
+        sampler = ZipfSampler(50, alpha=1.0, scatter=True, seed=1)
+        assert sorted(sampler._rank_to_row.tolist()) == list(range(50))
+
+    def test_no_scatter_rank_equals_row(self, rng):
+        sampler = ZipfSampler(50, alpha=1.0, scatter=False, seed=1)
+        idx = sampler.sample(1000, rng)
+        # most popular row must be 0 under no scatter
+        counts = np.bincount(idx, minlength=50)
+        assert counts.argmax() == 0
+
+    def test_rows_covering(self):
+        sampler = ZipfSampler(10_000, alpha=1.05, seed=0)
+        k50 = sampler.rows_covering(0.5)
+        k90 = sampler.rows_covering(0.9)
+        assert 0 < k50 < k90 <= 10_000
+
+    def test_large_table_analytic_path(self, rng):
+        sampler = ZipfSampler(40_000_000, alpha=1.05, scatter=False, seed=0)
+        assert not sampler._exact
+        ranks = sampler.sample_ranks(10_000, rng)
+        assert ranks.min() >= 0 and ranks.max() < 40_000_000
+        assert (ranks < 4_000_000).mean() > 0.5  # skew survives
+
+    def test_rows_covering_requires_exact(self):
+        sampler = ZipfSampler(40_000_000, alpha=1.05, seed=0)
+        with pytest.raises(ValueError):
+            sampler.rows_covering(0.5)
+
+    def test_deterministic_given_rng(self):
+        sampler = ZipfSampler(100, seed=0)
+        a = sampler.sample(10, np.random.default_rng(5))
+        b = sampler.sample(10, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_size(self, rng):
+        assert ZipfSampler(10, seed=0).sample(0, rng).size == 0
+
+    def test_negative_size(self, rng):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, seed=0).sample(-1, rng)
+
+
+class TestClusteredZipfSampler:
+    def test_locality_increases_duplication(self):
+        base_unique = []
+        local_unique = []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            flat = ClusteredZipfSampler(
+                100_000, locality=0.0, cluster_size=64, seed=0
+            )
+            clustered = ClusteredZipfSampler(
+                100_000, locality=0.8, cluster_size=64, seed=0
+            )
+            base_unique.append(
+                np.unique(flat.sample_batch(512, np.random.default_rng(seed))).size
+            )
+            local_unique.append(
+                np.unique(
+                    clustered.sample_batch(512, np.random.default_rng(seed))
+                ).size
+            )
+        assert np.mean(local_unique) < np.mean(base_unique)
+
+    def test_zero_locality_matches_base(self):
+        sampler = ClusteredZipfSampler(1000, locality=0.0, seed=3)
+        base = ZipfSampler(1000, seed=3)
+        a = sampler.sample_batch(100, np.random.default_rng(1))
+        b = base.sample(100, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_range(self):
+        sampler = ClusteredZipfSampler(500, locality=0.9, cluster_size=1000, seed=0)
+        idx = sampler.sample_batch(2000, np.random.default_rng(0))
+        assert idx.min() >= 0 and idx.max() < 500
+
+    def test_invalid_locality(self):
+        with pytest.raises(ValueError):
+            ClusteredZipfSampler(100, locality=1.5)
+
+
+@given(
+    st.integers(min_value=1, max_value=10_000),
+    st.floats(min_value=0.0, max_value=2.0),
+    st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_samples_in_range(num_rows, alpha, seed):
+    sampler = ZipfSampler(num_rows, alpha=alpha, seed=seed)
+    idx = sampler.sample(100, np.random.default_rng(seed))
+    assert idx.min() >= 0
+    assert idx.max() < num_rows

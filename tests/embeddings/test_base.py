@@ -1,0 +1,89 @@
+"""Tests for offset normalization and segment pooling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings.base import (
+    expand_bag_ids,
+    normalize_offsets,
+    segment_sum,
+)
+
+
+class TestNormalizeOffsets:
+    def test_pytorch_form(self):
+        out = normalize_offsets(np.array([0, 2, 5]), 7)
+        np.testing.assert_array_equal(out, [0, 2, 5, 7])
+
+    def test_boundary_form_passthrough(self):
+        out = normalize_offsets(np.array([0, 2, 5]), 5)
+        np.testing.assert_array_equal(out, [0, 2, 5])
+
+    def test_empty_bags_allowed(self):
+        out = normalize_offsets(np.array([0, 2, 2, 4]), 4)
+        np.testing.assert_array_equal(out, [0, 2, 2, 4])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            normalize_offsets(np.array([1, 3]), 5)
+
+    def test_must_be_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            normalize_offsets(np.array([0, 3, 2]), 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_offsets(np.array([], dtype=np.int64), 3)
+
+
+class TestSegmentSum:
+    def test_basic(self):
+        values = np.arange(8.0).reshape(4, 2)
+        out = segment_sum(values, np.array([0, 2, 4]))
+        np.testing.assert_array_equal(out, [[2.0, 4.0], [10.0, 12.0]])
+
+    def test_empty_segment_is_zero(self):
+        values = np.ones((3, 2))
+        out = segment_sum(values, np.array([0, 0, 3]))
+        np.testing.assert_array_equal(out[0], [0.0, 0.0])
+        np.testing.assert_array_equal(out[1], [3.0, 3.0])
+
+    def test_all_empty(self):
+        out = segment_sum(np.zeros((0, 4)), np.array([0, 0, 0]))
+        assert out.shape == (2, 4)
+        assert np.all(out == 0)
+
+    def test_single_element_bags(self):
+        values = np.arange(6.0).reshape(3, 2)
+        out = segment_sum(values, np.array([0, 1, 2, 3]))
+        np.testing.assert_array_equal(out, values)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=10)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_loop(self, bag_sizes):
+        boundaries = np.concatenate([[0], np.cumsum(bag_sizes)]).astype(np.int64)
+        total = int(boundaries[-1])
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal((total, 3))
+        fast = segment_sum(values, boundaries)
+        slow = np.stack(
+            [
+                values[boundaries[b] : boundaries[b + 1]].sum(axis=0)
+                for b in range(len(bag_sizes))
+            ]
+        )
+        np.testing.assert_allclose(fast, slow)
+
+
+class TestExpandBagIds:
+    def test_basic(self):
+        out = expand_bag_ids(np.array([0, 2, 2, 5]))
+        np.testing.assert_array_equal(out, [0, 0, 2, 2, 2])
+
+    def test_empty(self):
+        out = expand_bag_ids(np.array([0, 0]))
+        assert out.size == 0

@@ -1,0 +1,133 @@
+"""Tests for the placement-aware embedding collection."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import SyntheticClickLog
+from repro.data.datasets import criteo_kaggle_like
+from repro.embeddings.collection import EmbeddingCollection
+from repro.embeddings.dense import DenseEmbeddingBag
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.models.dlrm import DLRM
+from repro.reorder.bijection import IndexBijection
+from repro.system.devices import DeviceSpec
+from repro.system.memory import PlacementDecision, plan_placement
+from repro.system.parameter_server import (
+    HostBackedEmbeddingBag,
+    HostParameterServer,
+)
+
+# Sized so the scale-2e-5 Criteo tables split across all three
+# placements: one TT table, most small tables dense, a few on the host.
+TINY_GPU = DeviceSpec(
+    name="tiny", peak_gflops=1000.0, mem_bw_gbps=100.0, hbm_bytes=10e3,
+    h2d_gbps=10.0, p2p_gbps=10.0,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return criteo_kaggle_like(scale=2e-5)
+
+
+class TestFromPlacement:
+    def test_mixed_placement(self, spec):
+        rows = [t.num_rows for t in spec.tables]
+        plan = plan_placement(
+            rows, 8, TINY_GPU, tt_rank=8,
+            tt_threshold_rows=100, dtype_bytes=4,
+        )
+        collection = EmbeddingCollection.from_placement(plan, 8, tt_rank=8)
+        summary = collection.summary()
+        assert summary["tt_tables"] + summary["dense_tables"] + summary[
+            "host_tables"
+        ] == len(rows)
+        assert summary["tt_tables"] > 0
+        # host map points at HostBackedEmbeddingBag instances in server order
+        for pos, sidx in collection.host_table_map.items():
+            assert isinstance(
+                collection.bags[pos], HostBackedEmbeddingBag
+            )
+        server_rows = collection.host_table_rows()
+        assert len(server_rows) == summary["host_tables"]
+
+    def test_decisions_match_bag_types(self, spec):
+        rows = [t.num_rows for t in spec.tables]
+        plan = plan_placement(
+            rows, 8, TINY_GPU, tt_rank=8, tt_threshold_rows=100,
+        )
+        collection = EmbeddingCollection.from_placement(plan, 8, tt_rank=8)
+        for placement, bag in zip(plan.placements, collection.bags):
+            if placement.decision is PlacementDecision.GPU_TT:
+                assert isinstance(bag, EffTTEmbeddingBag)
+            elif placement.decision is PlacementDecision.GPU_DENSE:
+                assert isinstance(bag, DenseEmbeddingBag)
+            else:
+                assert isinstance(bag, HostBackedEmbeddingBag)
+
+    def test_drives_dlrm_and_ps_training(self, spec):
+        rows = [t.num_rows for t in spec.tables]
+        plan = plan_placement(
+            rows, 8, TINY_GPU, tt_rank=8, tt_threshold_rows=100,
+        )
+        collection = EmbeddingCollection.from_placement(plan, 8, tt_rank=8)
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(cfg, seed=0, embedding_bags=collection.bags)
+        server = HostParameterServer(
+            collection.host_table_rows(), 8, lr=0.1, seed=1
+        )
+        from repro.system.pipeline import SequentialPSTrainer
+
+        trainer = SequentialPSTrainer(
+            model, server, collection.host_table_map, lr=0.1
+        )
+        log = SyntheticClickLog(spec, batch_size=32, seed=0)
+        result = trainer.train(log, 5)
+        assert len(result.losses) == 5
+
+
+class TestValidation:
+    def test_host_map_type_checked(self):
+        bags = [DenseEmbeddingBag(10, 4, seed=0)]
+        with pytest.raises(TypeError):
+            EmbeddingCollection(bags, host_table_map={0: 0})
+        with pytest.raises(ValueError):
+            EmbeddingCollection(bags, host_table_map={5: 0})
+
+    def test_bijection_count_checked(self):
+        bags = [DenseEmbeddingBag(10, 4, seed=0)]
+        with pytest.raises(ValueError):
+            EmbeddingCollection(bags, bijections=[None, None])
+
+    def test_remap(self, spec):
+        log = SyntheticClickLog(spec, batch_size=16, seed=0)
+        batch = log.batch(0)
+        bags = [
+            DenseEmbeddingBag(t.num_rows, 8, seed=i)
+            for i, t in enumerate(spec.tables)
+        ]
+        bijections = [None] * len(bags)
+        n0 = spec.tables[0].num_rows
+        bijections[0] = IndexBijection.from_forward(
+            np.arange(n0)[::-1].copy()
+        )
+        collection = EmbeddingCollection(bags, bijections=bijections)
+        remapped = collection.remap(batch)
+        np.testing.assert_array_equal(
+            remapped.sparse_indices[0], n0 - 1 - batch.sparse_indices[0]
+        )
+        # identity path returns the batch unchanged
+        plain = EmbeddingCollection(bags)
+        assert plain.remap(batch) is batch
+
+    def test_nbytes_local_excludes_host(self):
+        bags = [
+            DenseEmbeddingBag(10, 4, seed=0),
+            HostBackedEmbeddingBag(100, 4),
+        ]
+        collection = EmbeddingCollection(bags, host_table_map={1: 0})
+        assert collection.nbytes_local() == bags[0].nbytes

@@ -1,0 +1,89 @@
+"""Tests for the reuse-plan construction (Algorithm 1 analog)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings.reuse_buffer import build_reuse_plan
+from repro.embeddings.tt_indices import row_index_to_tt
+
+
+class TestBasicPlan:
+    def test_deduplicates_rows(self):
+        plan = build_reuse_plan(np.array([5, 1, 5, 5, 1]), [4, 3, 2])
+        np.testing.assert_array_equal(plan.unique_rows, [1, 5])
+        np.testing.assert_array_equal(
+            plan.unique_rows[plan.row_inverse], [5, 1, 5, 5, 1]
+        )
+        assert plan.num_occurrences == 5
+        assert plan.num_unique_rows == 2
+
+    def test_prefix_sharing(self):
+        # rows 0 and 1 share prefix (0,0); rows 6,7 share (1,0).
+        plan = build_reuse_plan(np.array([0, 1, 6, 7]), [4, 3, 2])
+        assert plan.num_unique_prefixes == 2
+        assert plan.prefix_reuse_ratio == pytest.approx(2.0)
+
+    def test_no_sharing(self):
+        plan = build_reuse_plan(np.array([0, 6, 12, 18]), [4, 3, 2])
+        assert plan.num_unique_prefixes == 4
+        assert plan.prefix_reuse_ratio == pytest.approx(1.0)
+
+    def test_gemm_counts(self):
+        plan = build_reuse_plan(np.array([0, 0, 1, 1]), [4, 3, 2])
+        assert plan.naive_gemm_count() == 4
+        assert plan.gemm_count() == 1
+
+    def test_prefix_tt_indices_decode(self):
+        idx = np.array([0, 1, 6, 7, 23])
+        plan = build_reuse_plan(idx, [4, 3, 2])
+        tt = row_index_to_tt(plan.unique_rows, [4, 3, 2])
+        # prefix_tt_indices gathered via prefix_ids must match each
+        # unique row's own first-two tt indices.
+        np.testing.assert_array_equal(
+            plan.prefix_tt_indices[0][plan.prefix_ids], tt[0]
+        )
+        np.testing.assert_array_equal(
+            plan.prefix_tt_indices[1][plan.prefix_ids], tt[1]
+        )
+
+    def test_custom_depth(self):
+        plan = build_reuse_plan(np.array([0, 1, 2, 3]), [2, 2, 2, 2], prefix_depth=2)
+        assert len(plan.prefix_tt_indices) == 2
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            build_reuse_plan(np.array([0]), [4, 3, 2], prefix_depth=3)
+        with pytest.raises(ValueError):
+            build_reuse_plan(np.array([0]), [4, 3, 2], prefix_depth=0)
+
+    def test_empty_batch(self):
+        plan = build_reuse_plan(np.array([], dtype=np.int64), [4, 3, 2])
+        assert plan.num_occurrences == 0
+        assert plan.num_unique_rows == 0
+        assert plan.num_unique_prefixes == 0
+        assert plan.full_row_reuse_ratio == 1.0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=119), min_size=1, max_size=300),
+)
+@settings(max_examples=100, deadline=None)
+def test_plan_invariants(indices):
+    shape = [5, 4, 6]
+    idx = np.array(indices, dtype=np.int64)
+    plan = build_reuse_plan(idx, shape)
+    # inverse reconstructs the batch
+    np.testing.assert_array_equal(plan.unique_rows[plan.row_inverse], idx)
+    # unique rows sorted strictly increasing
+    assert np.all(np.diff(plan.unique_rows) > 0)
+    # prefix count bounded by unique rows and by prefix space
+    assert 1 <= plan.num_unique_prefixes <= plan.num_unique_rows
+    assert plan.num_unique_prefixes <= 5 * 4
+    # tt indices in range
+    for k, m in enumerate(shape):
+        assert plan.tt_indices[k].min() >= 0
+        assert plan.tt_indices[k].max() < m
+    # prefix ids cover 0..P-1
+    assert set(plan.prefix_ids.tolist()) == set(range(plan.num_unique_prefixes))

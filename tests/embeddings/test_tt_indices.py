@@ -1,0 +1,98 @@
+"""Tests for TT-index conversion (paper Equation 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings.tt_indices import (
+    prefix_keys,
+    row_index_to_tt,
+    row_strides,
+    tt_to_row_index,
+)
+
+shapes = st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=4)
+
+
+class TestRowStrides:
+    def test_basic(self):
+        np.testing.assert_array_equal(row_strides([4, 3, 2]), [6, 2, 1])
+
+    def test_single(self):
+        np.testing.assert_array_equal(row_strides([7]), [1])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            row_strides([])
+        with pytest.raises(ValueError):
+            row_strides([4, 0])
+
+
+class TestConversion:
+    def test_paper_example(self):
+        # Figure 5(b): M = 2x2x2, index 1 -> (0, 0, 1), index 0 -> (0, 0, 0)
+        tt = row_index_to_tt(np.array([1, 0]), [2, 2, 2])
+        assert [a.tolist() for a in tt] == [[0, 0], [0, 0], [1, 0]]
+
+    def test_all_indices_distinct(self):
+        shape = [4, 3, 2]
+        tt = row_index_to_tt(np.arange(24), shape)
+        packed = tt[0] * 6 + tt[1] * 2 + tt[2]
+        np.testing.assert_array_equal(packed, np.arange(24))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            row_index_to_tt(np.array([24]), [4, 3, 2])
+        with pytest.raises(ValueError):
+            row_index_to_tt(np.array([-1]), [4, 3, 2])
+
+    def test_inverse_validates(self):
+        with pytest.raises(ValueError):
+            tt_to_row_index([np.array([4])], [4])
+        with pytest.raises(ValueError):
+            tt_to_row_index([np.array([0])], [4, 3])
+
+    @given(shapes, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, shape, seed):
+        total = int(np.prod(shape))
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, total, size=20)
+        tt = row_index_to_tt(idx, shape)
+        back = tt_to_row_index(tt, shape)
+        np.testing.assert_array_equal(back, idx)
+        for k, part in enumerate(tt):
+            assert part.min() >= 0 and part.max() < shape[k]
+
+
+class TestPrefixKeys:
+    def test_depth_two(self):
+        tt = row_index_to_tt(np.array([0, 1, 6, 7, 12]), [4, 3, 2])
+        keys = prefix_keys(tt, [4, 3, 2], depth=2)
+        # indices 0,1 share (i1,i2)=(0,0); 6,7 share (1,0); 12 -> (2,0)
+        assert keys[0] == keys[1]
+        assert keys[2] == keys[3]
+        assert len(np.unique(keys)) == 3
+
+    def test_depth_bounds(self):
+        tt = row_index_to_tt(np.array([0]), [4, 3, 2])
+        with pytest.raises(ValueError):
+            prefix_keys(tt, [4, 3, 2], depth=0)
+        with pytest.raises(ValueError):
+            prefix_keys(tt, [4, 3, 2], depth=4)
+
+    @given(shapes.filter(lambda s: len(s) >= 2))
+    @settings(max_examples=100, deadline=None)
+    def test_keys_injective_on_prefixes(self, shape):
+        total = int(np.prod(shape))
+        idx = np.arange(min(total, 200))
+        tt = row_index_to_tt(idx, shape)
+        depth = len(shape) - 1
+        keys = prefix_keys(tt, shape, depth)
+        tuples = list(zip(*(tt[k].tolist() for k in range(depth))))
+        # same key <=> same prefix tuple
+        mapping = {}
+        for key, tup in zip(keys.tolist(), tuples):
+            assert mapping.setdefault(key, tup) == tup
+        assert len(set(keys.tolist())) == len(set(tuples))

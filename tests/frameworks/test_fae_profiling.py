@@ -1,0 +1,58 @@
+"""Tests for FAE's hot/cold batch profiling."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import SyntheticClickLog
+from repro.data.datasets import criteo_kaggle_like
+from repro.frameworks.fae import profile_hot_fraction
+
+
+class TestProfileHotFraction:
+    def test_all_hot_when_everything_cached(self):
+        batches = [[np.array([0, 1]), np.array([2, 3])]]
+        assert profile_hot_fraction(batches, [4], hot_rows_fraction=1.0) == 1.0
+
+    def test_cold_batch_detected(self):
+        # table of 100 rows, hot set = top-1; batch 0 hits only the hot
+        # row, batch 1 hits a cold row.
+        stream = [np.array([7, 7, 7]), np.array([7, 55])]
+        fraction = profile_hot_fraction([stream], [100], hot_rows_fraction=0.01)
+        assert fraction == pytest.approx(0.5)
+
+    def test_any_cold_table_makes_batch_cold(self):
+        # two tables; batch 0 hot in both, batch 1 cold in table 2 only
+        t1 = [np.array([3, 3]), np.array([3])]
+        t2 = [np.array([9, 9]), np.array([42])]
+        fraction = profile_hot_fraction(
+            [t1, t2], [100, 100], hot_rows_fraction=0.01
+        )
+        assert fraction == pytest.approx(0.5)
+
+    def test_skewed_stream_mostly_hot(self):
+        """On power-law data a small cache covers most batches — the
+        paper's ~75% hot profiling result."""
+        spec = criteo_kaggle_like(scale=1e-4)
+        log = SyntheticClickLog(spec, batch_size=64, seed=0)
+        table_ids = [2, 11]  # the two largest tables
+        streams = [
+            [log.batch(b).sparse_indices[t] for b in range(12)]
+            for t in table_ids
+        ]
+        rows = [spec.tables[t].num_rows for t in table_ids]
+        small_cache = profile_hot_fraction(streams, rows, hot_rows_fraction=0.05)
+        big_cache = profile_hot_fraction(streams, rows, hot_rows_fraction=0.5)
+        assert 0.0 <= small_cache <= big_cache <= 1.0
+        assert big_cache > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            profile_hot_fraction([[np.array([0])]], [4, 5])
+        with pytest.raises(ValueError):
+            profile_hot_fraction(
+                [[np.array([0])], [np.array([0]), np.array([1])]], [4, 4]
+            )
+        with pytest.raises(ValueError):
+            profile_hot_fraction([[]], [4])
+        with pytest.raises(ValueError):
+            profile_hot_fraction([[np.array([0])]], [4], hot_rows_fraction=1.5)

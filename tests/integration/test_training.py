@@ -1,0 +1,85 @@
+"""Integration tests: full training runs across backends.
+
+These exercise the whole stack — data generation, DLRM, embedding
+backends, optimizers — and pin the paper's accuracy claims at small
+scale: TT-based models match the dense baseline's quality (Table IV)
+and converge on the same trajectory (Figure 15).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import SyntheticClickLog
+from repro.data.datasets import avazu_like, criteo_kaggle_like
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.models.dlrm import DLRM
+
+
+@pytest.fixture(scope="module")
+def trained_models():
+    """Train all three backends on the same stream."""
+    spec = criteo_kaggle_like(scale=5e-5)
+    log = SyntheticClickLog(spec, batch_size=256, seed=0, teacher_strength=3.0)
+    results = {}
+    for backend in (
+        EmbeddingBackend.DENSE,
+        EmbeddingBackend.TT,
+        EmbeddingBackend.EFF_TT,
+    ):
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=backend, tt_rank=8,
+            bottom_mlp=(32, 16), top_mlp=(32,),
+        )
+        model = DLRM(cfg, seed=3)
+        losses = [model.train_step(log.batch(i), lr=0.2).loss for i in range(150)]
+        eval_batches = [log.batch(10_000 + i) for i in range(8)]
+        metrics = model.evaluate(eval_batches)
+        results[backend] = (losses, metrics)
+    return results
+
+
+class TestConvergence:
+    def test_all_backends_learn(self, trained_models):
+        for backend, (losses, metrics) in trained_models.items():
+            early = float(np.mean(losses[:10]))
+            late = float(np.mean(losses[-10:]))
+            assert late < early, f"{backend} did not learn"
+            assert metrics["auc"] > 0.55, f"{backend} AUC too low"
+
+    def test_tt_matches_dense_accuracy(self, trained_models):
+        """Table IV: TT-compressed accuracy within a small gap of dense."""
+        dense_auc = trained_models[EmbeddingBackend.DENSE][1]["auc"]
+        for backend in (EmbeddingBackend.TT, EmbeddingBackend.EFF_TT):
+            auc = trained_models[backend][1]["auc"]
+            assert abs(auc - dense_auc) < 0.05
+
+    def test_convergence_curves_overlap(self, trained_models):
+        """Figure 15: the TT loss curve tracks the dense curve."""
+        dense_losses = np.array(trained_models[EmbeddingBackend.DENSE][0])
+        eff_losses = np.array(trained_models[EmbeddingBackend.EFF_TT][0])
+        # trajectories correlate and end at comparable loss
+        tail_gap = abs(dense_losses[-10:].mean() - eff_losses[-10:].mean())
+        assert tail_gap < 0.05
+        corr = np.corrcoef(dense_losses, eff_losses)[0, 1]
+        assert corr > 0.8
+
+    def test_tt_equals_eff_tt_exactly(self, trained_models):
+        """Same math, different computation order: loss curves match."""
+        np.testing.assert_allclose(
+            trained_models[EmbeddingBackend.TT][0],
+            trained_models[EmbeddingBackend.EFF_TT][0],
+            rtol=1e-6,
+        )
+
+
+class TestAvazuShape:
+    def test_avazu_trains(self):
+        spec = avazu_like(scale=5e-5)
+        log = SyntheticClickLog(spec, batch_size=128, seed=1)
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(cfg, seed=0)
+        losses = [model.train_step(log.batch(i), lr=0.1).loss for i in range(30)]
+        assert losses[-1] < losses[0]

@@ -1,0 +1,62 @@
+"""Tests for DLRM configuration."""
+
+import pytest
+
+from repro.data.datasets import criteo_kaggle_like
+from repro.models.config import DLRMConfig, EmbeddingBackend
+
+
+class TestDLRMConfig:
+    def test_derived_sizes(self):
+        cfg = DLRMConfig(
+            num_dense=13,
+            table_rows=(100, 200),
+            embedding_dim=16,
+            bottom_mlp=(64, 32),
+            top_mlp=(64,),
+        )
+        assert cfg.bottom_mlp_sizes == (13, 64, 32, 16)
+        assert cfg.interaction_dim == 16 + 3 * 2 // 2
+        assert cfg.top_mlp_sizes == (cfg.interaction_dim, 64, 1)
+        assert cfg.num_tables == 2
+
+    def test_backend_threshold(self):
+        cfg = DLRMConfig(
+            num_dense=1,
+            table_rows=(100, 2_000_000),
+            backend=EmbeddingBackend.EFF_TT,
+            tt_threshold_rows=1_000_000,
+        )
+        assert cfg.backend_for_table(0) is EmbeddingBackend.DENSE
+        assert cfg.backend_for_table(1) is EmbeddingBackend.EFF_TT
+
+    def test_dense_backend_ignores_threshold(self):
+        cfg = DLRMConfig(
+            num_dense=1,
+            table_rows=(2_000_000,),
+            backend=EmbeddingBackend.DENSE,
+            tt_threshold_rows=0,
+        )
+        assert cfg.backend_for_table(0) is EmbeddingBackend.DENSE
+
+    def test_from_dataset(self):
+        spec = criteo_kaggle_like(scale=1e-4)
+        cfg = DLRMConfig.from_dataset(spec, embedding_dim=8)
+        assert cfg.num_dense == 13
+        assert cfg.num_tables == 26
+        assert cfg.table_rows == tuple(t.num_rows for t in spec.tables)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DLRMConfig(num_dense=0, table_rows=(10,))
+        with pytest.raises(ValueError):
+            DLRMConfig(num_dense=1, table_rows=())
+        with pytest.raises(ValueError):
+            DLRMConfig(num_dense=1, table_rows=(0,))
+        with pytest.raises(ValueError):
+            DLRMConfig(num_dense=1, table_rows=(10,), embedding_dim=0)
+
+    def test_backend_enum_values(self):
+        assert EmbeddingBackend("dense") is EmbeddingBackend.DENSE
+        assert EmbeddingBackend("eff_tt") is EmbeddingBackend.EFF_TT
+        assert EmbeddingBackend("tt") is EmbeddingBackend.TT

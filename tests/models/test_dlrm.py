@@ -1,0 +1,162 @@
+"""Tests for the full DLRM model."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import SyntheticClickLog
+from repro.data.datasets import criteo_kaggle_like
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.models.dlrm import DLRM, build_embedding_bag, roc_auc
+from repro.embeddings.dense import DenseEmbeddingBag
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.tt_embedding import TTEmbeddingBag
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    spec = criteo_kaggle_like(scale=3e-5)
+    log = SyntheticClickLog(spec, batch_size=128, seed=0)
+    cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, tt_rank=8, bottom_mlp=(16,), top_mlp=(16,)
+    )
+    return spec, log, cfg
+
+
+class TestBuildEmbeddingBag:
+    def test_backends(self):
+        assert isinstance(
+            build_embedding_bag(EmbeddingBackend.DENSE, 10, 4, 2, seed=0),
+            DenseEmbeddingBag,
+        )
+        assert isinstance(
+            build_embedding_bag(EmbeddingBackend.TT, 100, 4, 2, seed=0),
+            TTEmbeddingBag,
+        )
+        assert isinstance(
+            build_embedding_bag(EmbeddingBackend.EFF_TT, 100, 4, 2, seed=0),
+            EffTTEmbeddingBag,
+        )
+
+
+class TestForward:
+    def test_logit_shape(self, small_setup):
+        _, log, cfg = small_setup
+        model = DLRM(cfg, seed=0)
+        logits = model.forward(log.batch(0))
+        assert logits.shape == (128,)
+
+    def test_table_count_mismatch(self, small_setup):
+        spec, log, cfg = small_setup
+        bad_cfg = DLRMConfig(
+            num_dense=13, table_rows=cfg.table_rows[:5], embedding_dim=8
+        )
+        model = DLRM(bad_cfg, seed=0)
+        with pytest.raises(ValueError):
+            model.forward(log.batch(0))
+
+    def test_same_seed_reproducible(self, small_setup):
+        _, log, cfg = small_setup
+        a = DLRM(cfg, seed=9)
+        b = DLRM(cfg, seed=9)
+        np.testing.assert_array_equal(
+            a.forward(log.batch(0)), b.forward(log.batch(0))
+        )
+
+    def test_injected_bags_validated(self, small_setup):
+        _, _, cfg = small_setup
+        with pytest.raises(ValueError):
+            DLRM(cfg, embedding_bags=[DenseEmbeddingBag(10, 8)])
+        bags = [
+            DenseEmbeddingBag(rows, 4) for rows in cfg.table_rows
+        ]  # wrong dim
+        with pytest.raises(ValueError):
+            DLRM(cfg, embedding_bags=bags)
+
+
+class TestTraining:
+    @pytest.mark.parametrize(
+        "backend",
+        [EmbeddingBackend.DENSE, EmbeddingBackend.TT, EmbeddingBackend.EFF_TT],
+    )
+    def test_loss_decreases(self, small_setup, backend):
+        spec, log, _ = small_setup
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=backend, tt_rank=8,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(cfg, seed=1)
+        first = model.train_step(log.batch(0), lr=0.1).loss
+        for i in range(1, 40):
+            last = model.train_step(log.batch(i % 8), lr=0.1).loss
+        assert last < first
+
+    def test_tt_and_eff_tt_train_identically(self, small_setup):
+        spec, log, _ = small_setup
+        losses = {}
+        for backend in (EmbeddingBackend.TT, EmbeddingBackend.EFF_TT):
+            cfg = DLRMConfig.from_dataset(
+                spec, embedding_dim=8, backend=backend, tt_rank=8,
+                bottom_mlp=(16,), top_mlp=(16,),
+            )
+            model = DLRM(cfg, seed=2)
+            losses[backend] = [
+                model.train_step(log.batch(i), lr=0.05).loss for i in range(6)
+            ]
+        np.testing.assert_allclose(
+            losses[EmbeddingBackend.TT],
+            losses[EmbeddingBackend.EFF_TT],
+            rtol=1e-8,
+        )
+
+    def test_evaluate_keys(self, small_setup):
+        _, log, cfg = small_setup
+        model = DLRM(cfg, seed=0)
+        metrics = model.evaluate([log.batch(100), log.batch(101)])
+        assert set(metrics) == {"loss", "accuracy", "auc"}
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+        assert 0.0 <= metrics["auc"] <= 1.0
+
+    def test_predict_proba_range(self, small_setup):
+        _, log, cfg = small_setup
+        model = DLRM(cfg, seed=0)
+        probs = model.predict_proba(log.batch(0))
+        assert probs.min() > 0.0 and probs.max() < 1.0
+
+    def test_footprint_accessors(self, small_setup):
+        _, _, cfg = small_setup
+        model = DLRM(cfg, seed=0)
+        assert model.embedding_nbytes() > 0
+        assert model.mlp_nbytes() > 0
+
+
+class TestRocAuc:
+    def test_perfect(self):
+        assert roc_auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc(np.array([0, 0, 1, 1]), np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_random_is_half(self, rng):
+        labels = rng.integers(0, 2, size=5000).astype(float)
+        scores = rng.random(5000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        # all scores equal -> AUC 0.5 by the tie-average convention
+        assert roc_auc(np.array([0, 1, 0, 1]), np.zeros(4)) == pytest.approx(0.5)
+
+    def test_single_class(self):
+        assert roc_auc(np.ones(4), np.arange(4.0)) == 0.5
+
+    def test_matches_sklearn_formula(self, rng):
+        # cross-check against a direct pairwise computation
+        labels = rng.integers(0, 2, size=60).astype(float)
+        if labels.sum() in (0, 60):
+            labels[0] = 1 - labels[0]
+        scores = rng.random(60)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        pairwise = np.mean(
+            (pos[:, None] > neg[None, :]) + 0.5 * (pos[:, None] == neg[None, :])
+        )
+        assert roc_auc(labels, scores) == pytest.approx(float(pairwise))

@@ -1,0 +1,115 @@
+"""Tests for DLRM checkpointing."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import SyntheticClickLog
+from repro.data.datasets import criteo_kaggle_like
+from repro.embeddings.base import EmbeddingBagBase
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.models.dlrm import DLRM
+from repro.models.serialization import load_checkpoint, save_checkpoint
+from repro.system.parameter_server import HostBackedEmbeddingBag
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = criteo_kaggle_like(scale=2e-5)
+    log = SyntheticClickLog(spec, batch_size=64, seed=0)
+    return spec, log
+
+
+def _roundtrip(model: DLRM) -> DLRM:
+    buffer = io.BytesIO()
+    save_checkpoint(model, buffer)
+    buffer.seek(0)
+    return load_checkpoint(buffer)
+
+
+@pytest.mark.parametrize(
+    "backend",
+    [EmbeddingBackend.DENSE, EmbeddingBackend.TT, EmbeddingBackend.EFF_TT],
+)
+class TestRoundtrip:
+    def test_parameters_identical(self, setup, backend):
+        spec, log = setup
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=backend, tt_rank=8,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(cfg, seed=4)
+        model.train_step(log.batch(0), lr=0.1)  # move off init
+        restored = _roundtrip(model)
+        for (n1, p1), (n2, p2) in zip(
+            model.named_parameters(), restored.named_parameters()
+        ):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_predictions_identical(self, setup, backend):
+        spec, log = setup
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=backend, tt_rank=8,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(cfg, seed=4)
+        model.train_step(log.batch(0), lr=0.1)
+        restored = _roundtrip(model)
+        batch = log.batch(5)
+        np.testing.assert_array_equal(
+            model.forward(batch), restored.forward(batch)
+        )
+
+    def test_training_continues_identically(self, setup, backend):
+        spec, log = setup
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=backend, tt_rank=8,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(cfg, seed=4)
+        model.train_step(log.batch(0), lr=0.1)
+        restored = _roundtrip(model)
+        a = model.train_step(log.batch(1), lr=0.1).loss
+        b = restored.train_step(log.batch(1), lr=0.1).loss
+        assert a == b
+
+
+class TestErrors:
+    def test_host_backed_bag_rejected(self, setup):
+        spec, _ = setup
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=EmbeddingBackend.DENSE,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        bags: list = [
+            HostBackedEmbeddingBag(rows, 8) for rows in cfg.table_rows
+        ]
+        model = DLRM(cfg, seed=0, embedding_bags=bags)
+        with pytest.raises(TypeError, match="parameter-server"):
+            save_checkpoint(model, io.BytesIO())
+
+    def test_file_path_roundtrip(self, setup, tmp_path):
+        spec, log = setup
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT,
+            tt_rank=8, bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(cfg, seed=1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, str(path))
+        restored = load_checkpoint(str(path))
+        batch = log.batch(0)
+        np.testing.assert_array_equal(
+            model.forward(batch), restored.forward(batch)
+        )
+
+    def test_config_survives(self, setup):
+        spec, _ = setup
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=EmbeddingBackend.TT, tt_rank=8,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        restored = _roundtrip(DLRM(cfg, seed=0))
+        assert restored.config == cfg

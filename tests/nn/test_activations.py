@@ -1,0 +1,66 @@
+"""Tests for activation layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ReLU, Sigmoid
+from tests.conftest import assert_grad_close, numerical_gradient
+
+
+class TestReLU:
+    def test_forward(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 3.0]]))
+        grad = layer.backward(np.array([[5.0, 7.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 7.0]])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 1)))
+
+    def test_numerical_gradient(self, rng):
+        layer = ReLU()
+        x = rng.standard_normal((3, 4)) + 0.1  # keep away from the kink
+        g = rng.standard_normal((3, 4))
+        layer.forward(x)
+        analytic = layer.backward(g)
+        numeric = numerical_gradient(
+            lambda xi: float((np.maximum(xi, 0.0) * g).sum()), x.copy()
+        )
+        assert_grad_close(analytic, numeric)
+
+
+class TestSigmoid:
+    def test_range(self, rng):
+        out = Sigmoid().forward(rng.standard_normal((10, 10)) * 10)
+        assert out.min() > 0.0 and out.max() < 1.0
+
+    def test_extreme_values_stable(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+    def test_half_at_zero(self):
+        assert Sigmoid().forward(np.array([[0.0]]))[0, 0] == pytest.approx(0.5)
+
+    def test_numerical_gradient(self, rng):
+        layer = Sigmoid()
+        x = rng.standard_normal((3, 4))
+        g = rng.standard_normal((3, 4))
+        layer.forward(x)
+        analytic = layer.backward(g)
+
+        def scalar(xi):
+            return float((1.0 / (1.0 + np.exp(-xi)) * g).sum())
+
+        numeric = numerical_gradient(scalar, x.copy())
+        assert_grad_close(analytic, numeric)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Sigmoid().backward(np.zeros((1, 1)))

@@ -1,0 +1,80 @@
+"""Tests for the DLRM dot-product interaction layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.interaction import DotInteraction
+from tests.conftest import assert_grad_close, numerical_gradient
+
+
+class TestForward:
+    def test_output_dim(self):
+        assert DotInteraction.output_dim(16, 26) == 16 + 27 * 26 // 2
+
+    def test_shape(self, rng):
+        layer = DotInteraction()
+        dense = rng.standard_normal((4, 8))
+        embs = [rng.standard_normal((4, 8)) for _ in range(3)]
+        out = layer.forward(dense, embs)
+        assert out.shape == (4, DotInteraction.output_dim(8, 3))
+
+    def test_dense_passthrough(self, rng):
+        layer = DotInteraction()
+        dense = rng.standard_normal((2, 4))
+        embs = [rng.standard_normal((2, 4))]
+        out = layer.forward(dense, embs)
+        np.testing.assert_array_equal(out[:, :4], dense)
+
+    def test_pairwise_values(self, rng):
+        layer = DotInteraction()
+        dense = rng.standard_normal((1, 3))
+        e1 = rng.standard_normal((1, 3))
+        e2 = rng.standard_normal((1, 3))
+        out = layer.forward(dense, [e1, e2])
+        # lower triangle order: (e1,dense), (e2,dense), (e2,e1)
+        assert out[0, 3] == pytest.approx(float((e1 * dense).sum()))
+        assert out[0, 4] == pytest.approx(float((e2 * dense).sum()))
+        assert out[0, 5] == pytest.approx(float((e2 * e1).sum()))
+
+    def test_shape_mismatch(self, rng):
+        layer = DotInteraction()
+        with pytest.raises(ValueError):
+            layer.forward(
+                rng.standard_normal((2, 4)), [rng.standard_normal((2, 5))]
+            )
+
+
+class TestBackward:
+    def test_before_forward(self):
+        with pytest.raises(RuntimeError):
+            DotInteraction().backward(np.zeros((1, 4)))
+
+    def test_numerical_gradients(self, rng):
+        layer = DotInteraction()
+        dense = rng.standard_normal((2, 3))
+        embs = [rng.standard_normal((2, 3)) for _ in range(2)]
+        out_dim = DotInteraction.output_dim(3, 2)
+        g = rng.standard_normal((2, out_dim))
+
+        layer.forward(dense, embs)
+        g_dense, g_embs = layer.backward(g)
+
+        def scalar_dense(d):
+            return float((layer.forward(d, embs) * g).sum())
+
+        numeric_dense = numerical_gradient(scalar_dense, dense.copy())
+        assert_grad_close(g_dense, numeric_dense, rtol=1e-4)
+
+        for i in range(2):
+            def scalar_emb(e, i=i):
+                es = [e if j == i else embs[j] for j in range(2)]
+                return float((layer.forward(dense, es) * g).sum())
+
+            numeric = numerical_gradient(scalar_emb, embs[i].copy())
+            assert_grad_close(g_embs[i], numeric, rtol=1e-4)
+
+    def test_grad_shape_mismatch(self, rng):
+        layer = DotInteraction()
+        layer.forward(rng.standard_normal((2, 3)), [rng.standard_normal((2, 3))])
+        with pytest.raises(ValueError):
+            layer.backward(np.zeros((2, 99)))

@@ -1,0 +1,113 @@
+"""Tests for the Linear layer, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+from tests.conftest import assert_grad_close, numerical_gradient
+
+
+class TestForward:
+    def test_shape(self, rng):
+        layer = Linear(4, 3, seed=0)
+        out = layer.forward(rng.standard_normal((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_matches_manual(self, rng):
+        layer = Linear(4, 3, seed=0)
+        x = rng.standard_normal((2, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, seed=0)
+        assert layer.bias is None
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(layer.forward(x), x @ layer.weight.data.T)
+
+    def test_bad_shape(self, rng):
+        layer = Linear(4, 3, seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(rng.standard_normal((2, 5)))
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_init_bound(self):
+        layer = Linear(100, 50, seed=0)
+        bound = 1.0 / np.sqrt(100)
+        assert np.abs(layer.weight.data).max() <= bound
+
+
+class TestBackward:
+    def test_requires_forward(self):
+        layer = Linear(2, 2, seed=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_input_gradient_numerical(self, rng):
+        layer = Linear(4, 3, seed=1)
+        x = rng.standard_normal((3, 4))
+        g_out = rng.standard_normal((3, 3))
+
+        def scalar(x_in):
+            return float((layer.forward(x_in) * g_out).sum())
+
+        analytic = None
+        layer.forward(x)
+        analytic = layer.backward(g_out)
+        layer.zero_grad()
+        numeric = numerical_gradient(scalar, x.copy())
+        assert_grad_close(analytic, numeric)
+
+    def test_weight_gradient_numerical(self, rng):
+        layer = Linear(3, 2, seed=2)
+        x = rng.standard_normal((4, 3))
+        g_out = rng.standard_normal((4, 2))
+        layer.forward(x)
+        layer.backward(g_out)
+        analytic_w = layer.weight.grad.copy()
+        analytic_b = layer.bias.grad.copy()
+        layer.zero_grad()
+
+        w0 = layer.weight.data.copy()
+
+        def scalar_w(w):
+            layer.weight.data = w
+            out = float((layer.forward(x) * g_out).sum())
+            layer._cached_input = None
+            return out
+
+        numeric_w = numerical_gradient(scalar_w, w0.copy())
+        layer.weight.data = w0
+        assert_grad_close(analytic_w, numeric_w)
+
+        b0 = layer.bias.data.copy()
+
+        def scalar_b(b):
+            layer.bias.data = b
+            out = float((layer.forward(x) * g_out).sum())
+            layer._cached_input = None
+            return out
+
+        numeric_b = numerical_gradient(scalar_b, b0.copy())
+        layer.bias.data = b0
+        assert_grad_close(analytic_b, numeric_b)
+
+    def test_grad_accumulates(self, rng):
+        layer = Linear(3, 2, seed=0)
+        x = rng.standard_normal((2, 3))
+        g = rng.standard_normal((2, 2))
+        layer.forward(x)
+        layer.backward(g)
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+    def test_shape_mismatch(self, rng):
+        layer = Linear(3, 2, seed=0)
+        layer.forward(rng.standard_normal((2, 3)))
+        with pytest.raises(ValueError):
+            layer.backward(rng.standard_normal((2, 3)))

@@ -1,0 +1,129 @@
+"""Tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adagrad, SparseSGD
+
+
+def _param(value) -> Parameter:
+    p = Parameter(np.asarray(value, dtype=np.float64))
+    return p
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = _param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_skips_none_grad(self):
+        p = _param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_array_equal(p.data, [1.0])
+
+    def test_momentum(self):
+        p = _param([0.0])
+        sgd = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0])
+        sgd.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        sgd.step()  # v=1.5, p=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1, momentum=1.0)
+
+    def test_zero_grad(self):
+        p = _param([1.0])
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSparseSGD:
+    def test_row_update(self):
+        table = np.ones((4, 2))
+        SparseSGD(0.5).step_rows(
+            table, np.array([1, 3]), np.array([[2.0, 2.0], [4.0, 4.0]])
+        )
+        np.testing.assert_allclose(table[1], [0.0, 0.0])
+        np.testing.assert_allclose(table[3], [-1.0, -1.0])
+        np.testing.assert_allclose(table[0], [1.0, 1.0])
+
+    def test_duplicate_rows_accumulate(self):
+        table = np.zeros((2, 1))
+        SparseSGD(1.0).step_rows(
+            table, np.array([0, 0]), np.array([[1.0], [2.0]])
+        )
+        np.testing.assert_allclose(table[0], [-3.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SparseSGD(0.1).step_rows(
+                np.zeros((2, 2)), np.array([0]), np.zeros((2, 2))
+            )
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SparseSGD(0.0)
+
+
+class TestAdagrad:
+    def test_first_step_is_lr_sign(self):
+        p = _param([0.0])
+        p.grad = np.array([2.0])
+        Adagrad([p], lr=0.1).step()
+        # update = lr * g / (sqrt(g^2) + eps) ~ lr
+        np.testing.assert_allclose(p.data, [-0.1], atol=1e-6)
+
+    def test_accumulates_and_slows(self):
+        p = _param([0.0])
+        opt = Adagrad([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        first = abs(p.data[0])
+        prev = p.data[0]
+        p.grad = np.array([1.0])
+        opt.step()
+        second = abs(p.data[0] - prev)
+        assert second < first
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            Adagrad([], lr=0.1, eps=0.0)
+
+
+class TestWeightDecay:
+    def test_decay_pulls_toward_zero(self):
+        p = _param([2.0])
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_decay_adds_to_gradient(self):
+        p = _param([1.0])
+        p.grad = np.array([1.0])
+        SGD([p], lr=0.1, weight_decay=1.0).step()
+        # update = grad + wd*param = 2.0
+        np.testing.assert_allclose(p.data, [1.0 - 0.2])
+
+    def test_decay_feeds_momentum(self):
+        p = _param([1.0])
+        opt = SGD([p], lr=1.0, momentum=0.5, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()  # v = 1.0 (decay only), p = 0.0
+        np.testing.assert_allclose(p.data, [0.0])
+        p.grad = np.array([0.0])
+        opt.step()  # v = 0.5*1.0 + 0.0 = 0.5, p = -0.5
+        np.testing.assert_allclose(p.data, [-0.5])
+
+    def test_negative_decay_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1, weight_decay=-0.1)

@@ -1,0 +1,173 @@
+"""Tests for the index bijection and its generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reorder.bijection import (
+    IndexBijection,
+    build_bijection,
+    build_frequency_bijection,
+)
+from repro.reorder.index_graph import build_index_graph
+
+
+class TestIndexBijection:
+    def test_identity(self):
+        bij = IndexBijection.identity(5)
+        np.testing.assert_array_equal(bij.apply(np.array([0, 4])), [0, 4])
+        assert bij.is_identity()
+
+    def test_from_forward_valid(self):
+        bij = IndexBijection.from_forward(np.array([2, 0, 1]))
+        np.testing.assert_array_equal(bij.apply(np.array([0, 1, 2])), [2, 0, 1])
+        np.testing.assert_array_equal(bij.invert(np.array([2, 0, 1])), [0, 1, 2])
+
+    def test_roundtrip(self, rng):
+        perm = rng.permutation(100)
+        bij = IndexBijection.from_forward(perm)
+        idx = rng.integers(0, 100, size=50)
+        np.testing.assert_array_equal(bij.invert(bij.apply(idx)), idx)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            IndexBijection.from_forward(np.array([0, 0, 1]))
+        with pytest.raises(ValueError):
+            IndexBijection.from_forward(np.array([0, 3]))
+
+    def test_compose(self, rng):
+        a = IndexBijection.from_forward(rng.permutation(10))
+        b = IndexBijection.from_forward(rng.permutation(10))
+        c = a.compose(b)
+        idx = np.arange(10)
+        np.testing.assert_array_equal(c.apply(idx), b.apply(a.apply(idx)))
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            IndexBijection.identity(3).compose(IndexBijection.identity(4))
+
+    def test_out_of_range(self):
+        bij = IndexBijection.identity(3)
+        with pytest.raises(ValueError):
+            bij.apply(np.array([3]))
+
+
+class TestBuildBijection:
+    def _clustered_batches(self, rng, num_rows=64, clusters=4, batches=40):
+        """Batches drawn from scattered latent clusters."""
+        perm = rng.permutation(num_rows)
+        out = []
+        size = num_rows // clusters
+        for _ in range(batches):
+            c = rng.integers(0, clusters)
+            members = rng.choice(
+                np.arange(c * size, (c + 1) * size), size=6, replace=False
+            )
+            out.append(perm[members])
+        return out
+
+    def test_result_is_permutation(self, rng):
+        batches = self._clustered_batches(rng)
+        bij = build_bijection(batches, 64, hot_ratio=0.05, seed=0)
+        assert bij.num_rows == 64
+        assert sorted(bij.new_from_old.tolist()) == list(range(64))
+
+    def test_hot_indices_get_lowest_ids(self, rng):
+        batches = [np.array([7, 7, 7, 7, 3])] * 20
+        bij = build_bijection(batches, 10, hot_ratio=0.1, seed=0)
+        # hot_count = 1, most frequent index is 7 -> new id 0
+        assert bij.new_from_old[7] == 0
+
+    def test_cluster_members_become_contiguous(self, rng):
+        batches = self._clustered_batches(rng, clusters=4)
+        bij = build_bijection(batches, 64, hot_ratio=0.0, seed=0)
+        # indices co-occurring in batches should land near each other:
+        # measure mean within-batch id spread before and after.
+        def mean_spread(mapper):
+            spreads = []
+            for batch in batches:
+                ids = mapper(batch)
+                spreads.append(np.ptp(ids))
+            return float(np.mean(spreads))
+
+        before = mean_spread(lambda b: b)
+        after = mean_spread(bij.apply)
+        assert after < before
+
+    def test_improves_prefix_reuse(self, rng):
+        from repro.reorder.stats import reuse_improvement
+
+        batches = self._clustered_batches(rng, clusters=8, batches=60)
+        bij = build_bijection(batches, 64, hot_ratio=0.05, seed=0)
+        stats = reuse_improvement(batches, [4, 4, 4], bij)
+        assert stats["partial_gemm_reduction"] >= 1.0
+
+    def test_prebuilt_graph_accepted(self, rng):
+        batches = self._clustered_batches(rng)
+        graph = build_index_graph(batches, 64, hot_ratio=0.05)
+        bij = build_bijection([], 64, graph=graph, seed=0)
+        assert sorted(bij.new_from_old.tolist()) == list(range(64))
+
+    def test_graph_size_mismatch(self, rng):
+        batches = self._clustered_batches(rng)
+        graph = build_index_graph(batches, 64, hot_ratio=0.05)
+        with pytest.raises(ValueError):
+            build_bijection([], 100, graph=graph)
+
+
+class TestFrequencyBijection:
+    def test_is_permutation(self, rng):
+        batches = [rng.integers(0, 50, size=10) for _ in range(5)]
+        bij = build_frequency_bijection(batches, 50)
+        assert sorted(bij.new_from_old.tolist()) == list(range(50))
+
+    def test_most_frequent_gets_id_zero(self):
+        batches = [np.array([7, 7, 7, 2])]
+        bij = build_frequency_bijection(batches, 10)
+        assert bij.new_from_old[7] == 0
+        assert bij.new_from_old[2] == 1
+
+    def test_unseen_rows_at_tail(self):
+        bij = build_frequency_bijection([np.array([9])], 10)
+        assert bij.new_from_old[9] == 0
+        assert set(bij.new_from_old[:9].tolist()) == set(range(1, 10))
+
+    def test_community_beats_frequency_on_clustered_data(self, rng):
+        """The paper's §IV claim, at unit-test scale."""
+        from repro.reorder.stats import reuse_improvement
+
+        num_rows = 64
+        perm = rng.permutation(num_rows)
+        batches = []
+        for _ in range(40):
+            cluster = rng.integers(0, 4)
+            members = rng.choice(
+                np.arange(cluster * 16, cluster * 16 + 16), size=6,
+                replace=False,
+            )
+            batches.append(perm[members])
+        freq = build_frequency_bijection(batches, num_rows)
+        community = build_bijection(batches, num_rows, hot_ratio=0.0, seed=0)
+        shape = [4, 4, 4]
+        freq_red = reuse_improvement(batches, shape, freq)[
+            "partial_gemm_reduction"
+        ]
+        comm_red = reuse_improvement(batches, shape, community)[
+            "partial_gemm_reduction"
+        ]
+        assert comm_red >= freq_red
+
+
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_property_bijection_always_permutation(num_rows, seed):
+    rng = np.random.default_rng(seed)
+    batches = [
+        rng.integers(0, num_rows, size=rng.integers(1, 8))
+        for _ in range(5)
+    ]
+    bij = build_bijection(batches, num_rows, hot_ratio=0.1, seed=seed)
+    assert sorted(bij.new_from_old.tolist()) == list(range(num_rows))
+    idx = rng.integers(0, num_rows, size=20)
+    np.testing.assert_array_equal(bij.invert(bij.apply(idx)), idx)

@@ -1,0 +1,133 @@
+"""Tests for the from-scratch Louvain implementation, cross-checked
+against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.reorder.community import louvain_communities, modularity
+
+
+def _two_cliques(n=8, bridge=True):
+    edges = []
+    for base in (0, n):
+        for i in range(n):
+            for j in range(i + 1, n):
+                edges.append((base + i, base + j, 1.0))
+    if bridge:
+        edges.append((0, n, 1.0))
+    src = np.array([e[0] for e in edges])
+    dst = np.array([e[1] for e in edges])
+    w = np.array([e[2] for e in edges])
+    return 2 * n, src, dst, w, edges
+
+
+class TestModularity:
+    def test_matches_networkx(self):
+        n, src, dst, w, edges = _two_cliques()
+        labels = np.array([0] * 8 + [1] * 8)
+        ours = modularity(labels, n, src, dst, w)
+        g = nx.Graph()
+        g.add_weighted_edges_from(edges)
+        theirs = nx.community.modularity(g, [set(range(8)), set(range(8, 16))])
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_matches_networkx_random_partition(self, rng):
+        n, src, dst, w, edges = _two_cliques()
+        labels = rng.integers(0, 3, size=n)
+        g = nx.Graph()
+        g.add_weighted_edges_from(edges)
+        comms = [set(np.flatnonzero(labels == c)) for c in range(3)]
+        comms = [c for c in comms if c]
+        ours = modularity(labels, n, src, dst, w)
+        theirs = nx.community.modularity(g, comms)
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_self_loop_consistent_with_networkx(self):
+        src = np.array([0, 0, 1])
+        dst = np.array([1, 0, 2])  # one self loop at 0
+        w = np.array([1.0, 2.0, 1.0])
+        labels = np.array([0, 0, 1])
+        g = nx.Graph()
+        g.add_weighted_edges_from([(0, 1, 1.0), (0, 0, 2.0), (1, 2, 1.0)])
+        theirs = nx.community.modularity(g, [{0, 1}, {2}])
+        ours = modularity(labels, 3, src, dst, w)
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_empty_graph(self):
+        assert modularity(np.array([0, 1]), 2, np.array([]), np.array([]), np.array([])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            modularity(np.array([0]), 2, np.array([0]), np.array([1]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            modularity(np.array([0, 0]), 2, np.array([0]), np.array([5]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            modularity(np.array([0, 0]), 2, np.array([0]), np.array([1]), np.array([-1.0]))
+
+
+class TestLouvain:
+    def test_separates_cliques(self):
+        n, src, dst, w, _ = _two_cliques()
+        labels = louvain_communities(n, src, dst, w, seed=0)
+        assert len(set(labels[:8].tolist())) == 1
+        assert len(set(labels[8:].tolist())) == 1
+        assert labels[0] != labels[8]
+
+    def test_disconnected_components(self):
+        # two disjoint edges -> two communities, isolated vertex alone
+        labels = louvain_communities(
+            5, np.array([0, 2]), np.array([1, 3]), np.array([1.0, 1.0]), seed=0
+        )
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_no_edges_singletons(self):
+        labels = louvain_communities(
+            4, np.array([]), np.array([]), np.array([]), seed=0
+        )
+        assert len(set(labels.tolist())) == 4
+
+    def test_empty_graph(self):
+        labels = louvain_communities(0, np.array([]), np.array([]), np.array([]))
+        assert labels.size == 0
+
+    def test_labels_compact(self):
+        n, src, dst, w, _ = _two_cliques()
+        labels = louvain_communities(n, src, dst, w, seed=1)
+        uniq = np.unique(labels)
+        np.testing.assert_array_equal(uniq, np.arange(uniq.size))
+
+    def test_deterministic_given_seed(self):
+        n, src, dst, w, _ = _two_cliques()
+        a = louvain_communities(n, src, dst, w, seed=7)
+        b = louvain_communities(n, src, dst, w, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_modularity_not_worse_than_singletons(self, rng):
+        # random graph: Louvain should never end below the trivial
+        # all-singletons baseline
+        n = 30
+        src = rng.integers(0, n, size=80)
+        dst = rng.integers(0, n, size=80)
+        w = rng.random(80) + 0.1
+        labels = louvain_communities(n, src, dst, w, seed=0)
+        q_louvain = modularity(labels, n, src, dst, w)
+        q_singletons = modularity(np.arange(n), n, src, dst, w)
+        assert q_louvain >= q_singletons - 1e-12
+
+    def test_quality_comparable_to_networkx(self):
+        # ring of cliques, the classic benchmark
+        g = nx.ring_of_cliques(6, 5)
+        edges = list(g.edges())
+        src = np.array([e[0] for e in edges])
+        dst = np.array([e[1] for e in edges])
+        w = np.ones(len(edges))
+        n = g.number_of_nodes()
+        labels = louvain_communities(n, src, dst, w, seed=0)
+        q_ours = modularity(labels, n, src, dst, w)
+        nx_comms = nx.community.louvain_communities(g, seed=0)
+        q_nx = nx.community.modularity(g, nx_comms)
+        assert q_ours >= 0.9 * q_nx

@@ -1,0 +1,84 @@
+"""Tests for index-graph generation (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.reorder.index_graph import build_index_graph, frequency_order
+
+
+class TestFrequencyOrder:
+    def test_ranks_by_count(self):
+        batches = [np.array([3, 3, 3, 1, 1, 0])]
+        index_of_rank, rank_of_index = frequency_order(batches, 5)
+        assert index_of_rank[0] == 3
+        assert index_of_rank[1] == 1
+        assert index_of_rank[2] == 0
+        # inverse property
+        np.testing.assert_array_equal(
+            rank_of_index[index_of_rank], np.arange(5)
+        )
+
+    def test_ties_broken_by_index(self):
+        index_of_rank, _ = frequency_order([np.array([2, 1])], 4)
+        assert index_of_rank[0] == 1  # same count, lower index first
+        assert index_of_rank[1] == 2
+
+    def test_unaccessed_at_tail(self):
+        index_of_rank, _ = frequency_order([np.array([4])], 5)
+        assert index_of_rank[0] == 4
+        assert set(index_of_rank[1:].tolist()) == {0, 1, 2, 3}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_order([np.array([5])], 5)
+
+
+class TestBuildIndexGraph:
+    def test_co_occurrence_edges(self):
+        # no hot region: every pair in a batch becomes an edge
+        batches = [np.array([0, 1, 2]), np.array([0, 1])]
+        graph = build_index_graph(batches, 4, hot_ratio=0.0)
+        assert graph.hot_count == 0
+        assert graph.num_vertices == 4
+        # edge between freq-ranks of (0,1) should have weight 2
+        r = graph.rank_of_index
+        key_pairs = {
+            (min(s, d), max(s, d)): w
+            for s, d, w in zip(graph.src, graph.dst, graph.weight)
+        }
+        pair01 = (min(r[0], r[1]), max(r[0], r[1]))
+        assert key_pairs[pair01] == 2.0
+        assert graph.num_edges == 3  # (0,1), (0,2), (1,2) in rank space
+
+    def test_hot_indices_excluded(self):
+        batches = [np.array([0, 1, 2])] * 10 + [np.array([3, 4])]
+        # hot_ratio 0.6 of 5 rows -> 3 hot indices = ranks 0,1,2 = {0,1,2}
+        graph = build_index_graph(batches, 5, hot_ratio=0.6)
+        assert graph.hot_count == 3
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1  # only (3,4)
+
+    def test_duplicate_indices_within_batch(self):
+        graph = build_index_graph([np.array([1, 1, 2])], 3, hot_ratio=0.0)
+        # duplicates collapse: single (1,2) edge with weight 1
+        assert graph.num_edges == 1
+        assert graph.weight[0] == 1.0
+
+    def test_single_index_batch_no_edges(self):
+        graph = build_index_graph([np.array([2])], 3, hot_ratio=0.0)
+        assert graph.num_edges == 0
+
+    def test_degree_weights(self):
+        graph = build_index_graph([np.array([0, 1])], 2, hot_ratio=0.0)
+        deg = graph.degree_weights()
+        np.testing.assert_array_equal(np.sort(deg), [1.0, 1.0])
+
+    def test_pair_budget_respected(self):
+        big_batch = np.arange(1000)
+        graph = build_index_graph([big_batch], 1000, hot_ratio=0.0,
+                                  max_pairs_per_batch=100)
+        assert graph.num_edges <= 100
+
+    def test_invalid_hot_ratio(self):
+        with pytest.raises(ValueError):
+            build_index_graph([np.array([0])], 2, hot_ratio=1.5)

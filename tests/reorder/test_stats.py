@@ -1,0 +1,48 @@
+"""Tests for locality statistics."""
+
+import numpy as np
+import pytest
+
+from repro.reorder.bijection import IndexBijection
+from repro.reorder.stats import batch_locality_stats, reuse_improvement
+
+
+class TestBatchLocalityStats:
+    def test_counts(self):
+        stats = batch_locality_stats(np.array([0, 0, 1, 6]), [4, 3, 2])
+        assert stats.num_occurrences == 4
+        assert stats.num_unique_rows == 3
+        # rows 0 and 1 share prefix (0,0); row 6 -> (1,0)
+        assert stats.num_unique_prefixes == 2
+
+    def test_ratios(self):
+        stats = batch_locality_stats(np.array([0, 0, 0, 0]), [4, 3, 2])
+        assert stats.full_row_reuse_ratio == pytest.approx(4.0)
+        assert stats.prefix_reuse_ratio == pytest.approx(1.0)
+
+    def test_with_bijection(self):
+        # map scattered indices {0, 12} (different prefixes) onto
+        # {0, 1} (shared prefix)
+        forward = np.arange(24)
+        forward[12] = 1
+        forward[1] = 12
+        bij = IndexBijection.from_forward(forward)
+        before = batch_locality_stats(np.array([0, 12]), [4, 3, 2])
+        after = batch_locality_stats(np.array([0, 12]), [4, 3, 2], bij)
+        assert before.num_unique_prefixes == 2
+        assert after.num_unique_prefixes == 1
+
+
+class TestReuseImprovement:
+    def test_identity_no_change(self):
+        batches = [np.array([0, 5, 11]), np.array([3, 7])]
+        out = reuse_improvement(batches, [4, 3, 2], IndexBijection.identity(24))
+        assert out["partial_gemm_reduction"] == pytest.approx(1.0)
+        assert (
+            out["mean_unique_prefixes_before"]
+            == out["mean_unique_prefixes_after"]
+        )
+
+    def test_empty_batches_rejected(self):
+        with pytest.raises(ValueError):
+            reuse_improvement([], [4, 3, 2], IndexBijection.identity(24))

@@ -1,0 +1,91 @@
+"""Tests for the placement planner (paper §V-A policy)."""
+
+import pytest
+
+from repro.system.devices import TESLA_V100, DeviceSpec
+from repro.system.memory import (
+    PlacementDecision,
+    plan_placement,
+)
+
+
+TINY_GPU = DeviceSpec(
+    name="tiny",
+    peak_gflops=1000.0,
+    mem_bw_gbps=100.0,
+    hbm_bytes=10e6,  # 10 MB
+    h2d_gbps=10.0,
+    p2p_gbps=10.0,
+)
+
+
+class TestPlanPlacement:
+    def test_large_tables_compressed(self):
+        plan = plan_placement(
+            [5_000_000, 500], 64, TESLA_V100, tt_rank=32,
+            tt_threshold_rows=1_000_000,
+        )
+        assert plan.placements[0].decision is PlacementDecision.GPU_TT
+        assert plan.placements[0].tt_spec is not None
+        assert plan.placements[1].decision is PlacementDecision.GPU_DENSE
+
+    def test_compression_shrinks_footprint(self):
+        plan = plan_placement(
+            [10_000_000], 64, TESLA_V100, tt_rank=64, tt_threshold_rows=0
+        )
+        dense_bytes = 10_000_000 * 64 * 4
+        assert plan.placements[0].nbytes < dense_bytes / 50
+
+    def test_spill_to_host_when_over_budget(self):
+        # dense tables too large for the tiny GPU spill to the host
+        plan = plan_placement(
+            [200_000, 150_000, 100], 16, TINY_GPU, compress=False
+        )
+        decisions = [p.decision for p in plan.placements]
+        assert PlacementDecision.HOST_DENSE in decisions
+        # the small table should stay on GPU (smallest-first packing)
+        assert plan.placements[2].decision is PlacementDecision.GPU_DENSE
+        assert plan.fits_gpu()
+
+    def test_compress_false_reproduces_baseline(self):
+        plan = plan_placement(
+            [5_000_000], 64, TESLA_V100, compress=False
+        )
+        assert plan.placements[0].decision is PlacementDecision.GPU_DENSE
+
+    def test_accounting(self):
+        plan = plan_placement(
+            [1000, 2000], 16, TESLA_V100, compress=False, mlp_bytes=500
+        )
+        assert plan.gpu_bytes == 500 + (1000 + 2000) * 16 * 4
+        assert plan.host_bytes == 0
+        summary = plan.summary()
+        assert summary["gpu_dense_tables"] == 2
+        assert summary["host_tables"] == 0
+
+    def test_tt_tables_listed(self):
+        plan = plan_placement(
+            [5_000_000, 10], 64, TESLA_V100, tt_threshold_rows=1000
+        )
+        assert len(plan.tt_tables) == 1
+        assert plan.tt_tables[0].table_idx == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            plan_placement([10], 4, TESLA_V100, hbm_fraction=0.0)
+
+    def test_paper_scenario_criteo_tb(self):
+        """Criteo-TB dense tables exceed one V100; TT makes them fit."""
+        from repro.data.datasets import criteo_tb_like
+
+        spec = criteo_tb_like()
+        rows = [t.num_rows for t in spec.tables]
+        uncompressed = plan_placement(
+            rows, 64, TESLA_V100, compress=False
+        )
+        assert len(uncompressed.host_tables) > 0  # cannot fit dense
+        compressed = plan_placement(
+            rows, 64, TESLA_V100, tt_rank=64, tt_threshold_rows=1_000_000
+        )
+        assert len(compressed.host_tables) == 0  # TT fits on one GPU
+        assert compressed.fits_gpu()

@@ -1,0 +1,70 @@
+"""Tests for the bounded FIFO queue."""
+
+import pytest
+
+from repro.system.queues import BoundedQueue, QueueClosed
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue(3)
+        q.put(1)
+        q.put(2)
+        assert q.get() == 1
+        assert q.get() == 2
+
+    def test_capacity_enforced(self):
+        q = BoundedQueue(1)
+        q.put("a")
+        assert q.full()
+        with pytest.raises(OverflowError):
+            q.put("b")
+
+    def test_empty_get(self):
+        q = BoundedQueue(1)
+        with pytest.raises(LookupError):
+            q.get()
+        with pytest.raises(LookupError):
+            q.peek()
+
+    def test_peek_non_destructive(self):
+        q = BoundedQueue(2)
+        q.put(5)
+        assert q.peek() == 5
+        assert len(q) == 1
+
+    def test_close_semantics(self):
+        q = BoundedQueue(2)
+        q.put(1)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(2)
+        assert q.get() == 1  # drain allowed
+        with pytest.raises(QueueClosed):
+            q.get()
+
+    def test_counters(self):
+        q = BoundedQueue(4)
+        q.put(1)
+        q.put(2)
+        q.get()
+        assert q.total_puts == 2
+        assert q.total_gets == 1
+
+    def test_drain(self):
+        q = BoundedQueue(4)
+        for i in range(3):
+            q.put(i)
+        assert q.drain() == [0, 1, 2]
+        assert q.empty()
+
+    def test_iteration_non_destructive(self):
+        q = BoundedQueue(3)
+        q.put(1)
+        q.put(2)
+        assert list(q) == [1, 2]
+        assert len(q) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)

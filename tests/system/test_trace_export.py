@@ -1,0 +1,96 @@
+"""Tests for Chrome-trace export and PS checkpointing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.system.parameter_server import HostParameterServer
+from repro.system.simclock import simulate_pipeline_trace
+from repro.system.trace_export import export_chrome_trace, pipeline_trace_events
+
+
+class TestPipelineTraceEvents:
+    def test_event_counts(self):
+        n = 10
+        events = pipeline_trace_events(
+            [0.01] * n, [0.002] * n, [0.008] * n, prefetch_depth=4
+        )
+        complete = [e for e in events if e.get("ph") == "X"]
+        metadata = [e for e in events if e.get("ph") == "M"]
+        assert len(complete) == 3 * n  # one per (batch, stage)
+        assert len(metadata) == 3
+
+    def test_intervals_consistent_with_des(self):
+        n = 12
+        cpu, pcie, gpu = [0.01] * n, [0.002] * n, [0.008] * n
+        events = pipeline_trace_events(cpu, pcie, gpu, prefetch_depth=4)
+        trace = simulate_pipeline_trace(cpu, pcie, gpu, prefetch_depth=4)
+        gpu_events = [
+            e for e in events if e.get("cat") == "gpu" and e.get("ph") == "X"
+        ]
+        last_end = max(e["ts"] + e["dur"] for e in gpu_events) / 1e6
+        assert last_end == pytest.approx(trace.makespan, rel=1e-9)
+
+    def test_no_overlap_within_stage(self):
+        n = 20
+        rng = np.random.default_rng(0)
+        events = pipeline_trace_events(
+            rng.random(n) * 0.01,
+            rng.random(n) * 0.004,
+            rng.random(n) * 0.01,
+            prefetch_depth=3,
+        )
+        for stage in ("cpu", "pcie", "gpu"):
+            spans = sorted(
+                (e["ts"], e["ts"] + e["dur"])
+                for e in events
+                if e.get("cat") == stage and e.get("ph") == "X"
+            )
+            for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-6  # unit-capacity resource
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipeline_trace_events([], [], [])
+        with pytest.raises(ValueError):
+            pipeline_trace_events([0.1], [0.1, 0.2], [0.1])
+
+    def test_export_writes_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(
+            str(path), [0.01] * 4, [0.001] * 4, [0.005] * 4
+        )
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == count
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+
+class TestServerCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        server = HostParameterServer([20, 30], embedding_dim=4, lr=0.1, seed=0)
+        server.apply_gradients(0, np.array([3]), np.ones((1, 4)))
+        path = tmp_path / "server.npz"
+        server.save(str(path))
+        restored = HostParameterServer.load(str(path))
+        assert restored.lr == server.lr
+        assert restored.num_tables == 2
+        for a, b in zip(server.tables, restored.tables):
+            np.testing.assert_array_equal(a, b)
+
+    def test_restored_server_usable(self, tmp_path):
+        server = HostParameterServer([10], embedding_dim=2, lr=0.5, seed=0)
+        path = tmp_path / "s.npz"
+        server.save(str(path))
+        restored = HostParameterServer.load(str(path))
+        out = restored.gather(0, np.array([1, 1, 4]))
+        np.testing.assert_array_equal(out.unique_indices, [1, 4])
+        restored.apply_gradients(0, out.unique_indices, np.ones((2, 2)))
+
+    def test_empty_checkpoint_rejected(self, tmp_path):
+        import numpy as np_
+
+        path = tmp_path / "bad.npz"
+        np_.savez(path, __lr__=np_.array([0.1]))
+        with pytest.raises(ValueError):
+            HostParameterServer.load(str(path))

@@ -1,0 +1,33 @@
+"""Smoke tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "host calibration" in out
+        assert "V100" in out and "T4" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "criteo-tb" in out
+        assert "45,840,617" in out  # Criteo Kaggle samples
+
+    def test_quickcheck(self, capsys):
+        assert main(["quickcheck", "--steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "eff_tt" in out
+        assert "FAILED" not in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

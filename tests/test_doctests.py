@@ -1,0 +1,27 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.embeddings.tt_indices
+import repro.utils.factorize
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.utils.factorize,
+        repro.embeddings.tt_indices,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        verbose=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+        extraglobs={"np": __import__("numpy")},
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "no doctests collected"

@@ -1,0 +1,135 @@
+"""Tests for balanced integer factorization (TT shape selection)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.factorize import (
+    balanced_factorization,
+    factorize_pair,
+    prime_factors,
+    suggest_tt_shapes,
+)
+
+
+class TestPrimeFactors:
+    def test_small_values(self):
+        assert prime_factors(1) == []
+        assert prime_factors(2) == [2]
+        assert prime_factors(12) == [2, 2, 3]
+        assert prime_factors(360) == [2, 2, 2, 3, 3, 5]
+
+    def test_prime(self):
+        assert prime_factors(97) == [97]
+
+    def test_large_prime_power(self):
+        assert prime_factors(2**20) == [2] * 20
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            prime_factors(0)
+        with pytest.raises(ValueError):
+            prime_factors(-5)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=200, deadline=None)
+    def test_product_roundtrip(self, value):
+        assert math.prod(prime_factors(value)) == value
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=100, deadline=None)
+    def test_factors_are_prime(self, value):
+        for p in prime_factors(value):
+            assert p >= 2
+            assert all(p % q != 0 for q in range(2, int(p**0.5) + 1))
+
+
+class TestBalancedFactorization:
+    def test_perfect_cube(self):
+        assert balanced_factorization(1000, 3) == [10, 10, 10]
+
+    def test_power_of_two(self):
+        factors = balanced_factorization(64, 3)
+        assert math.prod(factors) == 64
+        assert factors == [4, 4, 4]
+
+    def test_single_factor(self):
+        assert balanced_factorization(42, 1) == [42]
+
+    def test_more_factors_than_primes(self):
+        factors = balanced_factorization(6, 4)
+        assert math.prod(factors) == 6
+        assert len(factors) == 4
+        assert factors.count(1) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            balanced_factorization(10, 0)
+        with pytest.raises(ValueError):
+            balanced_factorization(0, 2)
+
+    @given(
+        st.integers(min_value=1, max_value=10_000_000),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_product_invariant(self, value, k):
+        factors = balanced_factorization(value, k)
+        assert math.prod(factors) == value
+        assert len(factors) == k
+        assert factors == sorted(factors, reverse=True)
+
+
+class TestFactorizePair:
+    def test_shapes(self):
+        rows, cols = factorize_pair(1_000_000, 64, 3)
+        assert math.prod(rows) == 1_000_000
+        assert math.prod(cols) == 64
+
+    def test_two_cores(self):
+        rows, cols = factorize_pair(144, 16, 2)
+        assert len(rows) == len(cols) == 2
+
+
+class TestSuggestTTShapes:
+    def test_exact_cube_no_padding(self):
+        rows, cols, padded = suggest_tt_shapes(1000, 8)
+        assert padded == 1000
+        assert rows == [10, 10, 10]
+        assert math.prod(cols) == 8
+
+    def test_prime_rows_padded(self):
+        # A large prime forces padding for a balanced factorization.
+        rows, cols, padded = suggest_tt_shapes(1_000_003, 64)
+        assert padded >= 1_000_003
+        assert math.prod(rows) == padded
+        # padding bounded
+        assert padded <= 1_000_003 * 1.2 + 1
+        # balance: max factor within 2x of cube root
+        assert max(rows) <= 2 * round(padded ** (1 / 3) + 1)
+
+    def test_criteo_sized_tables(self):
+        for cardinality in (10_131_227, 8_351_593, 5_461_306, 2_202_608):
+            rows, cols, padded = suggest_tt_shapes(cardinality, 64)
+            assert padded >= cardinality
+            assert (padded - cardinality) / cardinality < 0.2
+            assert math.prod(rows) == padded
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            suggest_tt_shapes(0, 16)
+        with pytest.raises(ValueError):
+            suggest_tt_shapes(100, 0)
+        with pytest.raises(ValueError):
+            suggest_tt_shapes(100, 16, num_cores=0)
+
+    @given(st.integers(min_value=10, max_value=2_000_000))
+    @settings(max_examples=50, deadline=None)
+    def test_padding_invariants(self, num_rows):
+        rows, cols, padded = suggest_tt_shapes(num_rows, 32)
+        assert padded >= num_rows
+        assert math.prod(rows) == padded
+        assert math.prod(cols) == 32

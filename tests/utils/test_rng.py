@@ -1,0 +1,60 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sequence_seed(self):
+        a = ensure_rng((1, 2, 3)).random(5)
+        b = ensure_rng((1, 2, 3)).random(5)
+        c = ensure_rng((1, 2, 4)).random(5)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer(self):
+        a = ensure_rng(np.int64(9)).random(3)
+        b = ensure_rng(9).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+        with pytest.raises(TypeError):
+            ensure_rng(3.14)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+        assert spawn_rngs(0, 0) == []
+
+    def test_children_independent(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.random(4) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic(self):
+        a = [c.random(3) for c in spawn_rngs(42, 2)]
+        b = [c.random(3) for c in spawn_rngs(42, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,69 @@
+"""Tests for the fast duplicate-safe scatter-add."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.scatter import scatter_add_rows
+
+
+class TestScatterAddRows:
+    def test_basic(self):
+        target = np.zeros((4, 2))
+        scatter_add_rows(
+            target, np.array([1, 3]), np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+        np.testing.assert_array_equal(target[1], [1.0, 2.0])
+        np.testing.assert_array_equal(target[3], [3.0, 4.0])
+        np.testing.assert_array_equal(target[0], [0.0, 0.0])
+
+    def test_duplicates_accumulate(self):
+        target = np.zeros((2, 1))
+        scatter_add_rows(
+            target, np.array([0, 0, 1]), np.array([[1.0], [2.0], [5.0]])
+        )
+        np.testing.assert_array_equal(target[:, 0], [3.0, 5.0])
+
+    def test_scale_fused(self):
+        target = np.ones((3, 2))
+        scatter_add_rows(
+            target, np.array([0, 0]), np.ones((2, 2)), scale=-0.5
+        )
+        np.testing.assert_array_equal(target[0], [0.0, 0.0])
+        np.testing.assert_array_equal(target[1], [1.0, 1.0])
+
+    def test_scale_without_duplicates(self):
+        target = np.zeros((3, 2))
+        scatter_add_rows(
+            target, np.array([0, 2]), np.ones((2, 2)), scale=2.0
+        )
+        np.testing.assert_array_equal(target[0], [2.0, 2.0])
+        np.testing.assert_array_equal(target[2], [2.0, 2.0])
+
+    def test_empty_noop(self):
+        target = np.ones((2, 2))
+        scatter_add_rows(target, np.array([], dtype=np.int64), np.zeros((0, 2)))
+        np.testing.assert_array_equal(target, np.ones((2, 2)))
+
+    def test_multidimensional_rows(self):
+        target = np.zeros((3, 2, 2))
+        values = np.ones((2, 2, 2))
+        scatter_add_rows(target, np.array([1, 1]), values)
+        np.testing.assert_array_equal(target[1], 2 * np.ones((2, 2)))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=50),
+        st.floats(min_value=-3.0, max_value=3.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_equivalent_to_add_at(self, indices, scale, seed):
+        rng = np.random.default_rng(seed)
+        idx = np.array(indices, dtype=np.int64)
+        values = rng.standard_normal((idx.size, 3))
+        a = rng.standard_normal((10, 3))
+        b = a.copy()
+        scatter_add_rows(a, idx, values, scale=scale)
+        np.add.at(b, idx, scale * values)
+        np.testing.assert_allclose(a, b, atol=1e-12)

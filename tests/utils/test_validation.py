@@ -1,0 +1,64 @@
+"""Tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_1d_int_array,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheck1dIntArray:
+    def test_passthrough(self):
+        arr = check_1d_int_array(np.array([1, 2, 3]), "x")
+        assert arr.dtype == np.int64
+        np.testing.assert_array_equal(arr, [1, 2, 3])
+
+    def test_converts_int32(self):
+        arr = check_1d_int_array(np.array([1], dtype=np.int32), "x")
+        assert arr.dtype == np.int64
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_1d_int_array(np.array([1.0]), "x")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_1d_int_array(np.array([[1]]), "x")
+
+    def test_bounds(self):
+        check_1d_int_array(np.array([0, 5]), "x", min_value=0, max_value=5)
+        with pytest.raises(ValueError, match="below minimum"):
+            check_1d_int_array(np.array([-1]), "x", min_value=0)
+        with pytest.raises(ValueError, match="above maximum"):
+            check_1d_int_array(np.array([6]), "x", max_value=5)
+
+    def test_empty_ok(self):
+        arr = check_1d_int_array(np.array([], dtype=np.int64), "x", min_value=0)
+        assert arr.size == 0
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_1d_int_array(np.array([[1]]), "myarg")
+
+
+class TestScalarChecks:
+    def test_positive_strict(self):
+        assert check_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_positive_nonstrict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_probability(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
