@@ -1,0 +1,133 @@
+"""Extension: serving SLO sweep — arrival rate x batching policy.
+
+The micro-batching trade-off made quantitative: at low arrival rates
+aggressive coalescing only adds wait-time latency, while under load it
+is what keeps the server ahead of the arrival process.  This bench runs
+the full deterministic serving loop (real DLRM numerics, simulated
+time) across a grid of Poisson arrival rates and batching policies and
+reports throughput, tail latency, batch sizes, rejections, and cache
+hit rate — the data an operator would use to pick a policy for a
+latency SLO.
+
+Marked ``serving_slow`` (thousands of real model forwards): excluded
+from default pytest runs; invoke with ``pytest benchmarks -m
+serving_slow`` or run the module directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit, run_once
+from repro.bench.harness import format_table
+from repro.data.datasets import criteo_kaggle_like
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.models.dlrm import DLRM
+from repro.serving import (
+    BatchingPolicy,
+    InferenceServer,
+    RequestGenerator,
+    ServingModel,
+)
+
+SCALE = 3e-5
+NUM_REQUESTS = 400
+HOT_COVERAGE = 0.1
+# The top rate exceeds the no-batching capacity (2 workers at ~0.12 ms
+# per single-request batch saturate near 17k req/s), so the sweep shows
+# both regimes: batching pure overhead at low load, survival under it.
+RATES = (500.0, 2_000.0, 24_000.0)
+POLICIES = {
+    "no batching": BatchingPolicy(max_batch_size=1, max_wait=0.0),
+    "batch 16 / 2 ms": BatchingPolicy(max_batch_size=16, max_wait=2e-3),
+    "batch 64 / 5 ms": BatchingPolicy(max_batch_size=64, max_wait=5e-3),
+}
+
+
+def build_serving_slo_table() -> str:
+    spec = criteo_kaggle_like(scale=SCALE)
+    config = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    model = DLRM(config, seed=0)
+    rows = []
+    for rate in RATES:
+        generator = RequestGenerator(spec, rate=rate, seed=0)
+        requests = generator.generate(NUM_REQUESTS)
+        hot_rows = {
+            t: generator.hot_rows(t, HOT_COVERAGE)
+            for t in range(spec.num_sparse)
+        }
+        for label, policy in POLICIES.items():
+            server = InferenceServer(
+                ServingModel(model, hot_rows=hot_rows),
+                policy=policy,
+                num_workers=2,
+            )
+            report = server.run(requests).report
+            rows.append(
+                [
+                    f"{rate:,.0f}",
+                    label,
+                    f"{report.throughput_rps:,.0f}",
+                    f"{report.latency_p50 * 1e3:.2f}",
+                    f"{report.latency_p99 * 1e3:.2f}",
+                    f"{report.mean_batch_size:.1f}",
+                    report.rejected,
+                    f"{report.cache_hit_rate:.1%}",
+                ]
+            )
+    return format_table(
+        [
+            "arrival rate (req/s)",
+            "policy",
+            "served rps",
+            "p50 ms",
+            "p99 ms",
+            "mean batch",
+            "rejected",
+            "hit rate",
+        ],
+        rows,
+        title=(
+            "Serving SLO sweep: arrival rate x micro-batching policy "
+            f"(criteo-kaggle @ {SCALE:g}, {NUM_REQUESTS} requests, "
+            "Eff-TT + hot-row cache)"
+        ),
+    )
+
+
+@pytest.mark.serving_slow
+def test_serving_slo_sweep(benchmark):
+    emit("serving_slo", run_once(benchmark, build_serving_slo_table))
+
+
+@pytest.mark.serving_slow
+def test_batching_helps_under_load():
+    """At high load, coalescing must beat one-request batches on p99."""
+    spec = criteo_kaggle_like(scale=SCALE)
+    config = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    model = DLRM(config, seed=0)
+    generator = RequestGenerator(spec, rate=24_000.0, seed=0)
+    requests = generator.generate(NUM_REQUESTS)
+    hot_rows = {
+        t: generator.hot_rows(t, HOT_COVERAGE)
+        for t in range(spec.num_sparse)
+    }
+
+    def p99(policy: BatchingPolicy) -> float:
+        server = InferenceServer(
+            ServingModel(model, hot_rows=hot_rows),
+            policy=policy, num_workers=2,
+        )
+        return server.run(requests).report.latency_p99
+
+    assert p99(POLICIES["batch 16 / 2 ms"]) < p99(POLICIES["no batching"])
+
+
+if __name__ == "__main__":
+    print(build_serving_slo_table())

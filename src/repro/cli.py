@@ -9,8 +9,13 @@ Commands
 ``compression``
     Print the Table III compression summary.
 ``quickcheck``
-    Train a tiny DLRM on every backend and report losses — a fast
-    smoke test that the whole stack works on this machine.
+    Train a tiny DLRM on every backend and report losses, then run a
+    few hundred requests through the serving loop — a fast smoke test
+    that the whole stack works on this machine.
+``serve``
+    Simulate the online serving subsystem: Poisson/Zipf traffic,
+    dynamic micro-batching, hot-row caches, an optional mid-stream
+    training→serving hot swap, and an SLO report.
 ``figures``
     Regenerate every paper table/figure by invoking the benchmark
     builders (several minutes; results also land in
@@ -118,7 +123,113 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
             f"{backend.value:8s} loss {losses[0]:.4f} -> {losses[-1]:.4f}  "
             f"[{status}]"
         )
+
+    # Serving smoke: a few hundred simulated requests through the full
+    # micro-batching loop, sanity-checking the SLO report.
+    report = _run_serving(
+        spec, num_requests=300, rate=2000.0, workers=2,
+        max_batch_size=16, max_wait=2e-3, hot_coverage=0.1,
+        train_steps=0, seed=0,
+    ).report
+    serving_ok = (
+        report.completed + report.rejected == report.offered
+        and report.completed > 0
+        and report.latency_p99 >= report.latency_p50 > 0.0
+        and 0.0 <= report.cache_hit_rate <= 1.0
+    )
+    ok = ok and serving_ok
+    status = "ok" if serving_ok else "FAILED (inconsistent SLO report)"
+    print(
+        f"serving  {report.completed}/{report.offered} requests, "
+        f"p99 {report.latency_p99 * 1e3:.2f} ms, "
+        f"hit rate {report.cache_hit_rate:.1%}  [{status}]"
+    )
     return 0 if ok else 1
+
+
+def _run_serving(
+    spec,
+    num_requests: int,
+    rate: float,
+    workers: int,
+    max_batch_size: int,
+    max_wait: float,
+    hot_coverage: float,
+    train_steps: int,
+    seed: int,
+):
+    """Build a model + traffic and run one serving simulation."""
+    from repro.data.dataloader import SyntheticClickLog
+    from repro.models.config import DLRMConfig, EmbeddingBackend
+    from repro.models.dlrm import DLRM
+    from repro.serving import (
+        BatchingPolicy,
+        InferenceServer,
+        ModelSnapshot,
+        RequestGenerator,
+        ServingModel,
+    )
+
+    generator = RequestGenerator(spec, rate=rate, seed=seed)
+    requests = generator.generate(num_requests)
+    config = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    model = DLRM(config, seed=seed)
+    snapshot_v0 = ModelSnapshot.from_model(model, version=0)
+    hot_rows = {
+        t: generator.hot_rows(t, hot_coverage)
+        for t in range(spec.num_sparse)
+    }
+    server = InferenceServer(
+        ServingModel(snapshot_v0.materialize(), hot_rows=hot_rows),
+        policy=BatchingPolicy(
+            max_batch_size=max_batch_size, max_wait=max_wait,
+            queue_capacity=max(512, max_batch_size),
+        ),
+        num_workers=workers,
+    )
+    if train_steps > 0:
+        # Train past the v0 snapshot, then hot-swap the improved model
+        # in mid-stream (the serving side runs on the materialized v0,
+        # so training here never touches its arrays).
+        log = SyntheticClickLog(spec, batch_size=64, seed=seed)
+        for i in range(train_steps):
+            model.train_step(log.batch(i), lr=0.1)
+        snapshot_v1 = ModelSnapshot.from_model(model, version=1)
+        midpoint = requests[len(requests) // 2].arrival_time
+        server.schedule_swap(midpoint, snapshot_v1)
+    return server.run(requests)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.data.datasets import DATASET_FACTORIES
+    from repro.serving import export_serving_trace
+
+    factory = DATASET_FACTORIES[args.dataset]
+    spec = factory(scale=args.scale)
+    outcome = _run_serving(
+        spec,
+        num_requests=args.requests,
+        rate=args.rate,
+        workers=args.workers,
+        max_batch_size=args.max_batch_size,
+        max_wait=args.max_wait,
+        hot_coverage=args.hot_coverage,
+        train_steps=args.train_steps,
+        seed=args.seed,
+    )
+    print(outcome.report.format())
+    if outcome.swap_times:
+        swaps = ", ".join(f"{t * 1e3:.1f} ms" for t in outcome.swap_times)
+        print(f"hot swaps at: {swaps} (final model v{outcome.final_model_version})")
+    if args.trace:
+        count = export_serving_trace(
+            args.trace, outcome.served_batches, outcome.swap_times
+        )
+        print(f"wrote {count} trace events to {args.trace}")
+    return 0
 
 
 def _cmd_figures(_: argparse.Namespace) -> int:
@@ -164,6 +275,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     quick = sub.add_parser("quickcheck", help="fast end-to-end smoke test")
     quick.add_argument("--steps", type=int, default=20)
     sub.add_parser("figures", help="regenerate every paper table/figure")
+    serve = sub.add_parser(
+        "serve", help="simulate the online serving subsystem"
+    )
+    serve.add_argument(
+        "--dataset", choices=["avazu", "criteo-kaggle", "criteo-tb"],
+        default="criteo-kaggle",
+    )
+    serve.add_argument("--scale", type=float, default=3e-5)
+    serve.add_argument("--requests", type=int, default=2000)
+    serve.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="mean arrival rate, requests/second",
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--max-batch-size", type=int, default=32)
+    serve.add_argument(
+        "--max-wait", type=float, default=2e-3,
+        help="micro-batching wait budget, seconds",
+    )
+    serve.add_argument(
+        "--hot-coverage", type=float, default=0.1,
+        help="fraction of each table's rows materialized in the hot cache",
+    )
+    serve.add_argument(
+        "--train-steps", type=int, default=20,
+        help="train this many steps past the initial snapshot and "
+        "hot-swap the result in mid-stream (0 disables the swap)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--trace", type=str, default=None,
+        help="write a Chrome trace of the serving timeline here",
+    )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -172,6 +316,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compression": _cmd_compression,
         "quickcheck": _cmd_quickcheck,
         "figures": _cmd_figures,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

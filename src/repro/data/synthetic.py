@@ -126,6 +126,21 @@ class ZipfSampler:
             return ranks
         return self._rank_to_row[ranks]
 
+    def top_rows(self, count: int) -> np.ndarray:
+        """Row ids of the ``count`` most popular rows, best first.
+
+        The profiling oracle for serving-time hot-row caches: combined
+        with :meth:`rows_covering` it sizes and fills a
+        :class:`~repro.embeddings.inference.HotRowCachedLookup` without
+        an observation pass.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        count = min(count, self.num_rows)
+        if self._rank_to_row is None:
+            return np.arange(count, dtype=np.int64)
+        return self._rank_to_row[:count].copy()
+
     def rows_covering(self, fraction: float) -> int:
         """Smallest number of top rows covering ``fraction`` of accesses.
 

@@ -32,7 +32,7 @@ from repro.embeddings.reuse_buffer import ReusePlan, build_reuse_plan
 from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
 from repro.embeddings.cache import EmbeddingCache
 from repro.embeddings.collection import EmbeddingCollection
-from repro.embeddings.inference import HotRowCachedLookup
+from repro.embeddings.inference import HotRowCachedLookup, StaleCacheError
 
 __all__ = [
     "EmbeddingBagBase",
@@ -51,5 +51,6 @@ __all__ = [
     "EffTTEmbeddingBag",
     "EmbeddingCache",
     "HotRowCachedLookup",
+    "StaleCacheError",
     "EmbeddingCollection",
 ]

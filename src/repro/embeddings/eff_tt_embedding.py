@@ -130,6 +130,10 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
             if optimizer == "adagrad"
             else None
         )
+        #: Monotonic core-update counter.  Serving-time views snapshot
+        #: it to detect stale materialized rows (see
+        #: :class:`~repro.embeddings.inference.HotRowCachedLookup`).
+        self.version = 0
         self._saved: Optional[dict] = None
         self._pending_update: Optional[dict] = None
         self.last_plan: Optional[ReusePlan] = None
@@ -165,6 +169,7 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         )
         # TT-SVD may achieve lower ranks than requested.
         bag.spec = bag.tt.spec
+        bag.version += 1  # cores replaced wholesale
         return bag
 
     # ------------------------------------------------------------------
@@ -331,6 +336,7 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         self, pending: dict, lr: float, scale: float = 1.0
     ) -> None:
         """Apply a (possibly remote) sparse update scaled by ``scale``."""
+        self.version += 1
         if self.optimizer == "adagrad":
             if scale != 1.0:
                 raise ValueError(

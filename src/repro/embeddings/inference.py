@@ -8,8 +8,14 @@ tail falls back to the TT contraction.  This combines the paper's two
 observations — FAE-style hot caching and TT compression — on the
 inference path.
 
-The view is read-only: training steps on the underlying bag invalidate
-it (call :meth:`refresh` after updates, or rebuild).
+The view is read-only, and staleness is *detected*, not trusted to the
+caller: every TT bag carries a monotonic ``version`` counter that
+increments on any core update, and the view snapshots it when the hot
+rows are materialized.  A lookup against a bag that has trained since
+then either raises :class:`StaleCacheError` (``on_stale="raise"``, the
+default), transparently re-materializes (``on_stale="refresh"``), or
+knowingly serves stale rows (``on_stale="ignore"``, for staleness
+experiments).
 """
 
 from __future__ import annotations
@@ -23,9 +29,15 @@ from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
 from repro.embeddings.tt_embedding import TTEmbeddingBag
 from repro.utils.validation import check_1d_int_array
 
-__all__ = ["HotRowCachedLookup"]
+__all__ = ["HotRowCachedLookup", "StaleCacheError"]
 
 TTBag = Union[TTEmbeddingBag, EffTTEmbeddingBag]
+
+_STALE_POLICIES = ("raise", "refresh", "ignore")
+
+
+class StaleCacheError(RuntimeError):
+    """The underlying TT cores changed since the hot rows were built."""
 
 
 class HotRowCachedLookup:
@@ -37,7 +49,12 @@ class HotRowCachedLookup:
         The TT-compressed table to serve from.
     hot_rows:
         Row indices to materialize (e.g. the most frequent rows from a
-        profiling pass, or ``ZipfSampler.rows_covering(0.9)`` many).
+        profiling pass, ``ZipfSampler.top_rows(n)``, or
+        ``ZipfSampler.rows_covering(0.9)`` many).
+    on_stale:
+        What to do when the bag's ``version`` has moved past the cached
+        one: ``"raise"`` (default), ``"refresh"`` (re-materialize and
+        continue), or ``"ignore"`` (serve stale hot rows knowingly).
 
     Examples
     --------
@@ -52,12 +69,22 @@ class HotRowCachedLookup:
     (1, 1)
     """
 
-    def __init__(self, bag: TTBag, hot_rows: np.ndarray) -> None:
+    def __init__(
+        self,
+        bag: TTBag,
+        hot_rows: np.ndarray,
+        on_stale: str = "raise",
+    ) -> None:
         if not isinstance(bag, (TTEmbeddingBag, EffTTEmbeddingBag)):
             raise TypeError(
                 f"bag must be a TT-compressed table, got {type(bag).__name__}"
             )
+        if on_stale not in _STALE_POLICIES:
+            raise ValueError(
+                f"on_stale must be one of {_STALE_POLICIES}, got {on_stale!r}"
+            )
         self.bag = bag
+        self.on_stale = on_stale
         hot = np.unique(
             check_1d_int_array(
                 hot_rows, "hot_rows", min_value=0,
@@ -66,8 +93,10 @@ class HotRowCachedLookup:
         )
         self._hot_rows = hot
         self._hot_values: Optional[np.ndarray] = None
+        self._cached_version = -1
         self.hits = 0
         self.misses = 0
+        self.refreshes = 0
         self.refresh()
 
     def refresh(self) -> None:
@@ -76,6 +105,27 @@ class HotRowCachedLookup:
             self._hot_values = self.bag.tt.reconstruct_rows(self._hot_rows)
         else:
             self._hot_values = np.zeros((0, self.bag.embedding_dim))
+        self._cached_version = self.bag.version
+        self.refreshes += 1
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the bag's cores have updated since the last refresh."""
+        return self.bag.version != self._cached_version
+
+    def _check_fresh(self) -> None:
+        if not self.is_stale:
+            return
+        if self.on_stale == "refresh":
+            self.refresh()
+        elif self.on_stale == "raise":
+            raise StaleCacheError(
+                f"TT cores at version {self.bag.version} but hot rows were "
+                f"materialized at version {self._cached_version}; call "
+                "refresh() after training, or construct with "
+                "on_stale='refresh'"
+            )
+        # "ignore": serve the stale rows knowingly.
 
     # ------------------------------------------------------------------
     def _split(self, idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -90,6 +140,7 @@ class HotRowCachedLookup:
 
     def lookup_rows(self, indices: np.ndarray) -> np.ndarray:
         """Un-pooled row lookup, cache-accelerated."""
+        self._check_fresh()
         idx = check_1d_int_array(
             indices, "indices", min_value=0,
             max_value=self.bag.num_embeddings - 1,

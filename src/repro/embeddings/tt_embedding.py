@@ -181,6 +181,10 @@ class TTEmbeddingBag(EmbeddingBagBase):
             )
         self.spec = TTSpec.create(row_shape, col_shape, tt_rank)
         self.tt = TTCores.random_init(self.spec, seed=seed)
+        #: Monotonic core-update counter.  Serving-time views snapshot
+        #: it to detect stale materialized rows (see
+        #: :class:`~repro.embeddings.inference.HotRowCachedLookup`).
+        self.version = 0
         self._saved: Optional[dict] = None
         self._core_grads: Optional[List[np.ndarray]] = None
 
@@ -235,6 +239,7 @@ class TTEmbeddingBag(EmbeddingBagBase):
         for core, grad in zip(self.tt.cores, self._core_grads):
             core -= lr * grad
         self._core_grads = None
+        self.version += 1
 
     # -- introspection ----------------------------------------------------
     @property

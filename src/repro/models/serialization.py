@@ -5,6 +5,14 @@ every dense parameter, and every embedding bag's state (dense weights
 or TT cores with their spec).  Deliberately framework-free so
 checkpoints are portable and inspectable with plain NumPy.
 
+Since format version 2 each bag also records its concrete *kind*
+(``dense`` / ``tt`` / ``eff_tt``), so a checkpoint restores the exact
+bag types even when they differ from what the config's
+threshold rule would construct — the case for serving snapshots, where
+host-resident parameter-server tables are materialized into local
+dense bags (:mod:`repro.serving.snapshot`).  Version-1 checkpoints
+(no kind tags) still load with the config-derived types.
+
 Host-backed bags (parameter-server tables) own no local state; their
 weights live in the server and must be checkpointed there — attempting
 to save a model containing one raises.
@@ -26,7 +34,14 @@ from repro.models.dlrm import DLRM
 
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
+
+_BAG_KINDS = {
+    DenseEmbeddingBag: "dense",
+    TTEmbeddingBag: "tt",
+    EffTTEmbeddingBag: "eff_tt",
+}
 
 
 def _config_to_json(config: DLRMConfig) -> str:
@@ -69,28 +84,60 @@ def save_checkpoint(model: DLRM, path: Union[str, "io.IOBase"]) -> None:
     for name, param in model.named_parameters():
         arrays[f"param/{name}"] = param.data
     for t, bag in enumerate(model.embedding_bags):
+        kind = _BAG_KINDS.get(type(bag))
+        if kind is None:
+            raise TypeError(
+                f"bag {t} ({type(bag).__name__}) has no local parameters "
+                "to checkpoint; persist its parameter-server state instead"
+            )
+        arrays[f"bag{t}/kind"] = np.array([kind], dtype=object)
         if isinstance(bag, DenseEmbeddingBag):
             arrays[f"bag{t}/weight"] = bag.weight
-        elif isinstance(bag, (TTEmbeddingBag, EffTTEmbeddingBag)):
+        else:
             spec = bag.spec
             arrays[f"bag{t}/row_shape"] = np.asarray(spec.row_shape)
             arrays[f"bag{t}/col_shape"] = np.asarray(spec.col_shape)
             arrays[f"bag{t}/ranks"] = np.asarray(spec.ranks)
             for k, core in enumerate(bag.tt.cores):
                 arrays[f"bag{t}/core{k}"] = core
-        else:
-            raise TypeError(
-                f"bag {t} ({type(bag).__name__}) has no local parameters "
-                "to checkpoint; persist its parameter-server state instead"
-            )
     np.savez_compressed(path, **arrays)
+
+
+def _restore_bag(archive, t: int, kind: str, rows: int, dim: int):
+    """Build a bag of an explicit kind from its stored state."""
+    if kind == "dense":
+        bag = DenseEmbeddingBag(rows, dim, seed=0)
+        stored = archive[f"bag{t}/weight"]
+        if stored.shape != bag.weight.shape:
+            raise ValueError(
+                f"bag {t} weight shape mismatch: {stored.shape} vs "
+                f"{bag.weight.shape}"
+            )
+        bag.weight = stored.astype(np.float64)
+        return bag
+    cls = {"tt": TTEmbeddingBag, "eff_tt": EffTTEmbeddingBag}.get(kind)
+    if cls is None:
+        raise ValueError(f"bag {t} has unknown kind {kind!r}")
+    row_shape = [int(m) for m in archive[f"bag{t}/row_shape"]]
+    col_shape = [int(n) for n in archive[f"bag{t}/col_shape"]]
+    ranks = [int(r) for r in archive[f"bag{t}/ranks"]]
+    bag = cls(
+        rows, dim, tt_rank=ranks, row_shape=row_shape, col_shape=col_shape,
+        seed=0,
+    )
+    for k in range(bag.spec.num_cores):
+        core = archive[f"bag{t}/core{k}"]
+        if core.shape != bag.tt.cores[k].shape:
+            raise ValueError(f"bag {t} core {k} shape mismatch")
+        bag.tt.cores[k] = np.ascontiguousarray(core, dtype=np.float64)
+    return bag
 
 
 def load_checkpoint(path) -> DLRM:
     """Rebuild a DLRM (config + parameters) from a checkpoint."""
     with np.load(path, allow_pickle=True) as archive:
         meta = json.loads(str(archive["__meta__"][0]))
-        if meta.get("version") != _FORMAT_VERSION:
+        if meta.get("version") not in _READABLE_VERSIONS:
             raise ValueError(
                 f"unsupported checkpoint version {meta.get('version')!r}"
             )
@@ -108,7 +155,18 @@ def load_checkpoint(path) -> DLRM:
                 )
             param.data = stored.astype(np.float64)
         for t, bag in enumerate(model.embedding_bags):
-            if isinstance(bag, DenseEmbeddingBag):
+            kind_key = f"bag{t}/kind"
+            if kind_key in archive:
+                # v2: the stored kind is authoritative — rebuild the bag
+                # exactly as checkpointed (it may differ from what the
+                # config's threshold rule constructs, and TT-SVD warm
+                # starts may have achieved lower ranks than requested).
+                kind = str(archive[kind_key][0])
+                model.embedding_bags[t] = _restore_bag(
+                    archive, t, kind,
+                    bag.num_embeddings, bag.embedding_dim,
+                )
+            elif isinstance(bag, DenseEmbeddingBag):
                 stored = archive[f"bag{t}/weight"]
                 if stored.shape != bag.weight.shape:
                     raise ValueError(

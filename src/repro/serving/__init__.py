@@ -1,0 +1,54 @@
+"""Deterministic online-inference subsystem (serving side of EL-Rec).
+
+Request generation (:mod:`~repro.serving.requests`), dynamic
+micro-batching (:mod:`~repro.serving.batcher`), the event-loop worker
+pool (:mod:`~repro.serving.server`), SLO metrics and trace export
+(:mod:`~repro.serving.metrics`), and training→serving snapshots with
+hot swap (:mod:`~repro.serving.snapshot`).
+"""
+
+from repro.serving.batcher import BatchingPolicy, MicroBatch, MicroBatcher
+from repro.serving.metrics import (
+    RequestResult,
+    ServedBatch,
+    ServingMetrics,
+    SLOReport,
+    export_serving_trace,
+    serving_trace_events,
+)
+from repro.serving.requests import (
+    InferenceRequest,
+    RequestGenerator,
+    coalesce_requests,
+    hot_rows_from_trace,
+)
+from repro.serving.server import (
+    InferenceServer,
+    ServiceTimeModel,
+    ServingModel,
+    ServingOutcome,
+    replay_batches,
+)
+from repro.serving.snapshot import ModelSnapshot
+
+__all__ = [
+    "BatchingPolicy",
+    "MicroBatch",
+    "MicroBatcher",
+    "RequestResult",
+    "ServedBatch",
+    "ServingMetrics",
+    "SLOReport",
+    "export_serving_trace",
+    "serving_trace_events",
+    "InferenceRequest",
+    "RequestGenerator",
+    "coalesce_requests",
+    "hot_rows_from_trace",
+    "InferenceServer",
+    "ServiceTimeModel",
+    "ServingModel",
+    "ServingOutcome",
+    "replay_batches",
+    "ModelSnapshot",
+]

@@ -1,0 +1,394 @@
+"""Deterministic online-inference server (event-loop worker pool).
+
+The serving counterpart of :mod:`repro.system.pipeline`: where the
+trainer overlaps CPU gather / PCIe transfer / GPU compute for
+*throughput*, the server coalesces Poisson arrivals into micro-batches
+under a *latency* budget.  Everything runs on the discrete-event
+:class:`~repro.system.simclock.Simulator` — no threads, no wall clock —
+so a serving run is a pure function of (requests, policy, model, cost
+model) and therefore bit-reproducible, exactly like the pipelined
+trainer it mirrors.
+
+Latency is *simulated*: a :class:`ServiceTimeModel` charges each batch
+a fixed launch cost plus per-sample and per-row terms, with cold
+(TT-contraction) lookups costing more than hot (cached-gather) ones.
+The numerics, by contrast, are *real*: every batch runs through an
+actual :class:`~repro.models.dlrm.DLRM` whose TT arms are served by
+:class:`~repro.embeddings.inference.HotRowCachedLookup` views, and the
+predictions returned to clients are the model's true outputs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataloader import Batch
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.inference import HotRowCachedLookup
+from repro.embeddings.tt_embedding import TTEmbeddingBag
+from repro.models.dlrm import DLRM
+from repro.nn.loss import BCEWithLogitsLoss
+from repro.serving.batcher import BatchingPolicy, MicroBatch, MicroBatcher
+from repro.serving.metrics import (
+    RequestResult,
+    ServedBatch,
+    ServingMetrics,
+    SLOReport,
+)
+from repro.serving.requests import InferenceRequest, coalesce_requests
+from repro.serving.snapshot import ModelSnapshot
+from repro.system.simclock import Simulator
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "ServiceTimeModel",
+    "ServingModel",
+    "InferenceServer",
+    "ServingOutcome",
+    "replay_batches",
+]
+
+HotRowMap = Dict[int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """Deterministic cost model for one micro-batch's service time.
+
+    ``duration = base + per_sample * B + per_hot * hits + per_cold *
+    misses`` — a fixed kernel-launch cost amortized over the batch,
+    with TT-contraction (cold) lookups an order of magnitude more
+    expensive than cached-gather (hot) ones.  Defaults are loosely
+    calibrated to the paper's inference measurements but the absolute
+    scale only matters relative to the arrival rate.
+    """
+
+    base: float = 1e-4
+    per_sample: float = 2e-6
+    per_hot: float = 5e-8
+    per_cold: float = 2e-6
+
+    def __post_init__(self) -> None:
+        for name in ("base", "per_sample", "per_hot", "per_cold"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def duration(self, batch_size: int, hot: int, cold: int) -> float:
+        """Service time in seconds for one coalesced batch."""
+        return (
+            self.base
+            + self.per_sample * batch_size
+            + self.per_hot * hot
+            + self.per_cold * cold
+        )
+
+
+class ServingModel:
+    """Read-only inference view of a DLRM with hot-row-cached TT arms.
+
+    Wraps a model so each TT-compressed embedding bag with configured
+    hot rows is served through a
+    :class:`~repro.embeddings.inference.HotRowCachedLookup`; dense bags
+    and uncached TT bags are used directly.  The wrapped model is
+    treated as frozen — the view never trains it.
+
+    Parameters
+    ----------
+    model:
+        The (snapshot-restored) DLRM to serve.
+    hot_rows:
+        Mapping from table index to hot-row ids for that table.  Tables
+        absent from the map get no cache and are served by the bag
+        directly; tables mapped to an *empty* array get an empty cache
+        (every lookup counts as a miss), keeping hit-rate denominators
+        comparable across coverage sweeps.  Entries for dense tables
+        are ignored — a dense lookup is already a plain gather, so the
+        whole table is effectively hot (this lets one coverage map
+        span mixed dense/TT models, e.g. PS-trainer snapshots whose
+        host tables materialize dense).
+    version:
+        Monotonic model version stamped onto every prediction, so
+        results can be attributed across hot swaps.
+    on_stale:
+        Staleness policy for the underlying caches (serving snapshots
+        are frozen, so the default ``"raise"`` should never fire; it
+        turns accidental in-place training into a loud error).
+    """
+
+    def __init__(
+        self,
+        model: DLRM,
+        hot_rows: Optional[HotRowMap] = None,
+        version: int = 0,
+        on_stale: str = "raise",
+    ) -> None:
+        self.model = model
+        self.version = int(version)
+        self.hot_rows = dict(hot_rows or {})
+        self._views: List[object] = []
+        self.cached_views: List[HotRowCachedLookup] = []
+        for t, bag in enumerate(model.embedding_bags):
+            rows = self.hot_rows.get(t)
+            if rows is None:
+                self._views.append(bag)
+                continue
+            if not isinstance(bag, (TTEmbeddingBag, EffTTEmbeddingBag)):
+                self._views.append(bag)
+                continue
+            view = HotRowCachedLookup(bag, rows, on_stale=on_stale)
+            self._views.append(view)
+            self.cached_views.append(view)
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        """Click probabilities, sparse arms routed through the caches.
+
+        Mirrors :meth:`DLRM.forward` exactly, substituting each cached
+        view for its bag; with no caches configured the output is the
+        model's own ``predict_proba`` bit for bit.
+        """
+        model = self.model
+        if batch.num_tables != model.config.num_tables:
+            raise ValueError(
+                f"batch has {batch.num_tables} sparse features, model "
+                f"expects {model.config.num_tables}"
+            )
+        dense_out = model.bottom_mlp.forward(batch.dense)
+        pooled = [
+            view.forward(idx, off)
+            for view, idx, off in zip(
+                self._views, batch.sparse_indices, batch.sparse_offsets
+            )
+        ]
+        interacted = model.interaction.forward(dense_out, pooled)
+        logits = model.top_mlp.forward(interacted).reshape(-1)
+        return BCEWithLogitsLoss.predict_proba(logits)
+
+    def refresh(self) -> None:
+        """Re-materialize every cache from the current cores."""
+        for view in self.cached_views:
+            view.refresh()
+
+    # -- cache accounting ----------------------------------------------
+    @property
+    def hot_lookups(self) -> int:
+        return sum(v.hits for v in self.cached_views)
+
+    @property
+    def cold_lookups(self) -> int:
+        return sum(v.misses for v in self.cached_views)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hot_lookups + self.cold_lookups
+        return self.hot_lookups / total if total else 0.0
+
+    @property
+    def num_hot_rows(self) -> int:
+        return sum(v.num_hot_rows for v in self.cached_views)
+
+    @property
+    def cache_nbytes(self) -> int:
+        return sum(v.cache_nbytes for v in self.cached_views)
+
+
+@dataclass(frozen=True)
+class ServingOutcome:
+    """Everything a serving run produced."""
+
+    report: SLOReport
+    results: Tuple[RequestResult, ...]
+    served_batches: Tuple[ServedBatch, ...]
+    rejected_ids: Tuple[int, ...]
+    swap_times: Tuple[float, ...]
+    final_model_version: int
+
+    def predictions_by_request(self) -> Dict[int, float]:
+        return {r.request_id: r.prediction for r in self.results}
+
+
+class InferenceServer:
+    """Micro-batching worker pool driven by a deterministic event loop.
+
+    Four event kinds run the loop: request *arrival* (admit to the
+    batcher or shed), per-request *deadline flush* (time trigger),
+    batch *completion* (free the worker, record latencies), and *hot
+    swap* (atomically replace the serving model between batches).
+    Dispatch happens whenever a worker is free and the batching policy
+    fires; in-flight batches always complete on the model they started
+    with.
+
+    Parameters
+    ----------
+    serving_model:
+        The initial model view to serve.
+    policy:
+        Micro-batching knobs (size / wait / queue bound).
+    num_workers:
+        Parallel inference workers (each serves one batch at a time).
+    service_time:
+        Deterministic per-batch latency model.
+    """
+
+    def __init__(
+        self,
+        serving_model: ServingModel,
+        policy: Optional[BatchingPolicy] = None,
+        num_workers: int = 1,
+        service_time: Optional[ServiceTimeModel] = None,
+    ) -> None:
+        check_positive(num_workers, "num_workers")
+        self.serving_model = serving_model
+        self.policy = policy or BatchingPolicy()
+        self.num_workers = int(num_workers)
+        self.service_time = service_time or ServiceTimeModel()
+        self._swaps: List[Tuple[float, ModelSnapshot, Optional[HotRowMap]]] = []
+
+    def schedule_swap(
+        self,
+        time: float,
+        snapshot: ModelSnapshot,
+        hot_rows: Optional[HotRowMap] = None,
+    ) -> None:
+        """Hot-swap to ``snapshot`` at simulated ``time``.
+
+        The new model inherits the current hot-row configuration unless
+        ``hot_rows`` overrides it; its caches are materialized from the
+        snapshot's cores at swap time (the cache-refresh half of the
+        handoff protocol).
+        """
+        if time < 0:
+            raise ValueError(f"swap time must be >= 0, got {time}")
+        self._swaps.append((float(time), snapshot, hot_rows))
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[InferenceRequest]) -> ServingOutcome:
+        """Serve a request stream to completion; returns the outcome."""
+        sim = Simulator()
+        batcher = MicroBatcher(self.policy)
+        metrics = ServingMetrics()
+        free_workers = list(range(self.num_workers))
+        rejected_ids: List[int] = []
+        batch_counter = {"next": 0}
+        first_arrival = requests[0].arrival_time if requests else 0.0
+
+        def try_dispatch() -> None:
+            while free_workers and batcher.ready(sim.now):
+                dispatch(batcher.pop_batch(sim.now))
+
+        def dispatch(micro: MicroBatch) -> None:
+            worker_id = free_workers.pop(0)
+            model = self.serving_model
+            coalesced = coalesce_requests(micro.requests)
+            hot0, cold0 = model.hot_lookups, model.cold_lookups
+            predictions = model.predict_proba(coalesced)
+            hot = model.hot_lookups - hot0
+            cold = model.cold_lookups - cold0
+            duration = self.service_time.duration(micro.size, hot, cold)
+            start = sim.now
+            batch_id = batch_counter["next"]
+            batch_counter["next"] += 1
+
+            def complete() -> None:
+                served = ServedBatch(
+                    batch_id=batch_id,
+                    request_ids=tuple(
+                        r.request_id for r in micro.requests
+                    ),
+                    batch=coalesced,
+                    model_version=model.version,
+                    worker_id=worker_id,
+                    start_time=start,
+                    finish_time=sim.now,
+                    predictions=predictions,
+                    hot_lookups=hot,
+                    cold_lookups=cold,
+                )
+                metrics.record_batch(served)
+                for request, prob in zip(micro.requests, predictions):
+                    metrics.record_result(
+                        RequestResult(
+                            request_id=request.request_id,
+                            arrival_time=request.arrival_time,
+                            finish_time=sim.now,
+                            model_version=model.version,
+                            prediction=float(prob),
+                        )
+                    )
+                bisect.insort(free_workers, worker_id)
+                try_dispatch()
+
+            sim.schedule(duration, complete)
+
+        def arrive(request: InferenceRequest) -> None:
+            if not batcher.offer(request, sim.now):
+                rejected_ids.append(request.request_id)
+                metrics.record_rejection()
+                return
+            sim.schedule(self.policy.max_wait, try_dispatch)
+            try_dispatch()
+
+        def swap(snapshot: ModelSnapshot, hot_rows: Optional[HotRowMap]
+                 ) -> None:
+            effective = (
+                hot_rows if hot_rows is not None
+                else self.serving_model.hot_rows
+            )
+            self.serving_model = ServingModel(
+                snapshot.materialize(),
+                hot_rows=effective,
+                version=snapshot.version,
+            )
+            metrics.record_swap(sim.now)
+
+        for request in requests:
+            sim.schedule(
+                request.arrival_time, lambda r=request: arrive(r)
+            )
+        for time, snapshot, hot_rows in sorted(
+            self._swaps, key=lambda s: s[0]
+        ):
+            sim.schedule(
+                time, lambda s=snapshot, h=hot_rows: swap(s, h)
+            )
+        end_time = sim.run()
+
+        hot = sum(b.hot_lookups for b in metrics.served_batches)
+        cold = sum(b.cold_lookups for b in metrics.served_batches)
+        report = metrics.build_report(
+            duration=max(end_time - first_arrival, 0.0),
+            max_queue_depth=batcher.max_depth,
+            cache_hit_rate=hot / (hot + cold) if hot + cold else 0.0,
+            num_hot_rows=self.serving_model.num_hot_rows,
+        )
+        return ServingOutcome(
+            report=report,
+            results=tuple(
+                sorted(metrics.results, key=lambda r: r.request_id)
+            ),
+            served_batches=tuple(metrics.served_batches),
+            rejected_ids=tuple(rejected_ids),
+            swap_times=tuple(metrics.swap_times),
+            final_model_version=self.serving_model.version,
+        )
+
+
+def replay_batches(
+    serving_model: ServingModel, served_batches: Sequence[ServedBatch]
+) -> Dict[int, float]:
+    """Offline re-inference of served batches for verification.
+
+    Runs each recorded coalesced batch through ``serving_model`` and
+    returns per-request predictions.  Built from the same snapshot with
+    the same hot rows, the replay reproduces the online predictions
+    bit for bit — the hot-swap correctness check in the test suite.
+    """
+    predictions: Dict[int, float] = {}
+    for served in served_batches:
+        probs = serving_model.predict_proba(served.batch)
+        for request_id, prob in zip(served.request_ids, probs):
+            predictions[request_id] = float(prob)
+    return predictions

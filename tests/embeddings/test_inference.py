@@ -5,7 +5,7 @@ import pytest
 
 from repro.embeddings.dense import DenseEmbeddingBag
 from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
-from repro.embeddings.inference import HotRowCachedLookup
+from repro.embeddings.inference import HotRowCachedLookup, StaleCacheError
 from repro.embeddings.tt_embedding import TTEmbeddingBag
 
 
@@ -48,18 +48,58 @@ class TestHotRowCachedLookup:
         view.lookup_rows(np.array([7, 8]))
         assert view.misses == 0
 
-    def test_stale_after_training_until_refresh(self, bag, rng):
+    def test_stale_lookup_raises_by_default(self, bag, rng):
         view = HotRowCachedLookup(bag, hot_rows=np.arange(500))
-        idx = np.array([5, 5, 9])
-        bag.forward(idx)
+        assert not view.is_stale
+        bag.forward(np.array([5, 5, 9]))
         bag.backward_and_step(rng.standard_normal((3, 8)), lr=0.5)
+        assert view.is_stale
+        with pytest.raises(StaleCacheError, match="refresh"):
+            view.lookup_rows(np.array([5]))
         fresh = bag.tt.reconstruct_rows(np.array([5]))
-        stale = view.lookup_rows(np.array([5]))
-        assert not np.allclose(stale, fresh)
         view.refresh()
+        assert not view.is_stale
         np.testing.assert_allclose(
             view.lookup_rows(np.array([5])), fresh, atol=1e-12
         )
+
+    def test_stale_auto_refresh_policy(self, bag, rng):
+        view = HotRowCachedLookup(
+            bag, hot_rows=np.arange(500), on_stale="refresh"
+        )
+        bag.forward(np.array([5, 5, 9]))
+        bag.backward_and_step(rng.standard_normal((3, 8)), lr=0.5)
+        fresh = bag.tt.reconstruct_rows(np.array([5]))
+        refreshes_before = view.refreshes
+        np.testing.assert_allclose(
+            view.lookup_rows(np.array([5])), fresh, atol=1e-12
+        )
+        assert view.refreshes == refreshes_before + 1
+        assert not view.is_stale
+
+    def test_stale_ignore_policy_serves_old_rows(self, bag, rng):
+        view = HotRowCachedLookup(
+            bag, hot_rows=np.arange(500), on_stale="ignore"
+        )
+        before = view.lookup_rows(np.array([5]))
+        bag.forward(np.array([5, 5, 9]))
+        bag.backward_and_step(rng.standard_normal((3, 8)), lr=0.5)
+        stale = view.lookup_rows(np.array([5]))
+        np.testing.assert_array_equal(stale, before)
+        assert not np.allclose(
+            stale, bag.tt.reconstruct_rows(np.array([5]))
+        )
+
+    def test_version_counts_every_update(self, bag, rng):
+        assert bag.version == 0
+        for expected in (1, 2):
+            bag.forward(np.array([1, 2]))
+            bag.backward_and_step(rng.standard_normal((2, 8)), lr=0.1)
+            assert bag.version == expected
+
+    def test_invalid_stale_policy_rejected(self, bag):
+        with pytest.raises(ValueError, match="on_stale"):
+            HotRowCachedLookup(bag, hot_rows=np.arange(5), on_stale="panic")
 
     def test_works_with_ttrec_bag(self, rng):
         tt = TTEmbeddingBag(200, 8, tt_rank=4, seed=1)

@@ -1,0 +1,244 @@
+"""Tests for the serving model view and the event-loop server."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import criteo_kaggle_like
+from repro.embeddings.inference import StaleCacheError
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.models.dlrm import DLRM
+from repro.serving.batcher import BatchingPolicy
+from repro.serving.requests import RequestGenerator, coalesce_requests
+from repro.serving.server import (
+    InferenceServer,
+    ServiceTimeModel,
+    ServingModel,
+    replay_batches,
+)
+from repro.serving.snapshot import ModelSnapshot
+
+SPEC = criteo_kaggle_like(scale=3e-5)
+CFG = DLRMConfig.from_dataset(
+    SPEC, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+    bottom_mlp=(16,), top_mlp=(16,),
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return RequestGenerator(SPEC, rate=2000.0, seed=1)
+
+
+@pytest.fixture(scope="module")
+def requests(generator):
+    return generator.generate(120)
+
+
+def _hot(generator, coverage):
+    return {
+        t: generator.hot_rows(t, coverage) for t in range(SPEC.num_sparse)
+    }
+
+
+class TestServiceTimeModel:
+    def test_duration_composition(self):
+        model = ServiceTimeModel(
+            base=1.0, per_sample=0.1, per_hot=0.01, per_cold=0.5
+        )
+        assert model.duration(4, hot=2, cold=3) == pytest.approx(
+            1.0 + 0.4 + 0.02 + 1.5
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceTimeModel(base=-1.0)
+
+    def test_cold_lookups_cost_more(self):
+        model = ServiceTimeModel()
+        assert model.duration(8, 0, 8) > model.duration(8, 8, 0)
+
+
+class TestServingModel:
+    def test_predictions_match_plain_model(self, generator, requests):
+        model = DLRM(CFG, seed=0)
+        serving = ServingModel(model, hot_rows=_hot(generator, 0.2))
+        batch = coalesce_requests(requests[:16])
+        np.testing.assert_allclose(
+            serving.predict_proba(batch), model.predict_proba(batch),
+            atol=1e-12,
+        )
+
+    def test_no_cache_is_bitwise_model(self, requests):
+        model = DLRM(CFG, seed=0)
+        serving = ServingModel(model)
+        batch = coalesce_requests(requests[:8])
+        np.testing.assert_array_equal(
+            serving.predict_proba(batch), model.predict_proba(batch)
+        )
+
+    def test_cache_accounting(self, generator, requests):
+        model = DLRM(CFG, seed=0)
+        serving = ServingModel(model, hot_rows=_hot(generator, 0.3))
+        assert serving.hot_lookups == 0
+        serving.predict_proba(coalesce_requests(requests[:16]))
+        assert serving.hot_lookups + serving.cold_lookups > 0
+        assert 0.0 < serving.hit_rate <= 1.0
+        assert serving.num_hot_rows > 0
+        assert serving.cache_nbytes > 0
+
+    def test_hot_rows_on_dense_table_ignored(self, generator, requests):
+        # dense lookups are already gathers: a coverage map spanning a
+        # mixed dense/TT model must not wrap (or count) dense tables
+        dense_cfg = DLRMConfig.from_dataset(
+            SPEC, embedding_dim=8, backend=EmbeddingBackend.DENSE,
+            tt_rank=8, bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(dense_cfg, seed=0)
+        serving = ServingModel(model, hot_rows={0: np.array([0, 1])})
+        assert serving.cached_views == []
+        batch = coalesce_requests(requests[:4])
+        np.testing.assert_array_equal(
+            serving.predict_proba(batch), model.predict_proba(batch)
+        )
+
+    def test_training_under_live_view_raises(self, generator, requests):
+        # The staleness satellite end to end: training the served model
+        # without a refresh must fail loudly, not serve stale rows.
+        from repro.data.dataloader import SyntheticClickLog
+
+        model = DLRM(CFG, seed=0)
+        serving = ServingModel(model, hot_rows=_hot(generator, 0.2))
+        log = SyntheticClickLog(SPEC, batch_size=16, seed=0)
+        model.train_step(log.batch(0), lr=0.1)
+        with pytest.raises(StaleCacheError):
+            serving.predict_proba(coalesce_requests(requests[:4]))
+        serving.refresh()
+        serving.predict_proba(coalesce_requests(requests[:4]))
+
+
+class TestInferenceServer:
+    def test_all_requests_served(self, generator, requests):
+        server = InferenceServer(
+            ServingModel(DLRM(CFG, seed=0), hot_rows=_hot(generator, 0.1)),
+            policy=BatchingPolicy(max_batch_size=16, max_wait=2e-3),
+            num_workers=2,
+        )
+        outcome = server.run(requests)
+        assert outcome.report.completed == len(requests)
+        assert outcome.report.rejected == 0
+        served_ids = sorted(
+            i for b in outcome.served_batches for i in b.request_ids
+        )
+        assert served_ids == [r.request_id for r in requests]
+
+    def test_bit_reproducible(self, generator, requests):
+        def run():
+            server = InferenceServer(
+                ServingModel(
+                    DLRM(CFG, seed=0), hot_rows=_hot(generator, 0.1)
+                ),
+                policy=BatchingPolicy(max_batch_size=16, max_wait=2e-3),
+                num_workers=2,
+            )
+            return server.run(requests)
+
+        a, b = run(), run()
+        assert len(a.served_batches) == len(b.served_batches)
+        for ra, rb in zip(a.results, b.results):
+            assert ra == rb
+
+    def test_latencies_positive_and_consistent(self, generator, requests):
+        outcome = InferenceServer(
+            ServingModel(DLRM(CFG, seed=0), hot_rows=_hot(generator, 0.1)),
+            policy=BatchingPolicy(max_batch_size=8, max_wait=1e-3),
+        ).run(requests)
+        for result in outcome.results:
+            assert result.latency > 0.0
+        report = outcome.report
+        assert 0.0 < report.latency_p50 <= report.latency_p99
+        assert report.latency_p99 <= report.latency_max
+
+    def test_single_request_batches_when_batching_disabled(
+        self, generator, requests
+    ):
+        outcome = InferenceServer(
+            ServingModel(DLRM(CFG, seed=0)),
+            policy=BatchingPolicy(max_batch_size=1, max_wait=0.0),
+            num_workers=4,
+        ).run(requests[:30])
+        assert all(b.size == 1 for b in outcome.served_batches)
+
+    def test_overload_sheds_requests(self, generator, requests):
+        # one slow worker + tiny queue: admission control must kick in
+        outcome = InferenceServer(
+            ServingModel(DLRM(CFG, seed=0)),
+            policy=BatchingPolicy(
+                max_batch_size=2, max_wait=0.0, queue_capacity=2
+            ),
+            num_workers=1,
+            service_time=ServiceTimeModel(base=0.5),
+        ).run(requests[:40])
+        assert outcome.report.rejected > 0
+        assert outcome.report.completed + outcome.report.rejected == 40
+        assert set(outcome.rejected_ids).isdisjoint(
+            i for b in outcome.served_batches for i in b.request_ids
+        )
+
+    def test_hit_rate_grows_with_coverage(self, generator, requests):
+        def hit_rate(coverage):
+            outcome = InferenceServer(
+                ServingModel(
+                    DLRM(CFG, seed=0), hot_rows=_hot(generator, coverage)
+                ),
+                policy=BatchingPolicy(max_batch_size=16, max_wait=2e-3),
+            ).run(requests)
+            return outcome.report.cache_hit_rate
+
+        r0, r1, r2 = hit_rate(0.01), hit_rate(0.1), hit_rate(0.5)
+        assert r0 < r1 < r2
+
+    def test_swap_attributes_versions(self, generator, requests):
+        model = DLRM(CFG, seed=0)
+        snapshot = ModelSnapshot.from_model(model, version=5)
+        server = InferenceServer(
+            ServingModel(model, hot_rows=_hot(generator, 0.1), version=0),
+            policy=BatchingPolicy(max_batch_size=16, max_wait=2e-3),
+        )
+        midpoint = requests[len(requests) // 2].arrival_time
+        server.schedule_swap(midpoint, snapshot)
+        outcome = server.run(requests)
+        versions = outcome.report.requests_per_version
+        assert set(versions) == {0, 5}
+        assert versions[0] > 0 and versions[5] > 0
+        assert outcome.final_model_version == 5
+        assert outcome.swap_times == (midpoint,)
+
+    def test_replay_is_bitwise_identical(self, generator, requests):
+        model = DLRM(CFG, seed=0)
+        snapshot = ModelSnapshot.from_model(model, version=0)
+        hot = _hot(generator, 0.1)
+        outcome = InferenceServer(
+            ServingModel(snapshot.materialize(), hot_rows=hot),
+            policy=BatchingPolicy(max_batch_size=16, max_wait=2e-3),
+            num_workers=2,
+        ).run(requests)
+        offline = replay_batches(
+            ServingModel(snapshot.materialize(), hot_rows=hot),
+            outcome.served_batches,
+        )
+        online = outcome.predictions_by_request()
+        assert online == offline
+
+    def test_invalid_worker_count(self, generator):
+        with pytest.raises(ValueError):
+            InferenceServer(ServingModel(DLRM(CFG, seed=0)), num_workers=0)
+
+    def test_negative_swap_time_rejected(self):
+        model = DLRM(CFG, seed=0)
+        server = InferenceServer(ServingModel(model))
+        with pytest.raises(ValueError):
+            server.schedule_swap(-1.0, ModelSnapshot.from_model(model))
+
+    def test_empty_stream(self):
+        outcome = InferenceServer(ServingModel(DLRM(CFG, seed=0))).run([])
+        assert outcome.report.completed == 0

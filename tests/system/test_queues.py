@@ -68,3 +68,57 @@ class TestBoundedQueue:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             BoundedQueue(0)
+
+    def test_drain_on_closed_queue(self):
+        # close() forbids new puts but must not strand queued items:
+        # drain() empties a closed queue like any other.
+        q = BoundedQueue(4)
+        q.put(1)
+        q.put(2)
+        q.close()
+        assert q.drain() == [1, 2]
+        assert q.empty()
+        assert q.total_gets == 2
+
+    def test_drain_closed_empty_queue(self):
+        q = BoundedQueue(2)
+        q.close()
+        assert q.drain() == []
+
+    def test_put_after_close_leaves_queue_untouched(self):
+        q = BoundedQueue(4)
+        q.put(1)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(2)
+        # the rejected put must not corrupt contents or counters
+        assert list(q) == [1]
+        assert q.total_puts == 1
+        assert q.closed
+
+    def test_close_is_idempotent(self):
+        q = BoundedQueue(2)
+        q.close()
+        q.close()
+        assert q.closed
+
+    def test_iteration_stable_while_draining(self):
+        # __iter__ snapshots: concurrent gets during iteration must not
+        # affect the values the iterator yields.
+        q = BoundedQueue(8)
+        for i in range(5):
+            q.put(i)
+        seen = []
+        for item in q:
+            seen.append(item)
+            if not q.empty():
+                q.get()  # mutate mid-iteration
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_iteration_stable_under_drain(self):
+        q = BoundedQueue(4)
+        q.put("a")
+        q.put("b")
+        iterator = iter(q)
+        q.drain()
+        assert list(iterator) == ["a", "b"]

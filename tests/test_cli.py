@@ -22,7 +22,28 @@ class TestCli:
         assert main(["quickcheck", "--steps", "5"]) == 0
         out = capsys.readouterr().out
         assert "eff_tt" in out
+        assert "serving" in out  # serving smoke rides along
         assert "FAILED" not in out
+
+    def test_serve(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(
+            [
+                "serve", "--requests", "120", "--train-steps", "3",
+                "--trace", str(trace),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Serving SLO report" in out
+        assert "latency_p99_ms" in out
+        assert "hot swaps at" in out
+        assert trace.exists()
+
+    def test_serve_without_swap(self, capsys):
+        assert main(["serve", "--requests", "80", "--train-steps", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "num_swaps" in out
+        assert "hot swaps at" not in out
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

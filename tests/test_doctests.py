@@ -4,15 +4,21 @@ import doctest
 
 import pytest
 
+import repro.embeddings.inference
 import repro.embeddings.tt_indices
+import repro.serving.requests
 import repro.utils.factorize
+import repro.utils.timer
 
 
 @pytest.mark.parametrize(
     "module",
     [
         repro.utils.factorize,
+        repro.utils.timer,
         repro.embeddings.tt_indices,
+        repro.embeddings.inference,
+        repro.serving.requests,
     ],
     ids=lambda m: m.__name__,
 )
