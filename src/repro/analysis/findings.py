@@ -1,0 +1,78 @@
+"""Structured lint findings.
+
+``reprolint`` rules emit :class:`Finding` records rather than printing:
+the CLI formats them for humans, the pytest self-check asserts on them,
+and the JSON output mode serializes them for CI annotation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity.  ERROR findings fail the lint run (exit 1);
+    WARNING findings are advisory (perf lints, style)."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic anchored to a source location.
+
+    Attributes
+    ----------
+    rule:
+        Symbolic rule name (``unseeded-rng``), used in
+        ``# reprolint: disable=`` pragmas.
+    rule_id:
+        Stable short id (``REP001``).
+    severity:
+        :class:`Severity` of the diagnostic.
+    path:
+        Path of the offending file as scanned.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        What is wrong.
+    hint:
+        How to fix it (one line, actionable).
+    """
+
+    rule: str
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """``path:line:col: SEVERITY rule message  [hint]`` one-liner."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.label} [{self.rule_id}/{self.rule}] {self.message}"
+        )
+        if self.hint:
+            text += f"  (fix: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["severity"] = self.severity.label
+        return data
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)

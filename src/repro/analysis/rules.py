@@ -1,0 +1,386 @@
+"""Repo-specific lint rules (the ``reprolint`` rule catalog).
+
+Rules are small objects satisfying the :class:`Rule` protocol; the
+module-level :data:`RULE_REGISTRY` is what the linter iterates.  Each
+rule inspects one parsed module through a :class:`RuleContext` and
+yields :class:`~repro.analysis.findings.Finding` records.
+
+The catalog enforces the invariants the reproduction's correctness
+story rests on:
+
+``unseeded-rng`` (REP001, error)
+    All randomness flows through :mod:`repro.utils.rng`.  Calling
+    ``np.random.default_rng()`` with no seed, or any legacy global
+    ``np.random.*`` sampler, silently breaks bit-reproducibility.
+``wall-clock`` (REP002, error)
+    ``system/``, ``serving/`` and ``embeddings/`` are SimClock-only
+    zones: simulated time must come from the event loop, never from
+    ``time.time()``/``time.perf_counter()``, or traces stop being
+    deterministic.  (Measurement harnesses opt out per line with a
+    ``# reprolint: disable=wall-clock`` pragma.)
+``implicit-dtype`` (REP003, error)
+    Kernel modules (``embeddings/``, ``nn/``) must allocate with an
+    explicit ``dtype``: numpy's float64 default has bitten every
+    mixed-precision port of this code, and implicit dtypes make the
+    Table-III memory accounting wrong.
+``batch-loop`` (REP004, warning)
+    Python-level ``for`` loops over batch-shaped data inside kernel
+    modules are the slow path the paper's kernels exist to remove;
+    flagged as a perf advisory, not an error.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "Rule",
+    "RuleContext",
+    "RULE_REGISTRY",
+    "register",
+    "UnseededRngRule",
+    "WallClockRule",
+    "ImplicitDtypeRule",
+    "BatchLoopRule",
+    "SIMCLOCK_ZONES",
+    "KERNEL_ZONES",
+    "RNG_EXEMPT_FILES",
+]
+
+# Module prefixes (posix, rooted at the package dir) where simulated
+# time is the only legal clock.
+SIMCLOCK_ZONES: Tuple[str, ...] = (
+    "repro/system/",
+    "repro/serving/",
+    "repro/embeddings/",
+)
+
+# Module prefixes holding numeric kernels: allocations need explicit
+# dtypes and batch loops are a perf smell.
+KERNEL_ZONES: Tuple[str, ...] = (
+    "repro/embeddings/",
+    "repro/nn/",
+)
+
+# The one module allowed to touch numpy's RNG constructors directly.
+RNG_EXEMPT_FILES: Tuple[str, ...] = ("repro/utils/rng.py",)
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may look at for one module.
+
+    Attributes
+    ----------
+    path:
+        The file as given on the command line (used in findings).
+    rel:
+        Posix path rooted at the ``repro`` package dir
+        (``repro/system/pipeline.py``); zone checks key off this.
+    tree:
+        Parsed AST of the module.
+    source:
+        Raw text (for ``ast.get_source_segment``).
+    aliases:
+        Import-alias map: local name -> absolute dotted target
+        (``np`` -> ``numpy``, ``pc`` -> ``time.perf_counter``).
+    """
+
+    path: str
+    rel: str
+    tree: ast.Module
+    source: str
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    def in_zone(self, prefixes: Tuple[str, ...]) -> bool:
+        return self.rel.startswith(prefixes)
+
+    def resolve_call(self, node: ast.expr) -> Optional[str]:
+        """Absolute dotted name of a call target, or None.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` given ``import numpy as np``; a
+        bare ``perf_counter`` resolves through a
+        ``from time import perf_counter`` alias.
+        """
+        parts: List[str] = []
+        cursor: ast.expr = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        parts.append(cursor.id)
+        parts.reverse()
+        head, rest = parts[0], parts[1:]
+        target = self.aliases.get(head, head)
+        return ".".join([target, *rest]) if rest else target
+
+
+def build_context(path: Path, rel: str, source: str) -> RuleContext:
+    """Parse one module and pre-compute its import-alias map."""
+    tree = ast.parse(source, filename=str(path))
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return RuleContext(
+        path=str(path), rel=rel, tree=tree, source=source, aliases=aliases
+    )
+
+
+class Rule(Protocol):
+    """One pluggable lint rule."""
+
+    id: str
+    name: str
+    severity: Severity
+    description: str
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        ...
+
+
+RULE_REGISTRY: Dict[str, "Rule"] = {}
+
+
+def register(rule: "Rule") -> "Rule":
+    """Add a rule instance to the global registry (name must be unique)."""
+    if rule.name in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    RULE_REGISTRY[rule.name] = rule
+    return rule
+
+
+def _finding(
+    rule: "Rule", ctx: RuleContext, node: ast.AST, message: str, hint: str
+) -> Finding:
+    return Finding(
+        rule=rule.name,
+        rule_id=rule.id,
+        severity=rule.severity,
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        hint=hint,
+    )
+
+
+# ---------------------------------------------------------------------------
+# REP001 — unseeded / global RNG
+# ---------------------------------------------------------------------------
+
+_LEGACY_SAMPLERS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "exponential",
+        "get_state",
+        "set_state",
+    }
+)
+
+
+class UnseededRngRule:
+    """All randomness must flow through ``repro.utils.rng``."""
+
+    id = "REP001"
+    name = "unseeded-rng"
+    severity = Severity.ERROR
+    description = (
+        "no unseeded default_rng() or legacy global np.random.* outside "
+        "utils/rng.py"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if ctx.rel in RNG_EXEMPT_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target is None or not target.startswith("numpy.random."):
+                continue
+            tail = target.rsplit(".", 1)[1]
+            if tail == "default_rng" and not node.args and not node.keywords:
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    "unseeded np.random.default_rng() is nondeterministic",
+                    'use repro.utils.rng.ensure_rng with an int seed, or '
+                    'seed="entropy" for an explicit opt-in',
+                )
+            elif tail in _LEGACY_SAMPLERS:
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"legacy global np.random.{tail}() mutates shared "
+                    "process state",
+                    "draw from a repro.utils.rng.ensure_rng(seed) Generator",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP002 — wall clock inside SimClock zones
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule:
+    """SimClock-only zones must not read the host clock."""
+
+    id = "REP002"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    description = (
+        "no time.time()/time.perf_counter() in system/, serving/, "
+        "embeddings/ (SimClock-only zones)"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.in_zone(SIMCLOCK_ZONES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target in _WALL_CLOCK_CALLS:
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"{target}() reads the host clock inside a "
+                    "SimClock-only zone",
+                    "take timestamps from the Simulator/SimClock event "
+                    "loop; measurement harnesses may disable per line",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP003 — allocations without an explicit dtype in kernel modules
+# ---------------------------------------------------------------------------
+
+_ALLOCATORS = frozenset(
+    {"numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full"}
+)
+
+
+class ImplicitDtypeRule:
+    """Kernel allocations must name their dtype."""
+
+    id = "REP003"
+    name = "implicit-dtype"
+    severity = Severity.ERROR
+    description = (
+        "np.zeros/ones/empty/full in embeddings/ and nn/ must pass an "
+        "explicit dtype"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.in_zone(KERNEL_ZONES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target not in _ALLOCATORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            short = target.rsplit(".", 1)[1]
+            yield _finding(
+                self,
+                ctx,
+                node,
+                f"np.{short}() without an explicit dtype in a kernel module",
+                "pass dtype=np.float64 (or the intended width) explicitly",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP004 — Python loops over batch dimensions in kernels (perf advisory)
+# ---------------------------------------------------------------------------
+
+_BATCH_ITER = re.compile(r"\b(batch(_size)?|bags|bag_ids|samples)\b|\.tolist\(")
+
+
+class BatchLoopRule:
+    """Row-at-a-time Python loops are the slow path the kernels replace."""
+
+    id = "REP004"
+    name = "batch-loop"
+    severity = Severity.WARNING
+    description = (
+        "warn on Python for-loops over batch-shaped iterables in kernel "
+        "modules (vectorize instead)"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.in_zone(KERNEL_ZONES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.For):
+                continue
+            segment = ast.get_source_segment(ctx.source, node.iter) or ""
+            if _BATCH_ITER.search(segment):
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"Python-level loop over batch data ({segment.strip()})",
+                    "vectorize with numpy gather/segment ops; loops over "
+                    "rows dominate kernel time",
+                )
+
+
+register(UnseededRngRule())
+register(WallClockRule())
+register(ImplicitDtypeRule())
+register(BatchLoopRule())

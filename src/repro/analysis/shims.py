@@ -1,0 +1,235 @@
+"""Event-recording shims over the pipeline's moving parts.
+
+Subclasses of :class:`~repro.system.queues.BoundedQueue` and
+:class:`~repro.embeddings.cache.EmbeddingCache` that log every
+interaction to a :class:`~repro.analysis.hazards.TraceRecorder`, plus
+:class:`PipelineProbe` — the object a
+:class:`~repro.system.pipeline.PipelinedPSTrainer` accepts to have its
+gather/consume/update/apply path traced.  The shims change *no*
+behaviour: an instrumented run is bit-identical to a bare run (asserted
+in the test suite), they only observe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, TypeVar
+
+import numpy as np
+
+from repro.analysis.hazards import (
+    EventKind,
+    HazardReport,
+    TraceRecorder,
+    analyze_trace,
+)
+from repro.embeddings.cache import BoolArray, EmbeddingCache, FloatArray, IntArray
+from repro.system.queues import BoundedQueue
+
+__all__ = ["RecordingQueue", "RecordingCache", "PipelineProbe"]
+
+T = TypeVar("T")
+
+# Stage tags used in recorded events.  DESIGN.md §7 maps these onto the
+# paper's §V-B life-cycle narrative.
+STAGE_SERVER_GATHER = "server_gather"
+STAGE_WORKER_TRAIN = "worker_train"
+STAGE_SERVER_APPLY = "server_apply"
+STAGE_CACHE = "lc_cache"
+
+
+class RecordingQueue(BoundedQueue[T]):
+    """A :class:`BoundedQueue` that logs put/get traffic.
+
+    Queue events carry the queue's name as their stage tag; they feed
+    occupancy diagnostics, not the hazard analysis itself (hazards are
+    defined on row events).
+    """
+
+    def __init__(
+        self, capacity: int, recorder: TraceRecorder, name: str
+    ) -> None:
+        super().__init__(capacity)
+        self._recorder = recorder
+        self._name = name
+
+    def put(self, item: T) -> None:
+        super().put(item)
+        self._recorder.tick()
+        self._recorder.record(EventKind.QUEUE_PUT, stage=self._name)
+
+    def get(self) -> T:
+        item = super().get()
+        self._recorder.tick()
+        self._recorder.record(EventKind.QUEUE_GET, stage=self._name)
+        return item
+
+
+class RecordingCache(EmbeddingCache):
+    """An :class:`EmbeddingCache` that logs its life-cycle events.
+
+    ``SYNC_HIT`` events are what mark a stale gather as *repaired* in
+    the hazard analysis; ``CACHE_PUT``/``CACHE_DEC``/``CACHE_EVICT``
+    narrate the §V-B life-cycle for the report.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        default_lifecycle: int,
+        recorder: TraceRecorder,
+        table: int,
+    ) -> None:
+        super().__init__(embedding_dim, default_lifecycle)
+        self._recorder = recorder
+        self._table = table
+        self._current_batch = -1
+
+    def set_batch(self, batch_id: int) -> None:
+        """Tag subsequent cache events with the active batch id."""
+        self._current_batch = int(batch_id)
+
+    def put(self, indices: IntArray, values: FloatArray) -> None:
+        super().put(indices, values)
+        self._recorder.tick()
+        self._recorder.record_rows(
+            EventKind.CACHE_PUT,
+            stage=STAGE_CACHE,
+            table=self._table,
+            rows=np.asarray(indices).tolist(),
+            batch=self._current_batch,
+        )
+
+    def synchronize(
+        self, indices: IntArray, values: FloatArray
+    ) -> Tuple[FloatArray, BoolArray]:
+        fresh, hit_mask = super().synchronize(indices, values)
+        self._recorder.tick()
+        idx = np.asarray(indices)
+        self._recorder.record_rows(
+            EventKind.SYNC_HIT,
+            stage=STAGE_CACHE,
+            table=self._table,
+            rows=idx[hit_mask].tolist(),
+            batch=self._current_batch,
+        )
+        self._recorder.record_rows(
+            EventKind.SYNC_MISS,
+            stage=STAGE_CACHE,
+            table=self._table,
+            rows=idx[~hit_mask].tolist(),
+            batch=self._current_batch,
+        )
+        return fresh, hit_mask
+
+    def decrement(self, indices: IntArray) -> int:
+        idx = np.unique(np.asarray(indices))
+        before = {int(i) for i in idx.tolist() if int(i) in self}
+        evicted = super().decrement(indices)
+        self._recorder.tick()
+        gone = sorted(i for i in before if i not in self)
+        live = sorted(before - set(gone))
+        self._recorder.record_rows(
+            EventKind.CACHE_DEC,
+            stage=STAGE_CACHE,
+            table=self._table,
+            rows=live,
+            batch=self._current_batch,
+        )
+        self._recorder.record_rows(
+            EventKind.CACHE_EVICT,
+            stage=STAGE_CACHE,
+            table=self._table,
+            rows=gone,
+            batch=self._current_batch,
+        )
+        return evicted
+
+
+class PipelineProbe:
+    """Trace recorder attachable to a :class:`PipelinedPSTrainer`.
+
+    The trainer calls the factory methods at construction time (so its
+    queues and caches are recording variants) and the ``on_*`` hooks
+    from its gather/consume/update/apply path.  After a run,
+    :meth:`report` analyzes the accumulated trace.
+    """
+
+    def __init__(self) -> None:
+        self.recorder = TraceRecorder()
+        self._caches: "list[RecordingCache]" = []
+
+    # -- component factories (called by the trainer) -------------------
+    def make_queue(self, capacity: int, name: str) -> RecordingQueue[T]:
+        return RecordingQueue(capacity, self.recorder, name)
+
+    def make_cache(
+        self, embedding_dim: int, default_lifecycle: int, table: int
+    ) -> RecordingCache:
+        cache = RecordingCache(
+            embedding_dim, default_lifecycle, self.recorder, table
+        )
+        self._caches.append(cache)
+        return cache
+
+    # -- dataflow hooks (called by the trainer) ------------------------
+    def on_gather(
+        self, batch_id: int, table: int, unique_indices: Iterable[int]
+    ) -> None:
+        """Server read host rows for a prefetch entry."""
+        self.recorder.tick()
+        self.recorder.record_rows(
+            EventKind.GATHER,
+            stage=STAGE_SERVER_GATHER,
+            table=table,
+            rows=unique_indices,
+            batch=batch_id,
+        )
+
+    def on_consume(
+        self, batch_id: int, table: int, unique_indices: Iterable[int]
+    ) -> None:
+        """Worker loaded the (possibly cache-synced) prefetched rows."""
+        self.recorder.tick()
+        self.recorder.record_rows(
+            EventKind.CONSUME,
+            stage=STAGE_WORKER_TRAIN,
+            table=table,
+            rows=unique_indices,
+            batch=batch_id,
+        )
+
+    def on_update(
+        self, batch_id: int, table: int, unique_indices: Iterable[int]
+    ) -> None:
+        """Worker produced fresh row values (write intent)."""
+        self.recorder.tick()
+        self.recorder.record_rows(
+            EventKind.UPDATE,
+            stage=STAGE_WORKER_TRAIN,
+            table=table,
+            rows=unique_indices,
+            batch=batch_id,
+        )
+
+    def on_apply(
+        self, batch_id: int, table: int, unique_indices: Iterable[int]
+    ) -> None:
+        """Server applied a batch's gradients to host memory."""
+        self.recorder.tick()
+        self.recorder.record_rows(
+            EventKind.APPLY,
+            stage=STAGE_SERVER_APPLY,
+            table=table,
+            rows=unique_indices,
+            batch=batch_id,
+        )
+
+    def on_batch_start(self, batch_id: int) -> None:
+        """Tag this probe's recording caches with the active batch."""
+        for cache in self._caches:
+            cache.set_batch(batch_id)
+
+    # -- analysis ------------------------------------------------------
+    def report(self) -> HazardReport:
+        """Analyze the trace recorded so far."""
+        return analyze_trace(self.recorder.events)

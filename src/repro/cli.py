@@ -9,9 +9,20 @@ Commands
 ``compression``
     Print the Table III compression summary.
 ``quickcheck``
-    Train a tiny DLRM on every backend and report losses, then run a
-    few hundred requests through the serving loop — a fast smoke test
+    Train a tiny DLRM on every backend and report losses, run a few
+    hundred requests through the serving loop, then run the static
+    checks (reprolint, and mypy when installed) — a fast smoke test
     that the whole stack works on this machine.
+``lint``
+    Run ``reprolint`` — the repo-specific AST linter (seeded RNG only,
+    SimClock-only zones, explicit kernel dtypes, batch-loop perf
+    advisories) — over the given paths.  Exits 1 on error-level
+    findings.
+``hazards``
+    Train an instrumented pipelined-PS run and analyze its
+    per-embedding-row read/write trace for RAW/WAR hazards;
+    ``--inject`` disables §V-B life-cycle cache management to
+    demonstrate the detector catching the paper's raw conflict.
 ``serve``
     Simulate the online serving subsystem: Poisson/Zipf traffic,
     dynamic micro-batching, hot-row caches, an optional mid-stream
@@ -144,7 +155,62 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
         f"p99 {report.latency_p99 * 1e3:.2f} ms, "
         f"hit rate {report.cache_hit_rate:.1%}  [{status}]"
     )
+
+    # Static checks: reprolint over the installed package, then mypy
+    # on the strict modules when the tool is available.
+    from pathlib import Path
+
+    from repro.analysis import lint_paths
+
+    lint_result = lint_paths([Path(__file__).resolve().parent])
+    lint_ok = lint_result.ok
+    ok = ok and lint_ok
+    status = "ok" if lint_ok else "FAILED (error-level findings)"
+    print(
+        f"lint     {lint_result.files_scanned} files, "
+        f"{len(lint_result.errors)} errors, "
+        f"{len(lint_result.warnings)} warnings  [{status}]"
+    )
+    if not lint_ok:
+        for finding in lint_result.errors:
+            print(f"  {finding.format()}")
+
+    mypy_status = _run_mypy_step()
+    if mypy_status is None:
+        print("mypy     skipped (mypy not installed)")
+    else:
+        ok = ok and mypy_status
+        print(f"mypy     strict modules  [{'ok' if mypy_status else 'FAILED'}]")
     return 0 if ok else 1
+
+
+# Modules held to `mypy --strict` (see [tool.mypy] in pyproject.toml).
+_MYPY_STRICT_TARGETS = (
+    "repro/system/queues.py",
+    "repro/embeddings/cache.py",
+    "repro/analysis",
+)
+
+
+def _run_mypy_step() -> Optional[bool]:
+    """Run mypy over the strict modules; None when mypy is unavailable."""
+    import importlib.util
+    import subprocess
+    from pathlib import Path
+
+    if importlib.util.find_spec("mypy") is None:
+        return None
+    pkg_root = Path(__file__).resolve().parent
+    targets = [str(pkg_root.parent / t) for t in _MYPY_STRICT_TARGETS]
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *targets],
+        capture_output=True,
+        text=True,
+        cwd=str(pkg_root.parents[1]),
+    )
+    if proc.returncode != 0:
+        print(proc.stdout.strip())
+    return proc.returncode == 0
 
 
 def _run_serving(
@@ -232,6 +298,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import format_findings, lint_paths
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(__file__).resolve().parent]
+    try:
+        result = lint_paths(paths, select=args.select or None)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(format_findings(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_hazards(args: argparse.Namespace) -> int:
+    from repro.analysis import run_hazard_experiment
+
+    result = run_hazard_experiment(
+        inject_fault=args.inject,
+        num_batches=args.batches,
+        prefetch_depth=args.prefetch_depth,
+        grad_queue_depth=args.grad_queue_depth,
+        seed=args.seed,
+    )
+    print(result.summary())
+    if args.inject:
+        # Fault injection *must* be caught; a silent detector is a bug.
+        caught = len(result.report.raw_hazards) >= 1
+        print(
+            "detector caught the injected RAW conflict"
+            if caught
+            else "DETECTOR FAILED: injected conflict went unnoticed"
+        )
+        return 0 if caught else 1
+    return 0 if result.report.clean else 1
+
+
 def _cmd_figures(_: argparse.Namespace) -> int:
     import importlib.util
     from pathlib import Path
@@ -275,6 +385,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     quick = sub.add_parser("quickcheck", help="fast end-to-end smoke test")
     quick.add_argument("--steps", type=int, default=20)
     sub.add_parser("figures", help="regenerate every paper table/figure")
+    lint = sub.add_parser(
+        "lint", help="run reprolint, the repo-specific static analyzer"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the installed "
+        "repro package)",
+    )
+    lint.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="only run the named rule (symbolic name or REPnnn id); "
+        "repeatable",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    hazards = sub.add_parser(
+        "hazards", help="trace a pipelined run and detect RAW/WAR hazards"
+    )
+    hazards.add_argument(
+        "--inject", action="store_true",
+        help="disable LC cache management (paper Fig. 10a fault) and "
+        "verify the detector catches the resulting RAW conflict",
+    )
+    hazards.add_argument("--batches", type=int, default=16)
+    hazards.add_argument("--prefetch-depth", type=int, default=3)
+    hazards.add_argument("--grad-queue-depth", type=int, default=2)
+    hazards.add_argument("--seed", type=int, default=0)
     serve = sub.add_parser(
         "serve", help="simulate the online serving subsystem"
     )
@@ -317,6 +455,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "quickcheck": _cmd_quickcheck,
         "figures": _cmd_figures,
         "serve": _cmd_serve,
+        "lint": _cmd_lint,
+        "hazards": _cmd_hazards,
     }
     return handlers[args.command](args)
 

@@ -27,10 +27,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.utils.validation import check_1d_int_array, check_positive
 
 __all__ = ["EmbeddingCache"]
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]
 
 _INITIAL_CAPACITY = 64
 
@@ -56,22 +61,28 @@ class EmbeddingCache:
     def __init__(self, embedding_dim: int, default_lifecycle: int) -> None:
         check_positive(embedding_dim, "embedding_dim")
         check_positive(default_lifecycle, "default_lifecycle")
-        self.embedding_dim = int(embedding_dim)
-        self.default_lifecycle = int(default_lifecycle)
+        self.embedding_dim: int = int(embedding_dim)
+        self.default_lifecycle: int = int(default_lifecycle)
         self._slots: Dict[int, int] = {}  # index -> buffer row
-        self._buffer = np.zeros((_INITIAL_CAPACITY, self.embedding_dim))
-        self._lifecycle = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
-        self._slot_index = np.full(_INITIAL_CAPACITY, -1, dtype=np.int64)
+        self._buffer: FloatArray = np.zeros(
+            (_INITIAL_CAPACITY, self.embedding_dim), dtype=np.float64
+        )
+        self._lifecycle: IntArray = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._slot_index: IntArray = np.full(
+            _INITIAL_CAPACITY, -1, dtype=np.int64
+        )
         self._free: List[int] = list(range(_INITIAL_CAPACITY - 1, -1, -1))
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits: int = 0
+        self.misses: int = 0
+        self.evictions: int = 0
 
     # -- capacity management -------------------------------------------
     def _grow(self) -> None:
         old = self._buffer.shape[0]
         new = old * 2
-        self._buffer = np.vstack([self._buffer, np.zeros((old, self.embedding_dim))])
+        self._buffer = np.vstack(
+            [self._buffer, np.zeros((old, self.embedding_dim), dtype=np.float64)]
+        )
         self._lifecycle = np.concatenate(
             [self._lifecycle, np.zeros(old, dtype=np.int64)]
         )
@@ -86,7 +97,7 @@ class EmbeddingCache:
         return self._free.pop()
 
     # -- cache operations ----------------------------------------------
-    def put(self, indices: np.ndarray, values: np.ndarray) -> None:
+    def put(self, indices: IntArray, values: FloatArray) -> None:
         """Insert (or refresh) rows after a batch's update completes.
 
         Duplicate indices within the call are allowed; the *last*
@@ -109,8 +120,8 @@ class EmbeddingCache:
             self._lifecycle[slot] = self.default_lifecycle
 
     def synchronize(
-        self, indices: np.ndarray, values: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, indices: IntArray, values: FloatArray
+    ) -> Tuple[FloatArray, BoolArray]:
         """Overwrite stale prefetched rows with cached fresh values.
 
         Parameters
@@ -144,7 +155,7 @@ class EmbeddingCache:
         self.misses += int((~hit_mask).sum())
         return fresh, hit_mask
 
-    def decrement(self, indices: np.ndarray) -> int:
+    def decrement(self, indices: IntArray) -> int:
         """Lower LC of the given rows by one; evict rows reaching zero.
 
         Called when the server drains one batch from the gradient
@@ -167,7 +178,7 @@ class EmbeddingCache:
         self.evictions += evicted
         return evicted
 
-    def get(self, index: int) -> Optional[np.ndarray]:
+    def get(self, index: int) -> Optional[FloatArray]:
         """Fetch one cached row (copy), or None on miss."""
         slot = self._slots.get(int(index))
         if slot is None:

@@ -43,7 +43,7 @@ class DenseEmbeddingBag(EmbeddingBagBase):
         self,
         num_embeddings: int,
         embedding_dim: int,
-        seed: RngLike = None,
+        seed: RngLike = 0,
         dtype: np.dtype = np.float64,
     ) -> None:
         super().__init__(num_embeddings, embedding_dim)

@@ -93,7 +93,7 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         enable_fused_update: bool = True,
         optimizer: str = "sgd",
         adagrad_eps: float = 1e-10,
-        seed: RngLike = None,
+        seed: RngLike = 0,
     ) -> None:
         super().__init__(num_embeddings, embedding_dim)
         if row_shape is None or col_shape is None:
@@ -162,7 +162,7 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         bag = cls(
             num_rows, dim, tt_rank=tt_rank, num_cores=num_cores, **kwargs
         )
-        padded = np.zeros((bag.spec.padded_rows, dim))
+        padded = np.zeros((bag.spec.padded_rows, dim), dtype=np.float64)
         padded[:num_rows] = table
         bag.tt = TTCores.from_dense(
             padded, bag.spec.row_shape, bag.spec.col_shape, tt_rank
@@ -257,7 +257,9 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         if self.enable_grad_aggregation:
             # In-advance aggregation: sum occurrence gradients into one
             # gradient per *unique* row before the expensive chain rule.
-            agg = np.zeros((plan.num_unique_rows, self.embedding_dim))
+            agg = np.zeros(
+                (plan.num_unique_rows, self.embedding_dim), dtype=np.float64
+            )
             scatter_add_rows(agg, plan.row_inverse, row_grads)
             tt_idx = plan.tt_indices
             left_partials = self._unique_left_partials(saved, plan)

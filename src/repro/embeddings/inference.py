@@ -104,7 +104,9 @@ class HotRowCachedLookup:
         if self._hot_rows.size:
             self._hot_values = self.bag.tt.reconstruct_rows(self._hot_rows)
         else:
-            self._hot_values = np.zeros((0, self.bag.embedding_dim))
+            self._hot_values = np.zeros(
+                (0, self.bag.embedding_dim), dtype=np.float64
+            )
         self._cached_version = self.bag.version
         self.refreshes += 1
 
@@ -146,7 +148,7 @@ class HotRowCachedLookup:
             max_value=self.bag.num_embeddings - 1,
         )
         is_hot, pos = self._split(idx)
-        rows = np.empty((idx.size, self.bag.embedding_dim))
+        rows = np.empty((idx.size, self.bag.embedding_dim), dtype=np.float64)
         if is_hot.any():
             rows[is_hot] = self._hot_values[pos[is_hot]]
         cold = ~is_hot

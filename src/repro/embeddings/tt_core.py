@@ -173,7 +173,8 @@ class TTCores:
         self.spec = spec
         if cores is None:
             cores = [
-                np.zeros(spec.core_shape(k)) for k in range(spec.num_cores)
+                np.zeros(spec.core_shape(k), dtype=np.float64)
+                for k in range(spec.num_cores)
             ]
         if len(cores) != spec.num_cores:
             raise ValueError(
@@ -193,7 +194,7 @@ class TTCores:
         cls,
         spec: TTSpec,
         target_std: Optional[float] = None,
-        seed: RngLike = None,
+        seed: RngLike = 0,
     ) -> "TTCores":
         """Gaussian cores scaled so reconstructed entries match ``target_std``.
 

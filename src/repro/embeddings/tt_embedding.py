@@ -93,7 +93,7 @@ def tt_chain_backward(
     batch = row_grads.shape[0]
     # Right (suffix) partials: right[k] = product of slices k+1..d-1,
     # shape (L, R_k, prod_{l>k} n_l).  One batched GEMM per core.
-    right = np.ones((batch, 1, 1))
+    right = np.ones((batch, 1, 1), dtype=np.float64)
     rights: List[Optional[np.ndarray]] = [None] * d
     rights[d - 1] = right
     for k in range(d - 1, 0, -1):
@@ -114,7 +114,7 @@ def tt_chain_backward(
         left = (
             left_partials[k - 1]
             if k > 0
-            else np.ones((batch, 1, 1))
+            else np.ones((batch, 1, 1), dtype=np.float64)
         )
         right_k = rights[k]
         assert right_k is not None
@@ -160,7 +160,7 @@ class TTEmbeddingBag(EmbeddingBagBase):
         num_cores: int = 3,
         row_shape: Optional[Sequence[int]] = None,
         col_shape: Optional[Sequence[int]] = None,
-        seed: RngLike = None,
+        seed: RngLike = 0,
     ) -> None:
         super().__init__(num_embeddings, embedding_dim)
         if row_shape is None or col_shape is None:

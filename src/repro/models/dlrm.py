@@ -39,7 +39,7 @@ def build_embedding_bag(
     num_rows: int,
     embedding_dim: int,
     tt_rank: int,
-    seed: RngLike = None,
+    seed: RngLike = 0,
     **kwargs,
 ) -> EmbeddingBagBase:
     """Construct one embedding bag of the requested backend."""

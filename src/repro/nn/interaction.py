@@ -72,7 +72,7 @@ class DotInteraction(Module):
             )
         grad_dense_direct = grad_output[:, :dim]
         grad_inter = grad_output[:, dim:]
-        grad_z = np.zeros((batch, num_features, num_features))
+        grad_z = np.zeros((batch, num_features, num_features), dtype=np.float64)
         grad_z[:, rows, cols] = grad_inter
         # Z is symmetric in its two T factors: dT = (dZ + dZ^T) @ T.
         grad_stacked = np.einsum(

@@ -34,7 +34,7 @@ class Linear(Module):
         in_features: int,
         out_features: int,
         bias: bool = True,
-        seed: RngLike = None,
+        seed: RngLike = 0,
     ) -> None:
         super().__init__()
         if in_features < 1 or out_features < 1:

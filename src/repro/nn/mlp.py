@@ -37,7 +37,7 @@ class MLP(Module):
         self,
         layer_sizes: Sequence[int],
         sigmoid_output: bool = False,
-        seed: RngLike = None,
+        seed: RngLike = 0,
     ) -> None:
         super().__init__()
         sizes = list(layer_sizes)

@@ -20,7 +20,7 @@ Two personalities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -40,9 +40,52 @@ __all__ = [
     "SequentialPSTrainer",
     "PipelinedPSTrainer",
     "TrainLog",
+    "TraceProbe",
     "pipeline_schedule",
     "PipelineScheduleResult",
 ]
+
+
+class TraceProbe(Protocol):
+    """Observer interface for instrumented pipelined training.
+
+    Implemented by :class:`repro.analysis.shims.PipelineProbe` (kept as
+    a Protocol here so ``system`` does not import ``analysis``).  A
+    probe must be *passive*: instrumented runs are bit-identical to
+    bare runs.  Factories let the probe substitute recording variants
+    of the queues and caches; hooks observe the dataflow.
+    """
+
+    def make_queue(self, capacity: int, name: str) -> "BoundedQueue":  # type: ignore[type-arg]
+        ...
+
+    def make_cache(
+        self, embedding_dim: int, default_lifecycle: int, table: int
+    ) -> EmbeddingCache:
+        ...
+
+    def on_batch_start(self, batch_id: int) -> None:
+        ...
+
+    def on_gather(
+        self, batch_id: int, table: int, unique_indices: Iterable[int]
+    ) -> None:
+        ...
+
+    def on_consume(
+        self, batch_id: int, table: int, unique_indices: Iterable[int]
+    ) -> None:
+        ...
+
+    def on_update(
+        self, batch_id: int, table: int, unique_indices: Iterable[int]
+    ) -> None:
+        ...
+
+    def on_apply(
+        self, batch_id: int, table: int, unique_indices: Iterable[int]
+    ) -> None:
+        ...
 
 
 @dataclass
@@ -174,6 +217,11 @@ class PipelinedPSTrainer(_PSTrainerBase):
         Enable the §V-B embedding cache.  Disabling it reproduces the
         naive prefetching of Figure 10(a): the worker silently trains
         on stale rows.
+    probe:
+        Optional :class:`TraceProbe` — when given, queues and caches
+        are built through its factories and the gather/consume/
+        update/apply dataflow is reported to it.  Used by the
+        ``repro.analysis`` hazard detector; has no effect on numerics.
 
     Notes
     -----
@@ -200,6 +248,7 @@ class PipelinedPSTrainer(_PSTrainerBase):
         prefetch_depth: int = 2,
         grad_queue_depth: int = 1,
         use_cache: bool = True,
+        probe: Optional[TraceProbe] = None,
     ) -> None:
         super().__init__(model, server, host_table_map, lr)
         check_positive(prefetch_depth, "prefetch_depth")
@@ -207,37 +256,58 @@ class PipelinedPSTrainer(_PSTrainerBase):
         self.prefetch_depth = int(prefetch_depth)
         self.grad_queue_depth = int(grad_queue_depth)
         self.use_cache = use_cache
+        self.probe = probe
         lifecycle = self.prefetch_depth + self.grad_queue_depth
-        self.caches: Dict[int, EmbeddingCache] = {
-            pos: EmbeddingCache(model.config.embedding_dim, lifecycle)
-            for pos in self.host_table_map
-        }
+        dim = model.config.embedding_dim
+        if probe is None:
+            self.caches: Dict[int, EmbeddingCache] = {
+                pos: EmbeddingCache(dim, lifecycle)
+                for pos in self.host_table_map
+            }
+        else:
+            self.caches = {
+                pos: probe.make_cache(dim, lifecycle, pos)
+                for pos in self.host_table_map
+            }
 
     def train(
         self, log: SyntheticClickLog, num_batches: int, start: int = 0
     ) -> TrainLog:
         result = TrainLog()
-        prefetch_q: BoundedQueue[Dict[int, PrefetchedRows]] = BoundedQueue(
-            self.prefetch_depth
-        )
-        grad_q: BoundedQueue[_GradEntry] = BoundedQueue(self.grad_queue_depth)
+        if self.probe is None:
+            prefetch_q: BoundedQueue[Dict[int, PrefetchedRows]] = BoundedQueue(
+                self.prefetch_depth
+            )
+            grad_q: BoundedQueue[_GradEntry] = BoundedQueue(
+                self.grad_queue_depth
+            )
+        else:
+            prefetch_q = self.probe.make_queue(self.prefetch_depth, "prefetch")
+            grad_q = self.probe.make_queue(self.grad_queue_depth, "gradient")
 
         def gather_for(batch_id: int) -> Dict[int, PrefetchedRows]:
             batch = log.batch(batch_id)
-            return {
+            gathered = {
                 pos: self.server.gather(server_idx, batch.sparse_indices[pos])
                 for pos, server_idx, _ in self._host_bags()
             }
+            if self.probe is not None:
+                for pos, entry in gathered.items():
+                    self.probe.on_gather(
+                        batch_id, pos, entry.unique_indices.tolist()
+                    )
+            return gathered
 
         def drain_one() -> None:
             entry = grad_q.get()
-            for server_idx, unique_idx, grads in entry.per_table:
-                self.server.apply_gradients(server_idx, unique_idx, grads)
-            if self.use_cache:
-                for (pos, server_idx, _), (entry_sidx, uidx, _g) in zip(
-                    self._host_bags(), entry.per_table
-                ):
-                    assert server_idx == entry_sidx
+            for (pos, server_idx, _), (entry_sidx, uidx, grads) in zip(
+                self._host_bags(), entry.per_table
+            ):
+                assert server_idx == entry_sidx
+                self.server.apply_gradients(server_idx, uidx, grads)
+                if self.probe is not None:
+                    self.probe.on_apply(entry.batch_id, pos, uidx.tolist())
+                if self.use_cache:
                     self.caches[pos].decrement(uidx)
 
         # Fill the prefetch queue (pipeline warm-up).
@@ -246,6 +316,8 @@ class PipelinedPSTrainer(_PSTrainerBase):
 
         for i in range(start, start + num_batches):
             batch = log.batch(i)
+            if self.probe is not None:
+                self.probe.on_batch_start(i)
             # (1) consume the prefetch entry for batch i.
             prefetched = prefetch_q.get()
             for pos, server_idx, bag in self._host_bags():
@@ -265,6 +337,10 @@ class PipelinedPSTrainer(_PSTrainerBase):
                         (~np.isclose(rows, fresh).all(axis=1)).sum()
                     )
                 bag.load_rows(entry.unique_indices, rows)
+                if self.probe is not None:
+                    self.probe.on_consume(
+                        i, pos, entry.unique_indices.tolist()
+                    )
 
             # (2) train; cache updated rows; enqueue gradients.
             result.losses.append(self._compute_step(batch))
@@ -274,6 +350,8 @@ class PipelinedPSTrainer(_PSTrainerBase):
                     uidx, updated = bag.compute_updated_rows(self.lr)
                     self.caches[pos].put(uidx, updated)
                 unique_idx, grads = bag.pop_row_gradients()
+                if self.probe is not None:
+                    self.probe.on_update(i, pos, unique_idx.tolist())
                 per_table.append((server_idx, unique_idx, grads))
             if grad_q.full():
                 drain_one()  # backpressure: apply the oldest batch first

@@ -15,6 +15,13 @@ stage times comes from executed batches rather than constants.
 
 from __future__ import annotations
 
+# This module is the one sanctioned wall-clock consumer in system/: it
+# *measures* real batch execution to feed the simulator, so host-clock
+# reads are its purpose, not a determinism bug.  Timing results are
+# explicitly not bit-reproducible; everything downstream of the
+# measured durations (the DES replay) is.
+# reprolint: disable-file=wall-clock
+
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional

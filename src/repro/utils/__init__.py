@@ -12,7 +12,7 @@ from repro.utils.factorize import (
     prime_factors,
     suggest_tt_shapes,
 )
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import ENTROPY, ensure_rng, spawn_rngs
 from repro.utils.scatter import scatter_add_rows
 from repro.utils.timer import Timer, measure_median
 from repro.utils.validation import (
@@ -26,6 +26,7 @@ __all__ = [
     "factorize_pair",
     "prime_factors",
     "suggest_tt_shapes",
+    "ENTROPY",
     "ensure_rng",
     "scatter_add_rows",
     "spawn_rngs",

@@ -2,8 +2,14 @@
 
 All stochastic components in the reproduction (parameter
 initialization, synthetic data generation, index sampling) accept
-either an integer seed, a ``numpy.random.Generator``, or ``None``.
-Centralizing the coercion keeps experiments reproducible end to end.
+either an integer seed, a ``numpy.random.Generator``, or the explicit
+string ``"entropy"``.  Centralizing the coercion keeps experiments
+reproducible end to end.
+
+Nondeterminism is **opt-in**: ``ensure_rng(None)`` raises.  Callers
+that genuinely want OS-entropy seeding (interactive exploration,
+benchmark jitter) must say so with ``seed="entropy"`` so the intent is
+visible at the call site and greppable by ``reprolint``.
 """
 
 from __future__ import annotations
@@ -12,22 +18,38 @@ from typing import List, Sequence, Union
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "spawn_rngs", "ENTROPY"]
 
-RngLike = Union[None, int, Sequence[int], np.random.Generator]
+#: Sentinel accepted by :func:`ensure_rng` for explicit nondeterminism.
+ENTROPY = "entropy"
+
+RngLike = Union[None, int, str, Sequence[int], np.random.Generator]
 
 
-def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+def ensure_rng(seed: RngLike) -> np.random.Generator:
     """Coerce ``seed`` into a :class:`numpy.random.Generator`.
 
-    ``None`` yields a fresh nondeterministic generator; an ``int`` or a
-    sequence of ints yields ``default_rng(seed)`` (sequences give cheap
-    hierarchical seeding, e.g. ``(master, table_id, batch_id)``); a
-    ``Generator`` is passed through unchanged (no copy, so state
-    advances for the caller too).
+    An ``int`` or a sequence of ints yields ``default_rng(seed)``
+    (sequences give cheap hierarchical seeding, e.g. ``(master,
+    table_id, batch_id)``); a ``Generator`` is passed through unchanged
+    (no copy, so state advances for the caller too); the literal string
+    ``"entropy"`` is the explicit opt-in for a fresh OS-entropy-seeded
+    generator.  ``None`` raises: silent nondeterminism is exactly the
+    bug class ``reprolint`` exists to catch.
     """
     if seed is None:
-        return np.random.default_rng()
+        raise TypeError(
+            "seed=None is no longer accepted: pass an int seed for a "
+            'reproducible generator, or seed="entropy" to explicitly '
+            "opt in to OS-entropy seeding"
+        )
+    if isinstance(seed, str):
+        if seed == ENTROPY:
+            # The one sanctioned nondeterministic construction site.
+            return np.random.default_rng()
+        raise TypeError(
+            f'string seeds must be "entropy", got {seed!r}'
+        )
     if isinstance(seed, np.random.Generator):
         return seed
     if isinstance(seed, (int, np.integer)):
@@ -37,7 +59,7 @@ def ensure_rng(seed: RngLike = None) -> np.random.Generator:
     ):
         return np.random.default_rng([int(s) for s in seed])
     raise TypeError(
-        f"seed must be None, an int, an int sequence, or a numpy "
+        f'seed must be an int, an int sequence, "entropy", or a numpy '
         f"Generator, got {type(seed)!r}"
     )
 

@@ -1,0 +1,193 @@
+"""Unit tests for the reprolint rule catalog and pragma machinery."""
+
+import pytest
+
+from repro.analysis import Severity, lint_source
+from repro.analysis.linter import iter_python_files, lint_paths
+from repro.analysis.rules import RULE_REGISTRY
+
+
+def _rules_of(result):
+    return [f.rule for f in result.findings]
+
+
+class TestUnseededRng:
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        result = lint_source(src, rel="repro/data/foo.py")
+        assert _rules_of(result) == ["unseeded-rng"]
+        assert result.findings[0].severity is Severity.ERROR
+        assert result.findings[0].line == 2
+
+    def test_seeded_default_rng_ok(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert not lint_source(src, rel="repro/data/foo.py").findings
+
+    def test_legacy_global_sampler_flagged(self):
+        src = "import numpy as np\nx = np.random.randint(0, 10)\n"
+        result = lint_source(src, rel="repro/data/foo.py")
+        assert _rules_of(result) == ["unseeded-rng"]
+
+    def test_from_import_resolved(self):
+        src = "from numpy.random import default_rng\nrng = default_rng()\n"
+        result = lint_source(src, rel="repro/data/foo.py")
+        assert _rules_of(result) == ["unseeded-rng"]
+
+    def test_rng_module_exempt(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert not lint_source(src, rel="repro/utils/rng.py").findings
+
+    def test_generator_annotation_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> None:\n"
+            "    rng.random(3)\n"
+        )
+        assert not lint_source(src, rel="repro/data/foo.py").findings
+
+
+class TestWallClock:
+    def test_perf_counter_in_system_flagged(self):
+        src = "import time\nt = time.perf_counter()\n"
+        result = lint_source(src, rel="repro/system/foo.py")
+        assert _rules_of(result) == ["wall-clock"]
+
+    def test_from_import_alias_resolved(self):
+        src = "from time import perf_counter as pc\nt = pc()\n"
+        result = lint_source(src, rel="repro/serving/foo.py")
+        assert _rules_of(result) == ["wall-clock"]
+
+    def test_outside_zone_ok(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert not lint_source(src, rel="repro/utils/timer.py").findings
+
+    def test_time_sleep_not_flagged(self):
+        src = "import time\ntime.sleep(0.1)\n"
+        assert not lint_source(src, rel="repro/system/foo.py").findings
+
+
+class TestImplicitDtype:
+    def test_zeros_without_dtype_flagged(self):
+        src = "import numpy as np\nx = np.zeros((4, 4))\n"
+        result = lint_source(src, rel="repro/embeddings/foo.py")
+        assert _rules_of(result) == ["implicit-dtype"]
+
+    def test_zeros_with_dtype_ok(self):
+        src = "import numpy as np\nx = np.zeros((4, 4), dtype=np.float64)\n"
+        assert not lint_source(src, rel="repro/embeddings/foo.py").findings
+
+    def test_zeros_like_exempt(self):
+        src = "import numpy as np\ndef f(y):\n    return np.zeros_like(y)\n"
+        assert not lint_source(src, rel="repro/nn/foo.py").findings
+
+    def test_outside_kernel_zone_ok(self):
+        src = "import numpy as np\nx = np.zeros((4, 4))\n"
+        assert not lint_source(src, rel="repro/data/foo.py").findings
+
+
+class TestBatchLoop:
+    def test_batch_range_loop_warned(self):
+        src = (
+            "def forward(batch_size):\n"
+            "    for i in range(batch_size):\n"
+            "        pass\n"
+        )
+        result = lint_source(src, rel="repro/nn/foo.py")
+        assert _rules_of(result) == ["batch-loop"]
+        assert result.findings[0].severity is Severity.WARNING
+
+    def test_core_loop_not_warned(self):
+        src = "def f(cores):\n    for core in cores:\n        pass\n"
+        assert not lint_source(src, rel="repro/nn/foo.py").findings
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.zeros((4, 4))  # reprolint: disable=implicit-dtype\n"
+        )
+        result = lint_source(src, rel="repro/nn/foo.py")
+        assert not result.findings
+        assert result.suppressed == 1
+
+    def test_pragma_by_rule_id(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.zeros((4, 4))  # reprolint: disable=REP003\n"
+        )
+        assert not lint_source(src, rel="repro/nn/foo.py").findings
+
+    def test_disable_all(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.zeros((4, 4))  # reprolint: disable=all\n"
+        )
+        assert not lint_source(src, rel="repro/nn/foo.py").findings
+
+    def test_file_pragma_suppresses_whole_module(self):
+        src = (
+            "# reprolint: disable-file=wall-clock\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.perf_counter()\n"
+        )
+        result = lint_source(src, rel="repro/system/foo.py")
+        assert not result.findings
+        assert result.suppressed == 2
+
+    def test_pragma_only_covers_its_line(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.zeros((4, 4))  # reprolint: disable=implicit-dtype\n"
+            "y = np.zeros((4, 4))\n"
+        )
+        result = lint_source(src, rel="repro/nn/foo.py")
+        assert _rules_of(result) == ["implicit-dtype"]
+        assert result.findings[0].line == 3
+
+
+class TestRunner:
+    def test_registry_has_expected_rules(self):
+        assert set(RULE_REGISTRY) >= {
+            "unseeded-rng",
+            "wall-clock",
+            "implicit-dtype",
+            "batch-loop",
+        }
+
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            lint_source("x = 1\n", rel="repro/foo.py", select=["nope"])
+
+    def test_select_filters(self):
+        src = (
+            "import numpy as np\nimport time\n"
+            "x = np.zeros((4, 4))\n"
+            "t = time.time()\n"
+        )
+        result = lint_source(
+            src, rel="repro/embeddings/foo.py", select=["wall-clock"]
+        )
+        assert _rules_of(result) == ["wall-clock"]
+
+    def test_iter_python_files_missing_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([tmp_path / "does_not_exist"]))
+
+    def test_lint_paths_reports_syntax_errors(self, tmp_path):
+        bad = tmp_path / "repro" / "broken.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(:\n")
+        result = lint_paths([tmp_path])
+        assert [f.rule for f in result.findings] == ["syntax-error"]
+        assert not result.ok
+
+    def test_json_output_round_trips(self):
+        import json
+
+        src = "import numpy as np\nx = np.zeros(3)\n"
+        result = lint_source(src, rel="repro/nn/foo.py")
+        payload = json.loads(result.to_json())
+        assert payload["findings"][0]["rule"] == "implicit-dtype"
+        assert payload["findings"][0]["severity"] == "error"

@@ -1,0 +1,34 @@
+"""Self-lint: the shipped tree must stay reprolint-clean.
+
+This is the pytest-collected arm of the linter (the other arm is
+``python -m repro lint``): any PR that introduces an error-level
+finding — an unseeded RNG, a wall-clock read in a SimClock zone, a
+dtype-less kernel allocation — fails CI here.  Warn-level findings
+(perf advisories) are allowed.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import Severity, lint_paths
+
+SRC = Path(repro.__file__).resolve().parent
+
+
+def test_src_tree_has_no_error_findings():
+    result = lint_paths([SRC])
+    errors = [f.format() for f in result.errors]
+    assert not errors, "reprolint errors in shipped tree:\n" + "\n".join(errors)
+
+
+def test_src_tree_scan_is_substantial():
+    # Guard against the scan silently looking at the wrong directory.
+    result = lint_paths([SRC])
+    assert result.files_scanned > 50
+
+
+def test_self_lint_is_deterministic():
+    a = lint_paths([SRC])
+    b = lint_paths([SRC])
+    assert [f.sort_key for f in a.findings] == [f.sort_key for f in b.findings]
+    assert a.suppressed == b.suppressed

@@ -1,0 +1,39 @@
+"""Strict-mode typecheck gate for the annotated modules.
+
+Runs ``mypy`` over the modules pinned to strict mode in
+``pyproject.toml`` (``system/queues.py``, ``embeddings/cache.py``,
+``analysis/``).  Skipped when mypy is not installed — the container
+image for CI may not ship it; the annotations themselves are still
+exercised at runtime by the rest of the suite.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+PKG = Path(repro.__file__).resolve().parent
+REPO_ROOT = PKG.parents[1]
+
+STRICT_TARGETS = [
+    PKG / "system" / "queues.py",
+    PKG / "embeddings" / "cache.py",
+    PKG / "analysis",
+]
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None, reason="mypy not installed"
+)
+def test_strict_modules_typecheck():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *map(str, STRICT_TARGETS)],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stdout

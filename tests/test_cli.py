@@ -45,6 +45,38 @@ class TestCli:
         assert "num_swaps" in out
         assert "hot swaps at" not in out
 
+    def test_lint_shipped_tree_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_flags_bad_file(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "nn" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nx = np.zeros((2, 2))\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "implicit-dtype" in out
+
+    def test_lint_json_format(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        assert '"findings"' in out
+
+    def test_lint_missing_path_errors(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+
+    def test_hazards_clean(self, capsys):
+        assert main(["hazards", "--batches", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "RAW hazards     : 0" in out
+
+    def test_hazards_inject(self, capsys):
+        assert main(["hazards", "--inject", "--batches", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "FAULT INJECTION" in out
+        assert "detector caught the injected RAW conflict" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

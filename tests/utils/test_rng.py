@@ -3,12 +3,23 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import ENTROPY, ensure_rng, spawn_rngs
 
 
 class TestEnsureRng:
-    def test_none_gives_generator(self):
-        assert isinstance(ensure_rng(None), np.random.Generator)
+    def test_none_rejected(self):
+        # Silent nondeterminism is opt-in only (reprolint REP001).
+        with pytest.raises(TypeError, match="entropy"):
+            ensure_rng(None)
+
+    def test_entropy_opt_in_gives_generator(self):
+        assert isinstance(ensure_rng(ENTROPY), np.random.Generator)
+        assert isinstance(ensure_rng("entropy"), np.random.Generator)
+
+    def test_entropy_generators_independent(self):
+        a = ensure_rng(ENTROPY).random(8)
+        b = ensure_rng(ENTROPY).random(8)
+        assert not np.array_equal(a, b)
 
     def test_int_deterministic(self):
         a = ensure_rng(7).random(5)
@@ -33,7 +44,7 @@ class TestEnsureRng:
 
     def test_invalid_type(self):
         with pytest.raises(TypeError):
-            ensure_rng("seed")
+            ensure_rng("seed")  # only "entropy" is a legal string
         with pytest.raises(TypeError):
             ensure_rng(3.14)
 
