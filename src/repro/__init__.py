@@ -15,7 +15,11 @@ Recommendation Model Training via Tensor-Train Embedding Table*
   plus functional data parallelism and a calibrated device cost model
   (:mod:`repro.system`);
 * strategy models of the DLRM / FAE / TT-Rec / HugeCTR / TorchRec
-  baselines (:mod:`repro.frameworks`).
+  baselines (:mod:`repro.frameworks`);
+* a pluggable execution-backend layer all hot-path kernels route
+  through — reference numpy, an instrumented FLOP/byte counter, and an
+  optional torch backend — with plan-cached TT contractions
+  (:mod:`repro.backend`).
 
 Quickstart::
 
@@ -28,6 +32,13 @@ Quickstart::
     # drop-in for torch.nn.EmbeddingBag(mode="sum")
 """
 
+from repro.backend import (
+    InstrumentedBackend,
+    NumpyBackend,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.embeddings import (
     DenseEmbeddingBag,
     EffTTEmbeddingBag,
@@ -46,6 +57,11 @@ from repro.data import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "NumpyBackend",
+    "InstrumentedBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "DenseEmbeddingBag",
     "TTEmbeddingBag",
     "EffTTEmbeddingBag",

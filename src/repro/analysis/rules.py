@@ -27,6 +27,12 @@ story rests on:
     Python-level ``for`` loops over batch-shaped data inside kernel
     modules are the slow path the paper's kernels exist to remove;
     flagged as a perf advisory, not an error.
+``direct-numpy-in-kernel-zone`` (REP005, error)
+    Hot-path contractions (``np.matmul``/``np.einsum``/``np.dot``)
+    must route through the active :mod:`repro.backend` so FLOP
+    instrumentation, plan caching, and accelerated backends see every
+    kernel.  The reference :class:`NumpyBackend` is the one module
+    allowed to call them, via a ``disable-file`` pragma.
 """
 
 from __future__ import annotations
@@ -48,8 +54,10 @@ __all__ = [
     "WallClockRule",
     "ImplicitDtypeRule",
     "BatchLoopRule",
+    "DirectNumpyRule",
     "SIMCLOCK_ZONES",
     "KERNEL_ZONES",
+    "BACKEND_ROUTED_ZONES",
     "RNG_EXEMPT_FILES",
 ]
 
@@ -66,6 +74,15 @@ SIMCLOCK_ZONES: Tuple[str, ...] = (
 KERNEL_ZONES: Tuple[str, ...] = (
     "repro/embeddings/",
     "repro/nn/",
+)
+
+# Module prefixes whose contractions are routed through repro.backend:
+# direct np.matmul/einsum/dot calls there bypass instrumentation and
+# plan caching.  The reference NumpyBackend opts out per file.
+BACKEND_ROUTED_ZONES: Tuple[str, ...] = KERNEL_ZONES + (
+    "repro/system/",
+    "repro/serving/",
+    "repro/backend/",
 )
 
 # The one module allowed to touch numpy's RNG constructors directly.
@@ -380,7 +397,47 @@ class BatchLoopRule:
                 )
 
 
+# ---------------------------------------------------------------------------
+# REP005 — direct numpy contractions in backend-routed zones
+# ---------------------------------------------------------------------------
+
+_CONTRACTIONS = frozenset({"numpy.matmul", "numpy.einsum", "numpy.dot"})
+
+
+class DirectNumpyRule:
+    """Hot-path contractions must go through the active backend."""
+
+    id = "REP005"
+    name = "direct-numpy-in-kernel-zone"
+    severity = Severity.ERROR
+    description = (
+        "no direct np.matmul/np.einsum/np.dot in backend-routed zones; "
+        "call get_backend().matmul/einsum so instrumentation and plan "
+        "caching see the kernel"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.in_zone(BACKEND_ROUTED_ZONES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target not in _CONTRACTIONS:
+                continue
+            short = target.rsplit(".", 1)[1]
+            yield _finding(
+                self,
+                ctx,
+                node,
+                f"direct np.{short}() bypasses the repro.backend layer",
+                "route through get_backend().matmul/einsum (the reference "
+                "NumpyBackend itself opts out with a disable-file pragma)",
+            )
+
+
 register(UnseededRngRule())
 register(WallClockRule())
 register(ImplicitDtypeRule())
 register(BatchLoopRule())
+register(DirectNumpyRule())

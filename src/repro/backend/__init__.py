@@ -1,0 +1,138 @@
+"""Pluggable execution backends for all hot-path kernels.
+
+Usage::
+
+    from repro import backend
+
+    bk = backend.get_backend()           # active backend (numpy default)
+    with backend.use_backend("instrumented") as inst:
+        model.train_step(batch)          # kernels counted per zone
+        print(inst.report())
+
+The active backend is a module-level global, so tests and benchmarks
+swap execution paths without threading a parameter through every
+constructor.  ``use_backend`` accepts either a backend *name*
+(``"numpy"``, ``"instrumented"``, ``"torch"``) or an already-constructed
+backend object, restores the previous backend on exit, and yields the
+active instance (handy for reading instrumented counters afterwards).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Tuple, Union
+
+from .instrumented import DtypeViolation, InstrumentedBackend, KernelStats
+from .numpy_backend import NumpyBackend
+from .plan_cache import (
+    ChainPlan,
+    ChainStage,
+    ContractionPlanCache,
+    EinsumPlan,
+    get_plan_cache,
+    reset_plan_cache,
+)
+from .protocol import (
+    KERNEL_ZONE_NAMES,
+    ZONE_EFFTT_BACKWARD,
+    ZONE_EFFTT_FORWARD,
+    ZONE_FUSED_UPDATE,
+    ZONE_INTERACTION,
+    ZONE_LC_CACHE,
+    ZONE_MLP,
+    ZONE_OPTIMIZER,
+    ZONE_PS_APPLY,
+    ZONE_PS_GATHER,
+    ZONE_SERVING_LOOKUP,
+    ZONE_TT_BACKWARD,
+    ZONE_TT_FORWARD,
+    ZONE_TT_RECONSTRUCT,
+    ArrayBackend,
+    BackendUnavailableError,
+)
+from .torch_backend import TorchBackend, torch_available
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "InstrumentedBackend",
+    "TorchBackend",
+    "torch_available",
+    "KernelStats",
+    "DtypeViolation",
+    "ChainPlan",
+    "ChainStage",
+    "EinsumPlan",
+    "ContractionPlanCache",
+    "get_plan_cache",
+    "reset_plan_cache",
+    "BACKEND_NAMES",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "resolve_backend",
+    "KERNEL_ZONE_NAMES",
+    "ZONE_TT_FORWARD",
+    "ZONE_TT_BACKWARD",
+    "ZONE_TT_RECONSTRUCT",
+    "ZONE_EFFTT_FORWARD",
+    "ZONE_EFFTT_BACKWARD",
+    "ZONE_FUSED_UPDATE",
+    "ZONE_MLP",
+    "ZONE_INTERACTION",
+    "ZONE_OPTIMIZER",
+    "ZONE_LC_CACHE",
+    "ZONE_PS_GATHER",
+    "ZONE_PS_APPLY",
+    "ZONE_SERVING_LOOKUP",
+]
+
+BACKEND_NAMES: Tuple[str, ...] = ("numpy", "instrumented", "torch")
+
+_DEFAULT_BACKEND = NumpyBackend()
+_active_backend: ArrayBackend = _DEFAULT_BACKEND
+
+
+def resolve_backend(spec: Union[str, ArrayBackend, None]) -> ArrayBackend:
+    """Turn a backend name (or backend instance, or None) into a backend.
+
+    ``None`` resolves to the currently active backend.  Raises
+    :class:`BackendUnavailableError` for ``"torch"`` without torch, and
+    :class:`ValueError` for unknown names.
+    """
+    if spec is None:
+        return get_backend()
+    if not isinstance(spec, str):
+        return spec
+    if spec == "numpy":
+        return NumpyBackend()
+    if spec == "instrumented":
+        return InstrumentedBackend()
+    if spec == "torch":
+        return TorchBackend()
+    raise ValueError(f"unknown backend {spec!r}; expected one of {BACKEND_NAMES}")
+
+
+def get_backend() -> ArrayBackend:
+    """The backend all hot-path kernels currently execute through."""
+    return _active_backend
+
+
+def set_backend(spec: Union[str, ArrayBackend]) -> ArrayBackend:
+    """Install a backend globally; returns the installed instance."""
+    global _active_backend
+    _active_backend = resolve_backend(spec)
+    return _active_backend
+
+
+@contextlib.contextmanager
+def use_backend(spec: Union[str, ArrayBackend]) -> Iterator[ArrayBackend]:
+    """Temporarily install a backend, restoring the previous one on exit."""
+    global _active_backend
+    previous = _active_backend
+    _active_backend = resolve_backend(spec)
+    try:
+        yield _active_backend
+    finally:
+        _active_backend = previous

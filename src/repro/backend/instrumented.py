@@ -1,0 +1,247 @@
+"""Instrumenting backend wrapper: FLOP/byte/call counts per kernel zone.
+
+:class:`InstrumentedBackend` wraps any :class:`~repro.backend.protocol.ArrayBackend`
+(the reference :class:`~repro.backend.numpy_backend.NumpyBackend` by
+default) and forwards every call to it unchanged — results are
+therefore bitwise-identical to the wrapped backend — while accumulating
+a :class:`KernelStats` per *kernel zone* (see
+:data:`repro.backend.protocol.KERNEL_ZONE_NAMES`).  The counters feed
+the bench harness (``repro bench --backend instrumented``) and
+cross-check the analytic model in :mod:`repro.embeddings.flops`.
+
+Cost model
+----------
+* ``matmul`` — ``2 * prod(batch) * m * k * n`` FLOPs from the runtime
+  operand shapes; bytes = operands read + result written.
+* ``einsum`` — the supplied plan's precomputed FLOP count when one is
+  given; otherwise the plan cache derives one for the signature (so
+  even un-planned calls are costed consistently).
+* ``gather_rows`` / ``scatter_add_rows`` — pure traffic: rows read and
+  written (scatter counts read-modify-write on the target rows, plus
+  one FLOP per added element and one per scaled element).
+* elementwise (``exp``/``maximum``/``where``/``axpy``) — one FLOP per
+  output element (two for ``axpy``: multiply + add), read/write
+  traffic from operand sizes.
+
+Dtype drift
+-----------
+Inside an :meth:`InstrumentedBackend.expect_dtype` scope, every
+floating-point array produced by the backend (allocations and
+contraction results) is checked against the expected dtype; mismatches
+are recorded in :attr:`dtype_violations` rather than raised, so a
+regression test can assert the list stays empty over a full
+forward/backward pass.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend
+from .plan_cache import EinsumPlan, get_plan_cache
+from .protocol import ArrayBackend, DTypeLike, Shape
+
+__all__ = ["KernelStats", "DtypeViolation", "InstrumentedBackend"]
+
+UNZONED = "unzoned"
+
+
+@dataclass
+class KernelStats:
+    """Accumulated cost of one kernel zone (or one (zone, op) pair)."""
+
+    calls: int = 0
+    flops: int = 0
+    bytes: int = 0
+
+    def add(self, flops: int, nbytes: int) -> None:
+        self.calls += 1
+        self.flops += flops
+        self.bytes += nbytes
+
+    def merge(self, other: "KernelStats") -> None:
+        self.calls += other.calls
+        self.flops += other.flops
+        self.bytes += other.bytes
+
+
+@dataclass(frozen=True)
+class DtypeViolation:
+    """One observed departure from the expected floating dtype."""
+
+    zone: str
+    op: str
+    expected: str
+    actual: str
+
+
+class InstrumentedBackend:
+    """Counting wrapper satisfying :class:`~repro.backend.protocol.ArrayBackend`."""
+
+    def __init__(self, inner: Optional[ArrayBackend] = None) -> None:
+        self.inner: ArrayBackend = inner if inner is not None else NumpyBackend()
+        self.name = f"instrumented[{self.inner.name}]"
+        self.zone_stats: Dict[str, KernelStats] = {}
+        self.op_stats: Dict[Tuple[str, str], KernelStats] = {}
+        self.dtype_violations: List[DtypeViolation] = []
+        self._zone_stack: List[str] = []
+        self._expected_dtype: Optional[np.dtype] = None
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def current_zone(self) -> str:
+        return self._zone_stack[-1] if self._zone_stack else UNZONED
+
+    def reset(self) -> None:
+        self.zone_stats.clear()
+        self.op_stats.clear()
+        self.dtype_violations.clear()
+
+    def totals(self) -> KernelStats:
+        total = KernelStats()
+        for stats in self.zone_stats.values():
+            total.merge(stats)
+        return total
+
+    def _record(self, op: str, flops: int, nbytes: int) -> None:
+        zone = self.current_zone
+        self.zone_stats.setdefault(zone, KernelStats()).add(flops, nbytes)
+        self.op_stats.setdefault((zone, op), KernelStats()).add(flops, nbytes)
+
+    def _check_dtype(self, op: str, out: np.ndarray) -> np.ndarray:
+        expected = self._expected_dtype
+        if expected is not None and np.issubdtype(out.dtype, np.floating) and out.dtype != expected:
+            self.dtype_violations.append(
+                DtypeViolation(
+                    zone=self.current_zone,
+                    op=op,
+                    expected=str(expected),
+                    actual=str(out.dtype),
+                )
+            )
+        return out
+
+    @contextlib.contextmanager
+    def expect_dtype(self, dtype: DTypeLike) -> Iterator[None]:
+        """Record any floating result whose dtype departs from ``dtype``."""
+        previous = self._expected_dtype
+        self._expected_dtype = np.dtype(dtype)
+        try:
+            yield
+        finally:
+            self._expected_dtype = previous
+
+    @contextlib.contextmanager
+    def zone(self, name: str) -> Iterator[None]:
+        self._zone_stack.append(name)
+        try:
+            yield
+        finally:
+            self._zone_stack.pop()
+
+    def report(self) -> str:
+        """Fixed-width per-zone cost table (bench harness output)."""
+        header = f"{'zone':<18} {'calls':>8} {'gflops':>10} {'mbytes':>10}"
+        lines = [header, "-" * len(header)]
+        for zone in sorted(self.zone_stats):
+            stats = self.zone_stats[zone]
+            lines.append(
+                f"{zone:<18} {stats.calls:>8d} {stats.flops / 1e9:>10.4f} "
+                f"{stats.bytes / 1e6:>10.3f}"
+            )
+        total = self.totals()
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total':<18} {total.calls:>8d} {total.flops / 1e9:>10.4f} "
+            f"{total.bytes / 1e6:>10.3f}"
+        )
+        return "\n".join(lines)
+
+    # -- allocation ----------------------------------------------------
+    def zeros(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        out = self.inner.zeros(shape, dtype)
+        self._record("zeros", 0, out.nbytes)
+        return self._check_dtype("zeros", out)
+
+    def ones(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        out = self.inner.ones(shape, dtype)
+        self._record("ones", 0, out.nbytes)
+        return self._check_dtype("ones", out)
+
+    def empty(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        out = self.inner.empty(shape, dtype)
+        self._record("empty", 0, out.nbytes)
+        return self._check_dtype("empty", out)
+
+    def full(self, shape: Shape, fill_value: float, dtype: DTypeLike) -> np.ndarray:
+        out = self.inner.full(shape, fill_value, dtype)
+        self._record("full", 0, out.nbytes)
+        return self._check_dtype("full", out)
+
+    def asarray(self, a: Any, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        out = self.inner.asarray(a, dtype=dtype)
+        self._record("asarray", 0, 0)
+        return self._check_dtype("asarray", out)
+
+    # -- contraction ---------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = self.inner.matmul(a, b)
+        m = a.shape[-2] if a.ndim >= 2 else 1
+        k = a.shape[-1]
+        n = b.shape[-1] if b.ndim >= 2 else 1
+        batch = int(np.prod(out.shape[:-2], dtype=np.int64)) if out.ndim > 2 else 1
+        flops = 2 * batch * m * k * n
+        nbytes = a.nbytes + b.nbytes + out.nbytes
+        self._record("matmul", flops, nbytes)
+        return self._check_dtype("matmul", out)
+
+    def einsum(
+        self, subscripts: str, *operands: np.ndarray, plan: Optional[EinsumPlan] = None
+    ) -> np.ndarray:
+        out = self.inner.einsum(subscripts, *operands, plan=plan)
+        if plan is None:
+            plan = get_plan_cache().einsum_plan(subscripts, *operands)
+        nbytes = sum(op.nbytes for op in operands) + out.nbytes
+        self._record("einsum", plan.flop_count, nbytes)
+        return self._check_dtype("einsum", out)
+
+    # -- sparse movement -----------------------------------------------
+    def gather_rows(self, table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        out = self.inner.gather_rows(table, indices)
+        self._record("gather_rows", 0, 2 * out.nbytes)
+        return self._check_dtype("gather_rows", out)
+
+    def scatter_add_rows(
+        self,
+        target: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        scale: float = 1.0,
+    ) -> None:
+        self.inner.scatter_add_rows(target, indices, values, scale=scale)
+        flops = values.size if scale == 1.0 else 2 * values.size
+        self._record("scatter_add_rows", flops, 3 * values.nbytes)
+
+    # -- elementwise ---------------------------------------------------
+    def exp(self, a: np.ndarray) -> np.ndarray:
+        out = self.inner.exp(a)
+        self._record("exp", out.size, a.nbytes + out.nbytes)
+        return self._check_dtype("exp", out)
+
+    def maximum(self, a: Any, b: Any) -> np.ndarray:
+        out = self.inner.maximum(a, b)
+        self._record("maximum", out.size, 2 * out.nbytes)
+        return self._check_dtype("maximum", out)
+
+    def where(self, cond: np.ndarray, a: Any, b: Any) -> np.ndarray:
+        out = self.inner.where(cond, a, b)
+        self._record("where", out.size, 2 * out.nbytes)
+        return self._check_dtype("where", out)
+
+    def axpy(self, target: np.ndarray, values: np.ndarray, scale: float) -> None:
+        self.inner.axpy(target, values, scale)
+        self._record("axpy", 2 * values.size, 3 * values.nbytes)

@@ -1,0 +1,101 @@
+# reprolint: disable-file=direct-numpy-in-kernel-zone
+"""Reference backend: thin, bit-exact delegation to numpy.
+
+This module is the numeric ground truth of the repository.  Every
+method forwards to the *same* numpy call the pre-backend code used —
+``np.matmul``, plain ``np.einsum`` with ``optimize=False``, fancy-index
+gather, :func:`repro.utils.scatter.scatter_add_rows` — so routing a
+kernel through :class:`NumpyBackend` is bitwise-identical to the direct
+call it replaced.  The file-level reprolint pragma above opts this one
+module out of REP005 (``direct-numpy-in-kernel-zone``): the reference
+backend is the single place direct numpy contraction calls are allowed.
+
+``einsum`` accepts a precompiled :class:`~repro.backend.plan_cache.EinsumPlan`
+but deliberately ignores it for execution: ``np.einsum(..., optimize=path)``
+routes through BLAS ``tensordot`` and produces bitwise-*different*
+results from the unoptimized evaluation that defines this repo's
+numerics.  Plans exist for instrumentation and for backends with a
+tolerance-based numeric contract.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from ..utils.scatter import scatter_add_rows as _scatter_add_rows
+from .plan_cache import EinsumPlan
+from .protocol import DTypeLike, Shape
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend:
+    """The reference :class:`~repro.backend.protocol.ArrayBackend`."""
+
+    name = "numpy"
+
+    # -- allocation ----------------------------------------------------
+    def zeros(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def ones(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        return np.ones(shape, dtype=dtype)
+
+    def empty(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def full(self, shape: Shape, fill_value: float, dtype: DTypeLike) -> np.ndarray:
+        return np.full(shape, fill_value, dtype=dtype)
+
+    def asarray(self, a: Any, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        return np.asarray(a, dtype=dtype)
+
+    # -- contraction ---------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.matmul(a, b)
+
+    def einsum(
+        self, subscripts: str, *operands: np.ndarray, plan: Optional[EinsumPlan] = None
+    ) -> np.ndarray:
+        # optimize=False always: bitwise identity with the historical
+        # call sites trumps the planned contraction order here.
+        return np.einsum(subscripts, *operands, optimize=False)
+
+    # -- sparse movement -----------------------------------------------
+    def gather_rows(self, table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        return table[indices]
+
+    def scatter_add_rows(
+        self,
+        target: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        scale: float = 1.0,
+    ) -> None:
+        _scatter_add_rows(target, indices, values, scale=scale)
+
+    # -- elementwise ---------------------------------------------------
+    def exp(self, a: np.ndarray) -> np.ndarray:
+        return np.exp(a)
+
+    def maximum(self, a: Any, b: Any) -> np.ndarray:
+        return np.maximum(a, b)
+
+    def where(self, cond: np.ndarray, a: Any, b: Any) -> np.ndarray:
+        return np.where(cond, a, b)
+
+    def axpy(self, target: np.ndarray, values: np.ndarray, scale: float) -> None:
+        if scale == 1.0:
+            target += values
+        elif scale == -1.0:
+            target -= values
+        else:
+            target += scale * values
+
+    # -- instrumentation seam ------------------------------------------
+    @contextlib.contextmanager
+    def zone(self, name: str) -> Iterator[None]:
+        yield

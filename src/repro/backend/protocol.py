@@ -1,0 +1,179 @@
+"""The ``ArrayBackend`` protocol: the seam every hot-path kernel runs through.
+
+Every hot-path kernel in this repository — the TT gather-contract chain
+in :mod:`repro.embeddings`, the MLP/interaction matmuls in
+:mod:`repro.nn`, the fused optimizer updates, the parameter-server
+gathers and the serving-arm lookups — executes its array math through
+the *active backend* (see :func:`repro.backend.get_backend`) instead of
+calling numpy directly.  The backend is deliberately a small surface:
+
+* **allocation with explicit dtype** — ``zeros/ones/empty/full`` take a
+  *required* ``dtype``; there is no implicit-float64 default at the
+  backend boundary (the PR-2 explicit-dtype policy, enforced statically
+  by reprolint REP003 for raw numpy and dynamically by
+  :class:`~repro.backend.instrumented.InstrumentedBackend` for backend
+  allocations);
+* **contraction** — ``matmul`` (the batched-GEMM workhorse of every TT
+  kernel) and ``einsum`` with an optional precompiled
+  :class:`~repro.backend.plan_cache.EinsumPlan`;
+* **sparse movement** — ``gather_rows`` / ``scatter_add_rows``, the two
+  primitives embedding tables live on;
+* **elementwise** — the handful of ufuncs the activation/optimizer
+  paths need (``exp``, ``maximum``, ``where``, ``axpy``);
+* **zones** — ``zone(name)`` context manager tagging the *named kernel
+  zone* the enclosed ops belong to, so an instrumenting backend can
+  attribute FLOPs/bytes per zone.  The reference backend's ``zone`` is
+  a no-op.
+
+Implementations
+---------------
+:class:`~repro.backend.numpy_backend.NumpyBackend`
+    The reference: thin, bit-exact delegation to numpy.  All existing
+    numerics are defined by this backend.
+:class:`~repro.backend.instrumented.InstrumentedBackend`
+    Wraps any backend, counting calls/FLOPs/bytes per kernel zone and
+    optionally recording dtype drift.
+:class:`~repro.backend.torch_backend.TorchBackend`
+    Optional PyTorch execution; import-guards cleanly when torch is
+    absent (:class:`BackendUnavailableError`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ContextManager, Optional, Protocol, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "DTypeLike",
+    "Shape",
+    "ZONE_TT_FORWARD",
+    "ZONE_TT_BACKWARD",
+    "ZONE_TT_RECONSTRUCT",
+    "ZONE_EFFTT_FORWARD",
+    "ZONE_EFFTT_BACKWARD",
+    "ZONE_FUSED_UPDATE",
+    "ZONE_MLP",
+    "ZONE_INTERACTION",
+    "ZONE_OPTIMIZER",
+    "ZONE_LC_CACHE",
+    "ZONE_PS_GATHER",
+    "ZONE_PS_APPLY",
+    "ZONE_SERVING_LOOKUP",
+    "KERNEL_ZONE_NAMES",
+]
+
+Shape = Union[int, Tuple[int, ...], Sequence[int]]
+DTypeLike = Any  # np.dtype, dtype class, or dtype string
+
+# -- named kernel zones ----------------------------------------------------
+# One name per hot-path kernel family.  InstrumentedBackend aggregates
+# per zone; the analytic FLOP model in repro.embeddings.flops predicts
+# the tt_*/efftt_* zones exactly (cross-checked in the test suite).
+ZONE_TT_FORWARD = "tt_forward"          # naive per-occurrence TT chain
+ZONE_TT_BACKWARD = "tt_backward"        # naive TT backward chain
+ZONE_TT_RECONSTRUCT = "tt_reconstruct"  # reference row reconstruction
+ZONE_EFFTT_FORWARD = "efftt_forward"    # reuse-buffer lookup (§III-A)
+ZONE_EFFTT_BACKWARD = "efftt_backward"  # aggregated backward (§III-B)
+ZONE_FUSED_UPDATE = "fused_update"      # fused TT-core update (§III-B)
+ZONE_MLP = "mlp"                        # Linear/activation stack
+ZONE_INTERACTION = "interaction"        # pairwise dot interaction
+ZONE_OPTIMIZER = "optimizer"            # dense SGD/Adagrad updates
+ZONE_LC_CACHE = "lc_cache"              # §V-B life-cycle cache traffic
+ZONE_PS_GATHER = "ps_gather"            # parameter-server row gather
+ZONE_PS_APPLY = "ps_apply"              # server-side sparse update
+ZONE_SERVING_LOOKUP = "serving_lookup"  # hot-row-cached inference arms
+
+KERNEL_ZONE_NAMES: Tuple[str, ...] = (
+    ZONE_TT_FORWARD,
+    ZONE_TT_BACKWARD,
+    ZONE_TT_RECONSTRUCT,
+    ZONE_EFFTT_FORWARD,
+    ZONE_EFFTT_BACKWARD,
+    ZONE_FUSED_UPDATE,
+    ZONE_MLP,
+    ZONE_INTERACTION,
+    ZONE_OPTIMIZER,
+    ZONE_LC_CACHE,
+    ZONE_PS_GATHER,
+    ZONE_PS_APPLY,
+    ZONE_SERVING_LOOKUP,
+)
+
+
+class BackendUnavailableError(RuntimeError):
+    """Requested backend cannot run in this environment (e.g. no torch)."""
+
+
+class ArrayBackend(Protocol):
+    """Protocol every execution backend implements.
+
+    All methods accept and return ``np.ndarray`` — the repository's
+    interchange format.  A non-numpy backend converts at the boundary;
+    the reference backend passes arrays through untouched.  Semantics
+    are fixed by :class:`~repro.backend.numpy_backend.NumpyBackend`:
+    a conforming backend must match it to within its numeric contract
+    (bitwise for the instrumented wrapper, a documented tolerance for
+    accelerated backends).
+    """
+
+    name: str
+
+    # -- allocation (explicit dtype required) --------------------------
+    def zeros(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        ...
+
+    def ones(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        ...
+
+    def empty(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        ...
+
+    def full(self, shape: Shape, fill_value: float, dtype: DTypeLike) -> np.ndarray:
+        ...
+
+    def asarray(self, a: Any, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        ...
+
+    # -- contraction ---------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        ...
+
+    def einsum(
+        self, subscripts: str, *operands: np.ndarray, plan: Optional[Any] = None
+    ) -> np.ndarray:
+        ...
+
+    # -- sparse movement -----------------------------------------------
+    def gather_rows(self, table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        ...
+
+    def scatter_add_rows(
+        self,
+        target: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        scale: float = 1.0,
+    ) -> None:
+        ...
+
+    # -- elementwise ---------------------------------------------------
+    def exp(self, a: np.ndarray) -> np.ndarray:
+        ...
+
+    def maximum(self, a: Any, b: Any) -> np.ndarray:
+        ...
+
+    def where(self, cond: np.ndarray, a: Any, b: Any) -> np.ndarray:
+        ...
+
+    def axpy(self, target: np.ndarray, values: np.ndarray, scale: float) -> None:
+        """In-place ``target += scale * values`` (the optimizer update)."""
+        ...
+
+    # -- instrumentation seam ------------------------------------------
+    def zone(self, name: str) -> ContextManager[None]:
+        """Tag enclosed ops as belonging to the named kernel zone."""
+        ...

@@ -8,9 +8,20 @@ Commands
     Print the Table II dataset schemas.
 ``compression``
     Print the Table III compression summary.
+``train``
+    Train a small DLRM for a few steps on a synthetic click log;
+    ``--backend instrumented`` additionally prints the per-zone
+    FLOP/byte table and contraction-plan-cache statistics.
+``bench``
+    Run a fixed training + serving workload and report per-kernel-zone
+    costs — the execution-backend counterpart of ``figures`` (counts,
+    not wall-clock).  Requires ``--backend instrumented`` to produce
+    the zone table; with ``numpy`` it reports only throughput-neutral
+    plan-cache stats.
 ``quickcheck``
-    Train a tiny DLRM on every backend and report losses, run a few
-    hundred requests through the serving loop, then run the static
+    Train a tiny DLRM on every backend and report losses, verify the
+    numpy and instrumented execution backends agree bit for bit, run a
+    few hundred requests through the serving loop, then run the static
     checks (reprolint, and mypy when installed) — a fast smoke test
     that the whole stack works on this machine.
 ``lint``
@@ -40,6 +51,32 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main"]
+
+
+def _install_backend(name: str) -> bool:
+    """Install the requested execution backend; False on failure.
+
+    Prints an actionable message (rather than a traceback) when the
+    torch backend is requested in an environment without PyTorch.
+    """
+    from repro.backend import BackendUnavailableError, set_backend
+
+    try:
+        set_backend(name)
+    except BackendUnavailableError as exc:
+        print(f"backend '{name}' unavailable: {exc}", file=sys.stderr)
+        return False
+    return True
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.backend import BACKEND_NAMES
+
+    parser.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="numpy",
+        help="execution backend for all hot-path kernels (instrumented "
+        "counts FLOPs/bytes per kernel zone; torch requires PyTorch)",
+    )
 
 
 def _cmd_info(_: argparse.Namespace) -> int:
@@ -108,6 +145,93 @@ def _cmd_compression(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.backend import InstrumentedBackend, get_backend, get_plan_cache
+    from repro.data.dataloader import SyntheticClickLog
+    from repro.data.datasets import DATASET_FACTORIES
+    from repro.models.config import DLRMConfig, EmbeddingBackend
+    from repro.models.dlrm import DLRM
+
+    if not _install_backend(args.backend):
+        return 2
+    spec = DATASET_FACTORIES[args.dataset](scale=args.scale)
+    log = SyntheticClickLog(spec, batch_size=args.batch_size, seed=args.seed)
+    cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=args.embedding_dim,
+        backend=EmbeddingBackend(args.embedding_backend),
+        tt_rank=args.tt_rank, bottom_mlp=(16,), top_mlp=(16,),
+    )
+    model = DLRM(cfg, seed=args.seed)
+    plan_cache = get_plan_cache()
+    losses = [
+        model.train_step(log.batch(i), lr=args.lr).loss
+        for i in range(args.steps)
+    ]
+    print(
+        f"trained {args.steps} steps on {args.dataset} "
+        f"({get_backend().name} backend): "
+        f"loss {losses[0]:.4f} -> {losses[-1]:.4f}"
+    )
+    stats = plan_cache.stats
+    print(
+        f"plan cache: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['entries']} entries"
+    )
+    backend = get_backend()
+    if isinstance(backend, InstrumentedBackend):
+        print()
+        print(backend.report())
+    return 0 if losses[-1] < losses[0] else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.backend import InstrumentedBackend, get_backend, get_plan_cache
+    from repro.data.dataloader import SyntheticClickLog
+    from repro.data.datasets import DATASET_FACTORIES
+    from repro.models.config import DLRMConfig, EmbeddingBackend
+    from repro.models.dlrm import DLRM
+
+    if not _install_backend(args.backend):
+        return 2
+    spec = DATASET_FACTORIES[args.dataset](scale=args.scale)
+    log = SyntheticClickLog(spec, batch_size=args.batch_size, seed=args.seed)
+    cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=args.embedding_dim,
+        backend=EmbeddingBackend.EFF_TT, tt_rank=args.tt_rank,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    model = DLRM(cfg, seed=args.seed)
+    plan_cache = get_plan_cache()
+    hits0, misses0 = plan_cache.hits, plan_cache.misses
+    for i in range(args.steps):
+        model.train_step(log.batch(i), lr=0.1)
+    outcome = _run_serving(
+        spec, num_requests=args.requests, rate=2000.0, workers=2,
+        max_batch_size=16, max_wait=2e-3, hot_coverage=0.1,
+        train_steps=0, seed=args.seed,
+    )
+    print(
+        f"workload: {args.steps} Eff-TT training steps "
+        f"(batch {args.batch_size}) + {outcome.report.completed} served "
+        f"requests on {args.dataset} [{get_backend().name} backend]"
+    )
+    print(
+        f"plan cache: {plan_cache.hits - hits0} hits, "
+        f"{plan_cache.misses - misses0} misses, "
+        f"{plan_cache.stats['entries']} entries"
+    )
+    backend = get_backend()
+    if isinstance(backend, InstrumentedBackend):
+        print()
+        print(backend.report())
+    else:
+        print(
+            "(use --backend instrumented for the per-kernel-zone "
+            "FLOP/byte table)"
+        )
+    return 0
+
+
 def _cmd_quickcheck(args: argparse.Namespace) -> int:
     from repro.data.dataloader import SyntheticClickLog
     from repro.data.datasets import criteo_kaggle_like
@@ -134,6 +258,33 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
             f"{backend.value:8s} loss {losses[0]:.4f} -> {losses[-1]:.4f}  "
             f"[{status}]"
         )
+
+    # Execution-backend equivalence: the same Eff-TT training run must
+    # be bit-identical under the numpy and instrumented backends, and
+    # the instrumented run must actually see the hot kernel zones.
+    from repro.backend import InstrumentedBackend, use_backend
+
+    eq_cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+
+    def _losses_under(backend):
+        with use_backend(backend):
+            eq_model = DLRM(eq_cfg, seed=0)
+            return [
+                eq_model.train_step(log.batch(i), lr=0.1).loss
+                for i in range(5)
+            ]
+
+    instrumented = InstrumentedBackend()
+    backend_ok = _losses_under("numpy") == _losses_under(instrumented) and (
+        instrumented.zone_stats.get("efftt_forward") is not None
+        and instrumented.zone_stats["efftt_forward"].flops > 0
+    )
+    ok = ok and backend_ok
+    status = "ok" if backend_ok else "FAILED (backends disagree)"
+    print(f"backend  numpy == instrumented over 5 steps  [{status}]")
 
     # Serving smoke: a few hundred simulated requests through the full
     # micro-batching loop, sanity-checking the SLO report.
@@ -270,9 +421,12 @@ def _run_serving(
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.backend import InstrumentedBackend, get_backend
     from repro.data.datasets import DATASET_FACTORIES
     from repro.serving import export_serving_trace
 
+    if not _install_backend(args.backend):
+        return 2
     factory = DATASET_FACTORIES[args.dataset]
     spec = factory(scale=args.scale)
     outcome = _run_serving(
@@ -295,6 +449,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.trace, outcome.served_batches, outcome.swap_times
         )
         print(f"wrote {count} trace events to {args.trace}")
+    backend = get_backend()
+    if isinstance(backend, InstrumentedBackend):
+        print()
+        print(backend.report())
     return 0
 
 
@@ -384,6 +542,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("compression", help="Table III compression summary")
     quick = sub.add_parser("quickcheck", help="fast end-to-end smoke test")
     quick.add_argument("--steps", type=int, default=20)
+    train = sub.add_parser(
+        "train", help="train a small DLRM on a synthetic click log"
+    )
+    train.add_argument(
+        "--dataset", choices=["avazu", "criteo-kaggle", "criteo-tb"],
+        default="criteo-kaggle",
+    )
+    train.add_argument("--scale", type=float, default=3e-5)
+    train.add_argument("--steps", type=int, default=20)
+    train.add_argument("--batch-size", type=int, default=128)
+    train.add_argument("--embedding-dim", type=int, default=8)
+    train.add_argument("--tt-rank", type=int, default=8)
+    train.add_argument(
+        "--embedding-backend",
+        choices=["dense", "tt", "eff_tt"],
+        default="eff_tt",
+        help="embedding-table representation (distinct from --backend, "
+        "which picks the kernel execution layer)",
+    )
+    train.add_argument("--lr", type=float, default=0.1)
+    train.add_argument("--seed", type=int, default=0)
+    _add_backend_flag(train)
+    bench = sub.add_parser(
+        "bench", help="per-kernel-zone cost report for a fixed workload"
+    )
+    bench.add_argument(
+        "--dataset", choices=["avazu", "criteo-kaggle", "criteo-tb"],
+        default="criteo-kaggle",
+    )
+    bench.add_argument("--scale", type=float, default=3e-5)
+    bench.add_argument("--steps", type=int, default=10)
+    bench.add_argument("--batch-size", type=int, default=128)
+    bench.add_argument("--embedding-dim", type=int, default=8)
+    bench.add_argument("--tt-rank", type=int, default=8)
+    bench.add_argument("--requests", type=int, default=200)
+    bench.add_argument("--seed", type=int, default=0)
+    _add_backend_flag(bench)
     sub.add_parser("figures", help="regenerate every paper table/figure")
     lint = sub.add_parser(
         "lint", help="run reprolint, the repo-specific static analyzer"
@@ -446,6 +641,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace", type=str, default=None,
         help="write a Chrome trace of the serving timeline here",
     )
+    _add_backend_flag(serve)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -453,6 +649,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "compression": _cmd_compression,
         "quickcheck": _cmd_quickcheck,
+        "train": _cmd_train,
+        "bench": _cmd_bench,
         "figures": _cmd_figures,
         "serve": _cmd_serve,
         "lint": _cmd_lint,

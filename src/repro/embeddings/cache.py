@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 import numpy.typing as npt
 
+from repro.backend import ZONE_LC_CACHE, get_backend
 from repro.utils.validation import check_1d_int_array, check_positive
 
 __all__ = ["EmbeddingCache"]
@@ -64,7 +65,7 @@ class EmbeddingCache:
         self.embedding_dim: int = int(embedding_dim)
         self.default_lifecycle: int = int(default_lifecycle)
         self._slots: Dict[int, int] = {}  # index -> buffer row
-        self._buffer: FloatArray = np.zeros(
+        self._buffer: FloatArray = get_backend().zeros(
             (_INITIAL_CAPACITY, self.embedding_dim), dtype=np.float64
         )
         self._lifecycle: IntArray = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
@@ -81,7 +82,10 @@ class EmbeddingCache:
         old = self._buffer.shape[0]
         new = old * 2
         self._buffer = np.vstack(
-            [self._buffer, np.zeros((old, self.embedding_dim), dtype=np.float64)]
+            [
+                self._buffer,
+                get_backend().zeros((old, self.embedding_dim), dtype=np.float64),
+            ]
         )
         self._lifecycle = np.concatenate(
             [self._lifecycle, np.zeros(old, dtype=np.int64)]
@@ -145,12 +149,15 @@ class EmbeddingCache:
                 f"({idx.size}, {self.embedding_dim})"
             )
         fresh = values.copy()
-        hit_mask = np.zeros(idx.size, dtype=bool)
-        for pos, index in enumerate(idx.tolist()):
-            slot = self._slots.get(index)
-            if slot is not None:
-                fresh[pos] = self._buffer[slot]
-                hit_mask[pos] = True
+        slots = np.array(
+            [self._slots.get(index, -1) for index in idx.tolist()],
+            dtype=np.int64,
+        )
+        hit_mask: BoolArray = slots >= 0
+        if hit_mask.any():
+            bk = get_backend()
+            with bk.zone(ZONE_LC_CACHE):
+                fresh[hit_mask] = bk.gather_rows(self._buffer, slots[hit_mask])
         self.hits += int(hit_mask.sum())
         self.misses += int((~hit_mask).sum())
         return fresh, hit_mask

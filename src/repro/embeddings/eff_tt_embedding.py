@@ -30,6 +30,14 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend import (
+    ZONE_EFFTT_BACKWARD,
+    ZONE_EFFTT_FORWARD,
+    ZONE_FUSED_UPDATE,
+    ZONE_OPTIMIZER,
+    get_backend,
+    get_plan_cache,
+)
 from repro.embeddings.base import (
     EmbeddingBagBase,
     expand_bag_ids,
@@ -41,7 +49,7 @@ from repro.embeddings.tt_embedding import tt_chain_backward, tt_chain_forward
 from repro.embeddings.tt_indices import row_index_to_tt
 from repro.utils.factorize import suggest_tt_shapes
 from repro.utils.rng import RngLike
-from repro.utils.scatter import coalesce_rows, scatter_add_rows
+from repro.utils.scatter import coalesce_rows
 
 __all__ = ["EffTTEmbeddingBag"]
 
@@ -71,6 +79,10 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         Adagrad denominator floor.
     seed:
         RNG for core initialization.
+    dtype:
+        Core / gradient floating dtype (default ``np.float64``, the
+        historical behavior).  Forward, backward and the fused update
+        all stay at this dtype — no silent float64 upcasts.
 
     Examples
     --------
@@ -94,6 +106,7 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         optimizer: str = "sgd",
         adagrad_eps: float = 1e-10,
         seed: RngLike = 0,
+        dtype: np.dtype = np.float64,
     ) -> None:
         super().__init__(num_embeddings, embedding_dim)
         if row_shape is None or col_shape is None:
@@ -113,7 +126,8 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
                 f"{embedding_dim}"
             )
         self.spec = TTSpec.create(row_shape, col_shape, tt_rank)
-        self.tt = TTCores.random_init(self.spec, seed=seed)
+        self.dtype = np.dtype(dtype)
+        self.tt = TTCores.random_init(self.spec, seed=seed, dtype=self.dtype)
         self.enable_reuse = enable_reuse
         self.enable_grad_aggregation = enable_grad_aggregation
         self.enable_fused_update = enable_fused_update
@@ -213,26 +227,31 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         """
         cores = self.tt.cores
         d = self.spec.num_cores
-        # Batched partial product over unique prefixes only.
-        left = cores[0][plan.prefix_tt_indices[0]]  # (P, 1, n1, R1)
-        num_prefixes = left.shape[0]
-        left = left.reshape(num_prefixes, -1, left.shape[-1])
-        left_stages = [left]
-        for k in range(1, d - 1):
-            slice_k = cores[k][plan.prefix_tt_indices[k]]
-            r_prev, n_k, r_next = slice_k.shape[1:]
-            # batched GEMM over unique prefixes only (the Reuse Buffer
-            # fill of Algorithm 1).
-            left = np.matmul(
-                left, slice_k.reshape(num_prefixes, r_prev, n_k * r_next)
-            ).reshape(num_prefixes, -1, r_next)
-            left_stages.append(left)
-        # Final core applied per unique row, gathering its prefix partial.
-        partial = left[plan.prefix_ids]  # (U, A, R_{d-1})
-        last = cores[d - 1][plan.tt_indices[d - 1]]  # (U, R_{d-1}, n_d, 1)
-        last = last.reshape(last.shape[0], last.shape[1], -1)
-        rows_unique = np.matmul(partial, last)  # (U, A, n_d)
-        rows_unique = rows_unique.reshape(rows_unique.shape[0], -1)
+        bk = get_backend()
+        plan_chain = get_plan_cache().chain_plan(
+            "chain_forward", tuple(c.shape for c in cores)
+        )
+        with bk.zone(ZONE_EFFTT_FORWARD):
+            # Batched partial product over unique prefixes only.
+            left = bk.gather_rows(cores[0], plan.prefix_tt_indices[0])  # (P,1,n1,R1)
+            num_prefixes = left.shape[0]
+            left = left.reshape(num_prefixes, -1, left.shape[-1])
+            left_stages = [left]
+            for stage in plan_chain.stages[1 : d - 1]:
+                k = stage.core_index
+                slice_k = bk.gather_rows(cores[k], plan.prefix_tt_indices[k])
+                # batched GEMM over unique prefixes only (the Reuse Buffer
+                # fill of Algorithm 1).
+                left = bk.matmul(
+                    left, slice_k.reshape(num_prefixes, stage.r_in, stage.out_width)
+                ).reshape(num_prefixes, -1, stage.r_out)
+                left_stages.append(left)
+            # Final core applied per unique row, gathering its prefix partial.
+            partial = bk.gather_rows(left, plan.prefix_ids)  # (U, A, R_{d-1})
+            last = bk.gather_rows(cores[d - 1], plan.tt_indices[d - 1])
+            last = last.reshape(last.shape[0], last.shape[1], -1)
+            rows_unique = bk.matmul(partial, last)  # (U, A, n_d)
+            rows_unique = rows_unique.reshape(rows_unique.shape[0], -1)
         return rows_unique, left_stages
 
     # ------------------------------------------------------------------
@@ -244,7 +263,8 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         saved = self._saved
         plan: ReusePlan = saved["plan"]
         boundaries = saved["boundaries"]
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        bk = get_backend()
+        grad_output = bk.asarray(grad_output, dtype=self.dtype)
         num_bags = boundaries.size - 1
         if grad_output.shape != (num_bags, self.embedding_dim):
             raise ValueError(
@@ -252,19 +272,27 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
                 f"got {grad_output.shape}"
             )
         bag_ids = expand_bag_ids(boundaries)
-        row_grads = grad_output[bag_ids]  # (L, N), one per occurrence
+        with bk.zone(ZONE_EFFTT_BACKWARD):
+            row_grads = bk.gather_rows(grad_output, bag_ids)  # one per occurrence
 
         if self.enable_grad_aggregation:
             # In-advance aggregation: sum occurrence gradients into one
             # gradient per *unique* row before the expensive chain rule.
-            agg = np.zeros(
-                (plan.num_unique_rows, self.embedding_dim), dtype=np.float64
-            )
-            scatter_add_rows(agg, plan.row_inverse, row_grads)
+            with bk.zone(ZONE_EFFTT_BACKWARD):
+                agg = bk.zeros(
+                    (plan.num_unique_rows, self.embedding_dim),
+                    dtype=grad_output.dtype,
+                )
+                bk.scatter_add_rows(agg, plan.row_inverse, row_grads)
             tt_idx = plan.tt_indices
             left_partials = self._unique_left_partials(saved, plan)
             slice_grads = tt_chain_backward(
-                self.tt.cores, tt_idx, left_partials, agg, self.spec.col_shape
+                self.tt.cores,
+                tt_idx,
+                left_partials,
+                agg,
+                self.spec.col_shape,
+                zone=ZONE_EFFTT_BACKWARD,
             )
         else:
             # Ablation path: per-occurrence chain rule, as TT-Rec does.
@@ -285,6 +313,7 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
                 left_partials,
                 row_grads,
                 self.spec.col_shape,
+                zone=ZONE_EFFTT_BACKWARD,
             )
 
         if self.enable_fused_update:
@@ -296,9 +325,13 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
                 "slice_grads": slice_grads,
             }
         else:
-            core_grads = [np.zeros_like(core) for core in self.tt.cores]
-            for k, grads_k in enumerate(slice_grads):
-                scatter_add_rows(core_grads[k], tt_idx[k], grads_k)
+            with bk.zone(ZONE_EFFTT_BACKWARD):
+                core_grads = [
+                    bk.zeros(core.shape, dtype=core.dtype)
+                    for core in self.tt.cores
+                ]
+                for k, grads_k in enumerate(slice_grads):
+                    bk.scatter_add_rows(core_grads[k], tt_idx[k], grads_k)
             self._pending_update = {"mode": "dense", "core_grads": core_grads}
         self._saved = None
 
@@ -307,9 +340,16 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
     ) -> List[np.ndarray]:
         """Left-partial chain per unique row for the backward contraction."""
         if saved["reused"]:
-            return [stage[plan.prefix_ids] for stage in saved["left_stages"]]
+            bk = get_backend()
+            with bk.zone(ZONE_EFFTT_BACKWARD):
+                return [
+                    bk.gather_rows(stage, plan.prefix_ids)
+                    for stage in saved["left_stages"]
+                ]
         # Reuse disabled: recompute the (cheaper) chain over unique rows.
-        _, left_partials = tt_chain_forward(self.tt.cores, plan.tt_indices)
+        _, left_partials = tt_chain_forward(
+            self.tt.cores, plan.tt_indices, zone=ZONE_EFFTT_BACKWARD
+        )
         return left_partials
 
     # ------------------------------------------------------------------
@@ -348,17 +388,20 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
             self._apply_adagrad(pending, lr)
             return
         step_size = lr * scale
+        bk = get_backend()
         if pending["mode"] == "fused":
-            for k, grads_k in enumerate(pending["slice_grads"]):
-                scatter_add_rows(
-                    self.tt.cores[k],
-                    pending["tt_idx"][k],
-                    grads_k,
-                    scale=-step_size,
-                )
+            with bk.zone(ZONE_FUSED_UPDATE):
+                for k, grads_k in enumerate(pending["slice_grads"]):
+                    bk.scatter_add_rows(
+                        self.tt.cores[k],
+                        pending["tt_idx"][k],
+                        grads_k,
+                        scale=-step_size,
+                    )
         else:
-            for core, grad in zip(self.tt.cores, pending["core_grads"]):
-                core -= step_size * grad
+            with bk.zone(ZONE_OPTIMIZER):
+                for core, grad in zip(self.tt.cores, pending["core_grads"]):
+                    bk.axpy(core, grad, -step_size)
 
     def _apply_adagrad(self, pending: dict, lr: float) -> None:
         """Fused row-wise Adagrad over TT slices.
@@ -369,25 +412,28 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         per core.
         """
         assert self._adagrad_acc is not None
+        bk = get_backend()
         if pending["mode"] == "fused":
-            for k, grads_k in enumerate(pending["slice_grads"]):
-                unique, summed = coalesce_rows(pending["tt_idx"][k], grads_k)
-                acc_flat = self._adagrad_acc[k].reshape(
-                    self._adagrad_acc[k].shape[0], -1
-                )
-                core_flat = self.tt.cores[k].reshape(
-                    self.tt.cores[k].shape[0], -1
-                )
-                acc_flat[unique] += summed**2
-                core_flat[unique] -= lr * summed / (
-                    np.sqrt(acc_flat[unique]) + self.adagrad_eps
-                )
+            with bk.zone(ZONE_FUSED_UPDATE):
+                for k, grads_k in enumerate(pending["slice_grads"]):
+                    unique, summed = coalesce_rows(pending["tt_idx"][k], grads_k)
+                    acc_flat = self._adagrad_acc[k].reshape(
+                        self._adagrad_acc[k].shape[0], -1
+                    )
+                    core_flat = self.tt.cores[k].reshape(
+                        self.tt.cores[k].shape[0], -1
+                    )
+                    acc_flat[unique] += summed**2
+                    core_flat[unique] -= lr * summed / (
+                        np.sqrt(acc_flat[unique]) + self.adagrad_eps
+                    )
         else:
-            for core, acc, grad in zip(
-                self.tt.cores, self._adagrad_acc, pending["core_grads"]
-            ):
-                acc += grad**2
-                core -= lr * grad / (np.sqrt(acc) + self.adagrad_eps)
+            with bk.zone(ZONE_OPTIMIZER):
+                for core, acc, grad in zip(
+                    self.tt.cores, self._adagrad_acc, pending["core_grads"]
+                ):
+                    acc += grad**2
+                    core -= lr * grad / (np.sqrt(acc) + self.adagrad_eps)
 
     def backward_and_step(self, grad_output: np.ndarray, lr: float) -> None:
         """Fused backward + update in one call (the paper's fused kernel)."""

@@ -8,29 +8,61 @@ functions count the multiply-add FLOPs of each kernel variant exactly
 (2 FLOPs per multiply-add), given a TT spec and the batch's reuse
 statistics.
 
-Two uses:
+Three uses:
 
 * the device cost model projects TT kernel times as
   ``flops / batched-GEMM-throughput`` — free of the Python-side
   overhead that inflates host wall-clock measurements;
 * tests cross-check that the measured Eff-TT/TT-Rec speedups track the
-  analytic FLOP ratios.
+  analytic FLOP ratios;
+* :func:`measured_zone_flops` extracts the contraction FLOPs an
+  :class:`~repro.backend.instrumented.InstrumentedBackend` observed in
+  one kernel zone, so the analytic model here can be validated against
+  what the kernels actually executed (shape-derived counts, not
+  estimates).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence, Tuple
 
 from repro.embeddings.reuse_buffer import ReusePlan
 from repro.embeddings.tt_core import TTSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backend.instrumented import InstrumentedBackend
 
 __all__ = [
     "tt_forward_flops",
     "efftt_forward_flops",
     "tt_backward_flops",
     "efftt_backward_flops",
+    "measured_zone_flops",
 ]
+
+# The backend ops whose FLOPs constitute "chain contraction work" for
+# cross-checks against the analytic counts below (gather/scatter are
+# traffic, not FLOPs, in this accounting).
+CONTRACTION_OPS: Tuple[str, ...] = ("matmul", "einsum")
+
+
+def measured_zone_flops(
+    backend: "InstrumentedBackend",
+    zone: str,
+    ops: Sequence[str] = CONTRACTION_OPS,
+) -> int:
+    """Contraction FLOPs an instrumented backend recorded in ``zone``.
+
+    Sums the per-op counters for the given ops only, so elementwise
+    and data-movement costs in the same zone do not pollute a
+    comparison against the analytic chain counts.
+    """
+    return sum(
+        stats.flops
+        for (op_zone, op), stats in backend.op_stats.items()
+        if op_zone == zone and op in ops
+    )
 
 
 def _chain_stage_flops(spec: TTSpec, k: int) -> int:

@@ -24,6 +24,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend import ZONE_SERVING_LOOKUP, get_backend
 from repro.embeddings.base import normalize_offsets, segment_sum
 from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
 from repro.embeddings.tt_embedding import TTEmbeddingBag
@@ -148,12 +149,14 @@ class HotRowCachedLookup:
             max_value=self.bag.num_embeddings - 1,
         )
         is_hot, pos = self._split(idx)
-        rows = np.empty((idx.size, self.bag.embedding_dim), dtype=np.float64)
-        if is_hot.any():
-            rows[is_hot] = self._hot_values[pos[is_hot]]
-        cold = ~is_hot
-        if cold.any():
-            rows[cold] = self.bag.tt.reconstruct_rows(idx[cold])
+        bk = get_backend()
+        with bk.zone(ZONE_SERVING_LOOKUP):
+            rows = bk.empty((idx.size, self.bag.embedding_dim), dtype=np.float64)
+            if is_hot.any():
+                rows[is_hot] = bk.gather_rows(self._hot_values, pos[is_hot])
+            cold = ~is_hot
+            if cold.any():
+                rows[cold] = self.bag.tt.reconstruct_rows(idx[cold])
         self.hits += int(is_hot.sum())
         self.misses += int(cold.sum())
         return rows

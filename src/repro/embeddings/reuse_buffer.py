@@ -14,6 +14,14 @@ yields, for a batch of embedding indices,
 
 The plan is consumed by :class:`~repro.embeddings.eff_tt_embedding.EffTTEmbeddingBag`
 and reported by the locality statistics in :mod:`repro.reorder.stats`.
+
+Backend note: this module is deliberately *outside* the
+:mod:`repro.backend` routing.  It performs integer index bookkeeping
+only — ``np.unique``, mixed-radix prefix decoding — with no float
+contractions or row movement to instrument; the gathers and GEMMs the
+plan drives execute in ``eff_tt_embedding`` under the ``efftt_*``
+kernel zones, and the plan's FLOP consequences are costed there (and
+cross-checked against :mod:`repro.embeddings.flops`).
 """
 
 from __future__ import annotations

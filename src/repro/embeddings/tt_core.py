@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend import ZONE_TT_RECONSTRUCT, get_backend, get_plan_cache
 from repro.embeddings.tt_indices import row_index_to_tt
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -167,13 +168,23 @@ class TTCores:
     cores:
         Optional pre-built core arrays (storage layout
         ``(m_k, R_{k-1}, n_k, R_k)``); validated against ``spec``.
+    dtype:
+        Floating dtype the cores are stored at (default ``np.float64``,
+        the historical behavior; pass ``np.float32`` for the
+        memory-matched configuration).
     """
 
-    def __init__(self, spec: TTSpec, cores: Optional[List[np.ndarray]] = None):
+    def __init__(
+        self,
+        spec: TTSpec,
+        cores: Optional[List[np.ndarray]] = None,
+        dtype: np.dtype = np.float64,
+    ):
         self.spec = spec
+        self.dtype = np.dtype(dtype)
         if cores is None:
             cores = [
-                np.zeros(spec.core_shape(k), dtype=np.float64)
+                np.zeros(spec.core_shape(k), dtype=self.dtype)
                 for k in range(spec.num_cores)
             ]
         if len(cores) != spec.num_cores:
@@ -186,7 +197,7 @@ class TTCores:
                     f"core {k} has shape {core.shape}, expected "
                     f"{spec.core_shape(k)}"
                 )
-        self.cores = [np.ascontiguousarray(c, dtype=np.float64) for c in cores]
+        self.cores = [np.ascontiguousarray(c, dtype=self.dtype) for c in cores]
 
     # -- constructors --------------------------------------------------
     @classmethod
@@ -195,6 +206,7 @@ class TTCores:
         spec: TTSpec,
         target_std: Optional[float] = None,
         seed: RngLike = 0,
+        dtype: np.dtype = np.float64,
     ) -> "TTCores":
         """Gaussian cores scaled so reconstructed entries match ``target_std``.
 
@@ -218,7 +230,7 @@ class TTCores:
             rng.normal(0.0, core_std, size=spec.core_shape(k))
             for k in range(spec.num_cores)
         ]
-        return cls(spec, cores)
+        return cls(spec, cores, dtype=dtype)
 
     @classmethod
     def from_dense(
@@ -260,16 +272,20 @@ class TTCores:
         """
         idx = np.asarray(indices, dtype=np.int64)
         tt_idx = row_index_to_tt(idx, self.spec.row_shape)
-        # left: (L, prefix_cols, R_k) accumulated product.
-        left = self.cores[0][tt_idx[0]]  # (L, 1, n_1, R_1)
-        batch = left.shape[0]
-        left = left.reshape(batch, -1, self.spec.ranks[1])
-        for k in range(1, self.spec.num_cores):
-            slice_k = self.cores[k][tt_idx[k]]  # (L, R_{k-1}, n_k, R_k)
-            left = np.einsum("lar,lrbs->labs", left, slice_k)
-            batch_, a, b, s = left.shape
-            left = left.reshape(batch_, a * b, s)
-        return left.reshape(batch, self.spec.embedding_dim)
+        bk = get_backend()
+        pc = get_plan_cache()
+        with bk.zone(ZONE_TT_RECONSTRUCT):
+            # left: (L, prefix_cols, R_k) accumulated product.
+            left = bk.gather_rows(self.cores[0], tt_idx[0])  # (L, 1, n_1, R_1)
+            batch = left.shape[0]
+            left = left.reshape(batch, -1, self.spec.ranks[1])
+            for k in range(1, self.spec.num_cores):
+                slice_k = bk.gather_rows(self.cores[k], tt_idx[k])
+                plan = pc.einsum_plan("lar,lrbs->labs", left, slice_k)
+                left = bk.einsum("lar,lrbs->labs", left, slice_k, plan=plan)
+                batch_, a, b, s = left.shape
+                left = left.reshape(batch_, a * b, s)
+            return left.reshape(batch, self.spec.embedding_dim)
 
     def reconstruct(self) -> np.ndarray:
         """Materialize the full ``(padded_rows, embedding_dim)`` table.
@@ -281,7 +297,9 @@ class TTCores:
         return self.reconstruct_rows(all_rows)
 
     def copy(self) -> "TTCores":
-        return TTCores(self.spec, [c.copy() for c in self.cores])
+        return TTCores(
+            self.spec, [c.copy() for c in self.cores], dtype=self.dtype
+        )
 
 
 def tt_svd(

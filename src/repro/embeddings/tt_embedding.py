@@ -22,6 +22,13 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend import (
+    ZONE_OPTIMIZER,
+    ZONE_TT_BACKWARD,
+    ZONE_TT_FORWARD,
+    get_backend,
+    get_plan_cache,
+)
 from repro.embeddings.base import (
     EmbeddingBagBase,
     expand_bag_ids,
@@ -31,13 +38,14 @@ from repro.embeddings.tt_core import TTCores, TTSpec
 from repro.embeddings.tt_indices import row_index_to_tt
 from repro.utils.factorize import suggest_tt_shapes
 from repro.utils.rng import RngLike
-from repro.utils.scatter import scatter_add_rows
 
 __all__ = ["TTEmbeddingBag", "tt_chain_forward", "tt_chain_backward"]
 
 
 def tt_chain_forward(
-    cores: List[np.ndarray], tt_idx: Sequence[np.ndarray]
+    cores: List[np.ndarray],
+    tt_idx: Sequence[np.ndarray],
+    zone: str = ZONE_TT_FORWARD,
 ) -> Tuple[np.ndarray, List[np.ndarray]]:
     """Sequential TT contraction for a list of per-core indices.
 
@@ -45,20 +53,34 @@ def tt_chain_forward(
     ``(L, embedding_dim)`` and ``left_partials[k]`` is the accumulated
     product of cores ``0..k`` gathered at the given indices, shape
     ``(L, prod_{l<=k} n_l, R_{k+1})`` — cached for the backward chain.
+
+    ``zone`` names the kernel zone the contraction is attributed to
+    (callers such as the Eff-TT bag re-tag the shared chain kernel).
+    The batched-GEMM schedule is fetched from the process-wide
+    :class:`~repro.backend.plan_cache.ContractionPlanCache`, keyed on
+    the core shapes only — the second batch of a run hits the cache
+    regardless of its occurrence count.
     """
-    left = cores[0][tt_idx[0]]  # (L, 1, n_1, R_1)
-    batch = left.shape[0]
-    left = left.reshape(batch, -1, left.shape[-1])
-    left_partials = [left]
-    for k in range(1, len(cores)):
-        slice_k = cores[k][tt_idx[k]]  # (L, R_{k-1}, n_k, R_k)
-        r_prev, n_k, r_next = slice_k.shape[1:]
-        # (L, a, r) @ (L, r, n*s) -> (L, a*n, s): one batched GEMM per
-        # core, the cublasGemmBatchedEx shape of the paper's kernel.
-        left = np.matmul(left, slice_k.reshape(batch, r_prev, n_k * r_next))
-        left = left.reshape(batch, -1, r_next)
-        left_partials.append(left)
-    rows = left.reshape(batch, -1)
+    bk = get_backend()
+    plan = get_plan_cache().chain_plan(
+        "chain_forward", tuple(c.shape for c in cores)
+    )
+    with bk.zone(zone):
+        left = bk.gather_rows(cores[0], tt_idx[0])  # (L, 1, n_1, R_1)
+        batch = left.shape[0]
+        left = left.reshape(batch, -1, left.shape[-1])
+        left_partials = [left]
+        for stage in plan.stages[1:]:
+            k = stage.core_index
+            slice_k = bk.gather_rows(cores[k], tt_idx[k])  # (L, R_{k-1}, n_k, R_k)
+            # (L, a, r) @ (L, r, n*s) -> (L, a*n, s): one batched GEMM per
+            # core, the cublasGemmBatchedEx shape of the paper's kernel.
+            left = bk.matmul(
+                left, slice_k.reshape(batch, stage.r_in, stage.out_width)
+            )
+            left = left.reshape(batch, -1, stage.r_out)
+            left_partials.append(left)
+        rows = left.reshape(batch, -1)
     return rows, left_partials
 
 
@@ -68,6 +90,7 @@ def tt_chain_backward(
     left_partials: List[np.ndarray],
     row_grads: np.ndarray,
     col_shape: Sequence[int],
+    zone: str = ZONE_TT_BACKWARD,
 ) -> List[np.ndarray]:
     """Per-occurrence slice gradients for every core.
 
@@ -83,54 +106,61 @@ def tt_chain_backward(
         ``(L, embedding_dim)`` gradients of the looked-up rows.
     col_shape:
         Column factors ``[n_1, ..., n_d]``.
+    zone:
+        Kernel zone the contraction is attributed to.
 
     Returns
     -------
     List of ``d`` arrays, each ``(L, R_{k-1}, n_k, R_k)`` — the gradient
     of every gathered TT slice (Equation 6 evaluated for all cores).
     """
+    bk = get_backend()
+    get_plan_cache().chain_plan("chain_backward", tuple(c.shape for c in cores))
     d = len(cores)
     batch = row_grads.shape[0]
-    # Right (suffix) partials: right[k] = product of slices k+1..d-1,
-    # shape (L, R_k, prod_{l>k} n_l).  One batched GEMM per core.
-    right = np.ones((batch, 1, 1), dtype=np.float64)
-    rights: List[Optional[np.ndarray]] = [None] * d
-    rights[d - 1] = right
-    for k in range(d - 1, 0, -1):
-        slice_k = cores[k][tt_idx[k]]  # (L, R_{k-1}, n_k, R_k)
-        r_prev, n_k, r_next = slice_k.shape[1:]
-        # (L, r*b, s) @ (L, s, c) -> (L, r*b, c) -> (L, r, b*c)
-        right = np.matmul(
-            slice_k.reshape(batch, r_prev * n_k, r_next), right
-        ).reshape(batch, r_prev, -1)
-        rights[k - 1] = right
+    with bk.zone(zone):
+        # Right (suffix) partials: right[k] = product of slices k+1..d-1,
+        # shape (L, R_k, prod_{l>k} n_l).  One batched GEMM per core.
+        # Seeded at the row-gradient dtype so a float32-configured table
+        # never silently upcasts the whole backward chain to float64.
+        right = bk.ones((batch, 1, 1), dtype=row_grads.dtype)
+        rights: List[Optional[np.ndarray]] = [None] * d
+        rights[d - 1] = right
+        for k in range(d - 1, 0, -1):
+            slice_k = bk.gather_rows(cores[k], tt_idx[k])  # (L, R_{k-1}, n_k, R_k)
+            r_prev, n_k, r_next = slice_k.shape[1:]
+            # (L, r*b, s) @ (L, s, c) -> (L, r*b, c) -> (L, r, b*c)
+            right = bk.matmul(
+                slice_k.reshape(batch, r_prev * n_k, r_next), right
+            ).reshape(batch, r_prev, -1)
+            rights[k - 1] = right
 
-    slice_grads: List[np.ndarray] = []
-    prefix_cols = 1
-    for k in range(d):
-        n_k = col_shape[k]
-        suffix_cols = row_grads.shape[1] // (prefix_cols * n_k)
-        grad_tensor = row_grads.reshape(batch, prefix_cols, n_k * suffix_cols)
-        left = (
-            left_partials[k - 1]
-            if k > 0
-            else np.ones((batch, 1, 1), dtype=np.float64)
-        )
-        right_k = rights[k]
-        assert right_k is not None
-        # dSlice[l, r, b, s] = sum_{a, c} left[l,a,r] G[l,a,b,c] right[l,s,c]
-        # as two batched GEMMs (Equation 6 in cuBLAS form):
-        #   tmp = left^T G     : (L, r, a) @ (L, a, b*c) -> (L, r, b*c)
-        #   grad = tmp right^T : (L, r*b, c) @ (L, c, s) -> (L, r*b, s)
-        r_prev = left.shape[2]
-        r_next = right_k.shape[1]
-        tmp = np.matmul(left.transpose(0, 2, 1), grad_tensor)
-        grad_k = np.matmul(
-            tmp.reshape(batch, r_prev * n_k, suffix_cols),
-            right_k.transpose(0, 2, 1),
-        ).reshape(batch, r_prev, n_k, r_next)
-        slice_grads.append(grad_k)
-        prefix_cols *= n_k
+        slice_grads: List[np.ndarray] = []
+        prefix_cols = 1
+        for k in range(d):
+            n_k = col_shape[k]
+            suffix_cols = row_grads.shape[1] // (prefix_cols * n_k)
+            grad_tensor = row_grads.reshape(batch, prefix_cols, n_k * suffix_cols)
+            left = (
+                left_partials[k - 1]
+                if k > 0
+                else bk.ones((batch, 1, 1), dtype=row_grads.dtype)
+            )
+            right_k = rights[k]
+            assert right_k is not None
+            # dSlice[l, r, b, s] = sum_{a, c} left[l,a,r] G[l,a,b,c] right[l,s,c]
+            # as two batched GEMMs (Equation 6 in cuBLAS form):
+            #   tmp = left^T G     : (L, r, a) @ (L, a, b*c) -> (L, r, b*c)
+            #   grad = tmp right^T : (L, r*b, c) @ (L, c, s) -> (L, r*b, s)
+            r_prev = left.shape[2]
+            r_next = right_k.shape[1]
+            tmp = bk.matmul(left.transpose(0, 2, 1), grad_tensor)
+            grad_k = bk.matmul(
+                tmp.reshape(batch, r_prev * n_k, suffix_cols),
+                right_k.transpose(0, 2, 1),
+            ).reshape(batch, r_prev, n_k, r_next)
+            slice_grads.append(grad_k)
+            prefix_cols *= n_k
     return slice_grads
 
 
@@ -150,6 +180,10 @@ class TTEmbeddingBag(EmbeddingBagBase):
         Optional explicit factorizations overriding the automatic ones.
     seed:
         RNG for core initialization.
+    dtype:
+        Core / gradient floating dtype (default ``np.float64``, the
+        historical behavior).  The whole forward/backward/update path
+        stays at this dtype — no silent float64 upcasts.
     """
 
     def __init__(
@@ -161,6 +195,7 @@ class TTEmbeddingBag(EmbeddingBagBase):
         row_shape: Optional[Sequence[int]] = None,
         col_shape: Optional[Sequence[int]] = None,
         seed: RngLike = 0,
+        dtype: np.dtype = np.float64,
     ) -> None:
         super().__init__(num_embeddings, embedding_dim)
         if row_shape is None or col_shape is None:
@@ -180,7 +215,8 @@ class TTEmbeddingBag(EmbeddingBagBase):
                 f"{embedding_dim}"
             )
         self.spec = TTSpec.create(row_shape, col_shape, tt_rank)
-        self.tt = TTCores.random_init(self.spec, seed=seed)
+        self.dtype = np.dtype(dtype)
+        self.tt = TTCores.random_init(self.spec, seed=seed, dtype=self.dtype)
         #: Monotonic core-update counter.  Serving-time views snapshot
         #: it to detect stale materialized rows (see
         #: :class:`~repro.embeddings.inference.HotRowCachedLookup`).
@@ -208,7 +244,8 @@ class TTEmbeddingBag(EmbeddingBagBase):
             raise RuntimeError("backward called before forward")
         saved = self._saved
         boundaries = saved["boundaries"]
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        bk = get_backend()
+        grad_output = bk.asarray(grad_output, dtype=self.dtype)
         num_bags = boundaries.size - 1
         if grad_output.shape != (num_bags, self.embedding_dim):
             raise ValueError(
@@ -216,7 +253,8 @@ class TTEmbeddingBag(EmbeddingBagBase):
                 f"got {grad_output.shape}"
             )
         bag_ids = expand_bag_ids(boundaries)
-        row_grads = grad_output[bag_ids]  # one gradient per occurrence
+        with bk.zone(ZONE_TT_BACKWARD):
+            row_grads = bk.gather_rows(grad_output, bag_ids)  # one per occurrence
         slice_grads = tt_chain_backward(
             self.tt.cores,
             saved["tt_idx"],
@@ -226,9 +264,12 @@ class TTEmbeddingBag(EmbeddingBagBase):
         )
         # TT-Rec path: materialize full-size core gradients (the extra
         # allocation + scatter the paper's fused update avoids).
-        core_grads = [np.zeros_like(core) for core in self.tt.cores]
-        for k, grads_k in enumerate(slice_grads):
-            scatter_add_rows(core_grads[k], saved["tt_idx"][k], grads_k)
+        with bk.zone(ZONE_TT_BACKWARD):
+            core_grads = [
+                bk.zeros(core.shape, dtype=core.dtype) for core in self.tt.cores
+            ]
+            for k, grads_k in enumerate(slice_grads):
+                bk.scatter_add_rows(core_grads[k], saved["tt_idx"][k], grads_k)
         self._core_grads = core_grads
         self._saved = None
 
@@ -236,8 +277,10 @@ class TTEmbeddingBag(EmbeddingBagBase):
         if self._core_grads is None:
             raise RuntimeError("step called before backward")
         # Separate dense optimizer pass over whole cores.
-        for core, grad in zip(self.tt.cores, self._core_grads):
-            core -= lr * grad
+        bk = get_backend()
+        with bk.zone(ZONE_OPTIMIZER):
+            for core, grad in zip(self.tt.cores, self._core_grads):
+                bk.axpy(core, grad, -lr)
         self._core_grads = None
         self.version += 1
 

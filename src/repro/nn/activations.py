@@ -6,9 +6,22 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import ZONE_MLP, get_backend
 from repro.nn.module import Module
 
 __all__ = ["ReLU", "Sigmoid"]
+
+
+def _as_float(a: np.ndarray) -> np.ndarray:
+    """Coerce to a floating array, *preserving* an existing float dtype.
+
+    Activations are dtype-transparent: a float32 MLP stays float32
+    through them; integer/bool inputs still promote to float64.
+    """
+    a = np.asarray(a)
+    if not np.issubdtype(a.dtype, np.floating):
+        a = a.astype(np.float64)
+    return a
 
 
 class ReLU(Module):
@@ -19,14 +32,18 @@ class ReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = _as_float(inputs)
+        bk = get_backend()
         self._mask = inputs > 0
-        return np.where(self._mask, inputs, 0.0)
+        with bk.zone(ZONE_MLP):
+            return bk.where(self._mask, inputs, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        grad = np.where(self._mask, np.asarray(grad_output, dtype=np.float64), 0.0)
+        bk = get_backend()
+        with bk.zone(ZONE_MLP):
+            grad = bk.where(self._mask, _as_float(grad_output), 0.0)
         self._mask = None
         return grad
 
@@ -43,14 +60,16 @@ class Sigmoid(Module):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
-        # Numerically stable piecewise evaluation avoids overflow for
-        # large negative inputs.
-        out = np.empty_like(inputs)
-        positive = inputs >= 0
-        out[positive] = 1.0 / (1.0 + np.exp(-inputs[positive]))
-        exp_x = np.exp(inputs[~positive])
-        out[~positive] = exp_x / (1.0 + exp_x)
+        inputs = _as_float(inputs)
+        bk = get_backend()
+        with bk.zone(ZONE_MLP):
+            # Numerically stable piecewise evaluation avoids overflow for
+            # large negative inputs.
+            out = bk.empty(inputs.shape, dtype=inputs.dtype)
+            positive = inputs >= 0
+            out[positive] = 1.0 / (1.0 + bk.exp(-inputs[positive]))
+            exp_x = bk.exp(inputs[~positive])
+            out[~positive] = exp_x / (1.0 + exp_x)
         self._output = out
         return out
 
@@ -58,6 +77,6 @@ class Sigmoid(Module):
         if self._output is None:
             raise RuntimeError("backward called before forward")
         s = self._output
-        grad = np.asarray(grad_output, dtype=np.float64) * s * (1.0 - s)
+        grad = _as_float(grad_output) * s * (1.0 - s)
         self._output = None
         return grad

@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import ZONE_INTERACTION, get_backend, get_plan_cache
 from repro.nn.module import Module
 
 __all__ = ["DotInteraction"]
@@ -49,9 +50,12 @@ class DotInteraction(Module):
                 raise ValueError(
                     f"embedding {i} has shape {emb.shape}, expected {(batch, dim)}"
                 )
+        bk = get_backend()
         stacked = np.stack([dense, *embeddings], axis=1)  # (B, F, d)
         num_features = stacked.shape[1]
-        z = np.einsum("bfd,bgd->bfg", stacked, stacked)
+        with bk.zone(ZONE_INTERACTION):
+            plan = get_plan_cache().einsum_plan("bfd,bgd->bfg", stacked, stacked)
+            z = bk.einsum("bfd,bgd->bfg", stacked, stacked, plan=plan)
         rows, cols = np.tril_indices(num_features, k=-1)
         interactions = z[:, rows, cols]  # (B, F*(F-1)/2)
         self._cached = (stacked, rows, cols)
@@ -70,14 +74,18 @@ class DotInteraction(Module):
                 f"expected grad_output of shape {(batch, expected)}, "
                 f"got {grad_output.shape}"
             )
+        bk = get_backend()
         grad_dense_direct = grad_output[:, :dim]
         grad_inter = grad_output[:, dim:]
-        grad_z = np.zeros((batch, num_features, num_features), dtype=np.float64)
-        grad_z[:, rows, cols] = grad_inter
-        # Z is symmetric in its two T factors: dT = (dZ + dZ^T) @ T.
-        grad_stacked = np.einsum(
-            "bfg,bgd->bfd", grad_z + grad_z.transpose(0, 2, 1), stacked
-        )
+        with bk.zone(ZONE_INTERACTION):
+            grad_z = bk.zeros(
+                (batch, num_features, num_features), dtype=grad_output.dtype
+            )
+            grad_z[:, rows, cols] = grad_inter
+            # Z is symmetric in its two T factors: dT = (dZ + dZ^T) @ T.
+            sym = grad_z + grad_z.transpose(0, 2, 1)
+            plan = get_plan_cache().einsum_plan("bfg,bgd->bfd", sym, stacked)
+            grad_stacked = bk.einsum("bfg,bgd->bfd", sym, stacked, plan=plan)
         grad_dense = grad_stacked[:, 0, :] + grad_dense_direct
         grad_embeddings = [grad_stacked[:, i, :] for i in range(1, num_features)]
         self._cached = None

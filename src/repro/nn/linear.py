@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import ZONE_MLP, get_backend
 from repro.nn.module import Module, Parameter
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -27,6 +28,10 @@ class Linear(Module):
         Include the additive bias term (DLRM always does).
     seed:
         RNG for initialization.
+    dtype:
+        Parameter / activation floating dtype (default ``np.float64``).
+        Forward and backward coerce to this dtype, so a float32 layer
+        never silently upcasts.
     """
 
     def __init__(
@@ -35,6 +40,7 @@ class Linear(Module):
         out_features: int,
         bias: bool = True,
         seed: RngLike = 0,
+        dtype: np.dtype = np.float64,
     ) -> None:
         super().__init__()
         if in_features < 1 or out_features < 1:
@@ -44,47 +50,59 @@ class Linear(Module):
             )
         self.in_features = in_features
         self.out_features = out_features
+        self.dtype = np.dtype(dtype)
         rng = ensure_rng(seed)
         bound = 1.0 / np.sqrt(in_features)
         self.weight = self.register_parameter(
             "weight",
-            Parameter(rng.uniform(-bound, bound, size=(out_features, in_features))),
+            Parameter(
+                rng.uniform(-bound, bound, size=(out_features, in_features)),
+                dtype=self.dtype,
+            ),
         )
         self.bias: Optional[Parameter] = None
         if bias:
             self.bias = self.register_parameter(
-                "bias", Parameter(rng.uniform(-bound, bound, size=(out_features,)))
+                "bias",
+                Parameter(
+                    rng.uniform(-bound, bound, size=(out_features,)),
+                    dtype=self.dtype,
+                ),
             )
         self._cached_input: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         """Compute ``inputs @ W^T + b`` for a ``(batch, in_features)`` array."""
-        inputs = np.asarray(inputs, dtype=np.float64)
+        bk = get_backend()
+        inputs = bk.asarray(inputs, dtype=self.dtype)
         if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
             raise ValueError(
                 f"expected input of shape (batch, {self.in_features}), "
                 f"got {inputs.shape}"
             )
         self._cached_input = inputs
-        out = inputs @ self.weight.data.T
-        if self.bias is not None:
-            out += self.bias.data
+        with bk.zone(ZONE_MLP):
+            out = bk.matmul(inputs, self.weight.data.T)
+            if self.bias is not None:
+                out += self.bias.data
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Accumulate parameter grads; return gradient w.r.t. the input."""
         if self._cached_input is None:
             raise RuntimeError("backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        bk = get_backend()
+        grad_output = bk.asarray(grad_output, dtype=self.dtype)
         inputs = self._cached_input
         if grad_output.shape != (inputs.shape[0], self.out_features):
             raise ValueError(
                 f"expected grad_output of shape "
                 f"({inputs.shape[0]}, {self.out_features}), got {grad_output.shape}"
             )
-        self.weight.accumulate_grad(grad_output.T @ inputs)
-        if self.bias is not None:
-            self.bias.accumulate_grad(grad_output.sum(axis=0))
-        grad_input = grad_output @ self.weight.data
+        with bk.zone(ZONE_MLP):
+            self.weight.accumulate_grad(bk.matmul(grad_output.T, inputs))
+            if self.bias is not None:
+                self.bias.accumulate_grad(grad_output.sum(axis=0))
+            grad_input = bk.matmul(grad_output, self.weight.data)
         self._cached_input = None
         return grad_input

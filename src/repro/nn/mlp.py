@@ -31,6 +31,8 @@ class MLP(Module):
         Append a sigmoid after the last linear layer.
     seed:
         RNG (split across layers) for initialization.
+    dtype:
+        Floating dtype shared by all layers (default ``np.float64``).
     """
 
     def __init__(
@@ -38,6 +40,7 @@ class MLP(Module):
         layer_sizes: Sequence[int],
         sigmoid_output: bool = False,
         seed: RngLike = 0,
+        dtype: np.dtype = np.float64,
     ) -> None:
         super().__init__()
         sizes = list(layer_sizes)
@@ -46,10 +49,11 @@ class MLP(Module):
                 f"layer_sizes needs at least input and output widths, got {sizes}"
             )
         self.layer_sizes = sizes
+        self.dtype = np.dtype(dtype)
         rngs = spawn_rngs(seed, len(sizes) - 1)
         self._stack: List[Module] = []
         for i, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
-            layer = Linear(fan_in, fan_out, seed=rngs[i])
+            layer = Linear(fan_in, fan_out, seed=rngs[i], dtype=self.dtype)
             self.register_module(f"linear{i}", layer)
             self._stack.append(layer)
             is_last = i == len(sizes) - 2
@@ -71,13 +75,13 @@ class MLP(Module):
         return self.layer_sizes[-1]
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        out = np.asarray(inputs, dtype=np.float64)
+        out = np.asarray(inputs, dtype=self.dtype)
         for layer in self._stack:
             out = layer.forward(out)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad = np.asarray(grad_output, dtype=np.float64)
+        grad = np.asarray(grad_output, dtype=self.dtype)
         for layer in reversed(self._stack):
             grad = layer.backward(grad)
         return grad

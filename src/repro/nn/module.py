@@ -15,19 +15,22 @@ class Parameter:
     Attributes
     ----------
     data:
-        The parameter value, a float64 ndarray.  Updated in place by
-        optimizers so views held by modules stay valid.
+        The parameter value (float64 ndarray unless ``dtype`` says
+        otherwise).  Updated in place by optimizers so views held by
+        modules stay valid.
     grad:
-        Accumulated gradient of the same shape, or ``None`` when no
-        backward pass has run since the last ``zero_grad``.
+        Accumulated gradient of the same shape and dtype, or ``None``
+        when no backward pass has run since the last ``zero_grad``.
     name:
         Optional diagnostic label.
     """
 
     __slots__ = ("data", "grad", "name")
 
-    def __init__(self, data: np.ndarray, name: str = "") -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(
+        self, data: np.ndarray, name: str = "", dtype: np.dtype = np.float64
+    ) -> None:
+        self.data = np.asarray(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.name = name
 
@@ -47,7 +50,7 @@ class Parameter:
                 f"shape {self.data.shape} for {self.name or 'parameter'}"
             )
         if self.grad is None:
-            self.grad = grad.astype(np.float64, copy=True)
+            self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad += grad
 

@@ -13,8 +13,8 @@ from typing import Dict, Iterable, List
 
 import numpy as np
 
+from repro.backend import ZONE_OPTIMIZER, get_backend
 from repro.nn.module import Parameter
-from repro.utils.scatter import scatter_add_rows
 
 __all__ = ["Optimizer", "SGD", "SparseSGD", "Adagrad"]
 
@@ -61,21 +61,23 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for param in self.parameters:
-            if param.grad is None:
-                continue
-            update = param.grad
-            if self.weight_decay > 0.0:
-                update = update + self.weight_decay * param.data
-            if self.momentum > 0.0:
-                vel = self._velocity.get(id(param))
-                if vel is None:
-                    vel = np.zeros_like(param.data)
-                    self._velocity[id(param)] = vel
-                vel *= self.momentum
-                vel += update
-                update = vel
-            param.data -= self.lr * update
+        bk = get_backend()
+        with bk.zone(ZONE_OPTIMIZER):
+            for param in self.parameters:
+                if param.grad is None:
+                    continue
+                update = param.grad
+                if self.weight_decay > 0.0:
+                    update = update + self.weight_decay * param.data
+                if self.momentum > 0.0:
+                    vel = self._velocity.get(id(param))
+                    if vel is None:
+                        vel = bk.zeros(param.data.shape, dtype=param.data.dtype)
+                        self._velocity[id(param)] = vel
+                    vel *= self.momentum
+                    vel += update
+                    update = vel
+                bk.axpy(param.data, update, -self.lr)
 
 
 class SparseSGD:
@@ -97,11 +99,22 @@ class SparseSGD:
         self.lr = lr
 
     def step_rows(
-        self, table: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
+        self,
+        table: np.ndarray,
+        rows: np.ndarray,
+        row_grads: np.ndarray,
+        zone: str = ZONE_OPTIMIZER,
     ) -> None:
-        """Apply ``table[rows] -= lr * row_grads`` with duplicate handling."""
+        """Apply ``table[rows] -= lr * row_grads`` with duplicate handling.
+
+        ``zone`` re-tags the kernel zone (the parameter server passes
+        its own apply zone).
+        """
+        bk = get_backend()
         rows = np.asarray(rows)
-        row_grads = np.asarray(row_grads, dtype=np.float64)
+        # Gradients land at the table's own dtype — a float32 table is
+        # updated in float32, never silently widened.
+        row_grads = bk.asarray(row_grads, dtype=table.dtype)
         if rows.ndim != 1:
             raise ValueError(f"rows must be 1-D, got shape {rows.shape}")
         if row_grads.shape != (rows.size, table.shape[1]):
@@ -109,7 +122,8 @@ class SparseSGD:
                 f"row_grads shape {row_grads.shape} does not match "
                 f"({rows.size}, {table.shape[1]})"
             )
-        scatter_add_rows(table, rows, row_grads, scale=-self.lr)
+        with bk.zone(zone):
+            bk.scatter_add_rows(table, rows, row_grads, scale=-self.lr)
 
 
 class Adagrad(Optimizer):
@@ -132,12 +146,14 @@ class Adagrad(Optimizer):
         self._accumulators: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for param in self.parameters:
-            if param.grad is None:
-                continue
-            acc = self._accumulators.get(id(param))
-            if acc is None:
-                acc = np.zeros_like(param.data)
-                self._accumulators[id(param)] = acc
-            acc += param.grad * param.grad
-            param.data -= self.lr * param.grad / (np.sqrt(acc) + self.eps)
+        bk = get_backend()
+        with bk.zone(ZONE_OPTIMIZER):
+            for param in self.parameters:
+                if param.grad is None:
+                    continue
+                acc = self._accumulators.get(id(param))
+                if acc is None:
+                    acc = bk.zeros(param.data.shape, dtype=param.data.dtype)
+                    self._accumulators[id(param)] = acc
+                acc += param.grad * param.grad
+                param.data -= self.lr * param.grad / (np.sqrt(acc) + self.eps)

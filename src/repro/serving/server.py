@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import ZONE_SERVING_LOOKUP, get_backend
 from repro.data.dataloader import Batch
 from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
 from repro.embeddings.inference import HotRowCachedLookup
@@ -156,16 +157,20 @@ class ServingModel:
                 f"batch has {batch.num_tables} sparse features, model "
                 f"expects {model.config.num_tables}"
             )
-        dense_out = model.bottom_mlp.forward(batch.dense)
-        pooled = [
-            view.forward(idx, off)
-            for view, idx, off in zip(
-                self._views, batch.sparse_indices, batch.sparse_offsets
-            )
-        ]
-        interacted = model.interaction.forward(dense_out, pooled)
-        logits = model.top_mlp.forward(interacted).reshape(-1)
-        return BCEWithLogitsLoss.predict_proba(logits)
+        # The serving zone is the outer attribution: MLP / interaction /
+        # TT kernels re-tag themselves inside it (innermost zone wins),
+        # so only otherwise-unzoned serving work lands here.
+        with get_backend().zone(ZONE_SERVING_LOOKUP):
+            dense_out = model.bottom_mlp.forward(batch.dense)
+            pooled = [
+                view.forward(idx, off)
+                for view, idx, off in zip(
+                    self._views, batch.sparse_indices, batch.sparse_offsets
+                )
+            ]
+            interacted = model.interaction.forward(dense_out, pooled)
+            logits = model.top_mlp.forward(interacted).reshape(-1)
+            return BCEWithLogitsLoss.predict_proba(logits)
 
     def refresh(self) -> None:
         """Re-materialize every cache from the current cores."""

@@ -16,6 +16,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import (
+    ZONE_PS_APPLY,
+    ZONE_PS_GATHER,
+    get_backend,
+)
 from repro.embeddings.base import (
     EmbeddingBagBase,
     expand_bag_ids,
@@ -90,17 +95,22 @@ class HostParameterServer:
         )
         unique = np.unique(idx)
         self.gather_count += 1
+        bk = get_backend()
+        with bk.zone(ZONE_PS_GATHER):
+            rows = bk.gather_rows(table, unique)
         return PrefetchedRows(
             table_idx=table_idx,
             unique_indices=unique,
-            rows=table[unique].copy(),
+            rows=rows,
         )
 
     def apply_gradients(
         self, table_idx: int, unique_indices: np.ndarray, row_grads: np.ndarray
     ) -> None:
         """Apply one batch's aggregated sparse gradients (server update)."""
-        self._sgd.step_rows(self.tables[table_idx], unique_indices, row_grads)
+        self._sgd.step_rows(
+            self.tables[table_idx], unique_indices, row_grads, zone=ZONE_PS_APPLY
+        )
         self.update_count += 1
 
     def nbytes(self) -> int:
@@ -194,7 +204,9 @@ class HostBackedEmbeddingBag(EmbeddingBagBase):
             or np.any(self._loaded_indices[positions] != idx)
         ):
             raise KeyError("batch references rows that were not loaded")
-        rows = self._loaded_rows[positions]
+        bk = get_backend()
+        with bk.zone(ZONE_PS_GATHER):
+            rows = bk.gather_rows(self._loaded_rows, positions)
         self._saved = {"positions": positions, "boundaries": boundaries}
         return segment_sum(rows, boundaries)
 
@@ -212,8 +224,15 @@ class HostBackedEmbeddingBag(EmbeddingBagBase):
             )
         bag_ids = expand_bag_ids(boundaries)
         assert self._loaded_indices is not None
-        agg = np.zeros((self._loaded_indices.size, self.embedding_dim))
-        np.add.at(agg, saved["positions"], grad_output[bag_ids])
+        bk = get_backend()
+        with bk.zone(ZONE_PS_APPLY):
+            agg = bk.zeros(
+                (self._loaded_indices.size, self.embedding_dim),
+                dtype=grad_output.dtype,
+            )
+            bk.scatter_add_rows(
+                agg, saved["positions"], bk.gather_rows(grad_output, bag_ids)
+            )
         self._grads = (self._loaded_indices, agg)
         self._saved = None
 

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import get_plan_cache
 from repro.data.dataloader import Batch, SyntheticClickLog
 from repro.embeddings.cache import EmbeddingCache
 from repro.models.dlrm import DLRM
@@ -96,6 +97,10 @@ class TrainLog:
     cache_hits: int = 0
     cache_misses: int = 0
     stale_rows_consumed: int = 0
+    #: Contraction-plan-cache traffic accrued during this run (the TT
+    #: chain plans and einsum paths; see repro.backend.plan_cache).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -173,9 +178,13 @@ class SequentialPSTrainer(_PSTrainerBase):
         self, log: SyntheticClickLog, num_batches: int, start: int = 0
     ) -> TrainLog:
         result = TrainLog()
+        plan_cache = get_plan_cache()
+        hits0, misses0 = plan_cache.hits, plan_cache.misses
         for i in range(start, start + num_batches):
             batch = log.batch(i)
             result.losses.append(self.train_step(batch))
+        result.plan_cache_hits += plan_cache.hits - hits0
+        result.plan_cache_misses += plan_cache.misses - misses0
         return result
 
     def train_step(self, batch: Batch) -> float:
@@ -274,6 +283,8 @@ class PipelinedPSTrainer(_PSTrainerBase):
         self, log: SyntheticClickLog, num_batches: int, start: int = 0
     ) -> TrainLog:
         result = TrainLog()
+        plan_cache = get_plan_cache()
+        hits0, misses0 = plan_cache.hits, plan_cache.misses
         if self.probe is None:
             prefetch_q: BoundedQueue[Dict[int, PrefetchedRows]] = BoundedQueue(
                 self.prefetch_depth
@@ -365,6 +376,8 @@ class PipelinedPSTrainer(_PSTrainerBase):
         # (4) drain remaining gradients so the host state is final.
         while not grad_q.empty():
             drain_one()
+        result.plan_cache_hits += plan_cache.hits - hits0
+        result.plan_cache_misses += plan_cache.misses - misses0
         return result
 
 

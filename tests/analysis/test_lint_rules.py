@@ -101,6 +101,59 @@ class TestBatchLoop:
         assert not lint_source(src, rel="repro/nn/foo.py").findings
 
 
+class TestDirectNumpy:
+    def test_matmul_in_kernel_zone_flagged(self):
+        src = "import numpy as np\ndef f(a, b):\n    return np.matmul(a, b)\n"
+        result = lint_source(src, rel="repro/embeddings/foo.py")
+        assert _rules_of(result) == ["direct-numpy-in-kernel-zone"]
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_einsum_in_nn_zone_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.einsum('bfd,bgd->bfg', a, b)\n"
+        )
+        result = lint_source(src, rel="repro/nn/foo.py")
+        assert _rules_of(result) == ["direct-numpy-in-kernel-zone"]
+
+    def test_dot_in_system_zone_flagged(self):
+        src = "import numpy as np\ndef f(a, b):\n    return np.dot(a, b)\n"
+        result = lint_source(src, rel="repro/system/foo.py")
+        assert _rules_of(result) == ["direct-numpy-in-kernel-zone"]
+
+    def test_backend_routed_call_ok(self):
+        src = (
+            "from repro.backend import get_backend\n"
+            "def f(a, b):\n"
+            "    return get_backend().matmul(a, b)\n"
+        )
+        assert not lint_source(src, rel="repro/embeddings/foo.py").findings
+
+    def test_outside_routed_zone_ok(self):
+        src = "import numpy as np\ndef f(a, b):\n    return np.matmul(a, b)\n"
+        assert not lint_source(src, rel="repro/data/foo.py").findings
+
+    def test_einsum_path_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.einsum_path('ij,jk->ik', a, b)\n"
+        )
+        assert not lint_source(src, rel="repro/backend/foo.py").findings
+
+    def test_file_pragma_covers_reference_backend(self):
+        src = (
+            "# reprolint: disable-file=direct-numpy-in-kernel-zone\n"
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.matmul(a, b)\n"
+        )
+        result = lint_source(src, rel="repro/backend/foo.py")
+        assert not result.findings
+        assert result.suppressed == 1
+
+
 class TestPragmas:
     def test_line_pragma_suppresses(self):
         src = (
@@ -154,6 +207,7 @@ class TestRunner:
             "wall-clock",
             "implicit-dtype",
             "batch-loop",
+            "direct-numpy-in-kernel-zone",
         }
 
     def test_select_unknown_rule_raises(self):

@@ -23,7 +23,64 @@ class TestCli:
         out = capsys.readouterr().out
         assert "eff_tt" in out
         assert "serving" in out  # serving smoke rides along
+        assert "numpy == instrumented" in out  # backend equivalence gate
         assert "FAILED" not in out
+
+    def test_train(self, capsys):
+        assert main(["train", "--steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy backend" in out
+        assert "plan cache" in out
+
+    def test_train_instrumented_prints_zone_table(self, capsys):
+        assert main(
+            ["train", "--steps", "3", "--backend", "instrumented"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "efftt_forward" in out
+        assert "fused_update" in out
+
+    def test_train_dense_embedding_backend(self, capsys):
+        assert main(
+            ["train", "--steps", "3", "--embedding-backend", "dense"]
+        ) == 0
+
+    def test_bench_instrumented(self, capsys):
+        assert main(
+            [
+                "bench", "--steps", "2", "--requests", "40",
+                "--backend", "instrumented",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "zone" in out and "gflops" in out
+        assert "serving_lookup" in out
+        assert "plan cache" in out
+
+    def test_bench_numpy_suggests_instrumented(self, capsys):
+        assert main(["bench", "--steps", "2", "--requests", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "--backend instrumented" in out
+
+    def test_torch_backend_unavailable_message(self, capsys):
+        from repro.backend import torch_available
+
+        if torch_available():
+            pytest.skip("torch is installed")
+        assert main(["train", "--steps", "2", "--backend", "torch"]) == 2
+        err = capsys.readouterr().err
+        assert "backend 'torch' unavailable" in err
+        assert "--backend numpy" in err
+
+    def test_serve_instrumented_backend(self, capsys):
+        assert main(
+            [
+                "serve", "--requests", "60", "--train-steps", "0",
+                "--backend", "instrumented",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving_lookup" in out
 
     def test_serve(self, capsys, tmp_path):
         trace = tmp_path / "trace.json"
