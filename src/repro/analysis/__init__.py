@@ -34,6 +34,12 @@ from repro.analysis.linter import (
     lint_source,
 )
 from repro.analysis.rules import RULE_REGISTRY, Rule, RuleContext, register
+from repro.analysis.sarif import result_to_sarif
+from repro.analysis.shapecheck import (
+    SHAPE_RULES,
+    shapecheck_paths,
+    shapecheck_source,
+)
 from repro.analysis.shims import PipelineProbe, RecordingCache, RecordingQueue
 
 __all__ = [
@@ -58,4 +64,8 @@ __all__ = [
     "RecordingQueue",
     "HazardExperimentResult",
     "run_hazard_experiment",
+    "SHAPE_RULES",
+    "shapecheck_paths",
+    "shapecheck_source",
+    "result_to_sarif",
 ]

@@ -29,7 +29,16 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import RULE_REGISTRY, Rule, build_context
 
-__all__ = ["LintResult", "lint_paths", "lint_source", "format_findings"]
+__all__ = [
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "format_findings",
+    "iter_python_files",
+    "parse_pragmas",
+    "is_suppressed",
+    "package_rel",
+]
 
 _PRAGMA = re.compile(
     r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\- ]+)"
@@ -68,7 +77,7 @@ class LintResult:
         )
 
 
-def _parse_pragmas(source: str) -> "tuple[Dict[int, Set[str]], Set[str]]":
+def parse_pragmas(source: str) -> "tuple[Dict[int, Set[str]], Set[str]]":
     """Extract per-line and file-wide suppression sets from pragmas."""
     per_line: Dict[int, Set[str]] = {}
     file_wide: Set[str] = set()
@@ -84,11 +93,11 @@ def _parse_pragmas(source: str) -> "tuple[Dict[int, Set[str]], Set[str]]":
     return per_line, file_wide
 
 
-def _suppressed(finding: Finding, names: Set[str]) -> bool:
+def is_suppressed(finding: Finding, names: Set[str]) -> bool:
     return bool(names & {finding.rule, finding.rule_id, "all"})
 
 
-def _package_rel(path: Path) -> str:
+def package_rel(path: Path) -> str:
     """Posix path rooted at the innermost ``repro`` package directory.
 
     Files outside any ``repro`` directory keep their file name, which
@@ -132,13 +141,13 @@ def lint_source(
     path's package-relative form.
     """
     result = LintResult(files_scanned=1)
-    resolved_rel = rel if rel is not None else _package_rel(Path(path))
+    resolved_rel = rel if rel is not None else package_rel(Path(path))
     ctx = build_context(Path(path), resolved_rel, source)
-    per_line, file_wide = _parse_pragmas(source)
+    per_line, file_wide = parse_pragmas(source)
     for rule in _select_rules(select):
         for finding in rule.check(ctx):
             line_names = per_line.get(finding.line, set())
-            if _suppressed(finding, line_names | file_wide):
+            if is_suppressed(finding, line_names | file_wide):
                 result.suppressed += 1
                 continue
             result.findings.append(finding)
@@ -177,7 +186,7 @@ def lint_paths(
             single = lint_source(
                 source,
                 path=str(file_path),
-                rel=_package_rel(file_path),
+                rel=package_rel(file_path),
                 select=select,
             )
         except SyntaxError as exc:

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 serialization for lint/shapecheck results.
+
+Emits the minimal static-analysis-results interchange format that CI
+systems (GitHub code scanning, Azure DevOps) ingest: one ``run`` with a
+tool descriptor, a rule catalog, and one ``result`` per finding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Protocol
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.linter import LintResult
+
+__all__ = ["result_to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+class _RuleMeta(Protocol):
+    """What we need from a rule to describe it in the SARIF catalog
+    (satisfied by both lint ``Rule`` objects and ``ShapeRuleInfo``)."""
+
+    id: str
+    name: str
+    severity: Severity
+    description: str
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_descriptor(rule: _RuleMeta) -> Dict[str, Any]:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _sarif_level(rule.severity)},
+    }
+
+
+def _result(finding: Finding, rule_ids: List[str]) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": _sarif_level(finding.severity),
+        "message": {
+            "text": finding.message
+            + (f" (fix: {finding.hint})" if finding.hint else "")
+        },
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_ids:
+        entry["ruleIndex"] = rule_ids.index(finding.rule_id)
+    return entry
+
+
+def result_to_sarif(
+    result: LintResult,
+    tool_name: str,
+    rules: Iterable[_RuleMeta],
+) -> str:
+    """Serialize one :class:`LintResult` as a SARIF 2.1.0 document."""
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    rule_ids = [desc["id"] for desc in descriptors]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": descriptors,
+                    }
+                },
+                "results": [
+                    _result(finding, rule_ids) for finding in result.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

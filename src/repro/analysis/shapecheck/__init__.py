@@ -1,0 +1,48 @@
+"""Shapecheck: static shape/dtype checking over backend kernel zones.
+
+An AST-level abstract interpreter that symbolically executes module
+code against abstract tensors (symbolic shapes + dtypes), resolving
+``backend.einsum`` signature literals, propagating shapes through
+``matmul``/``gather_rows``/``scatter_add_rows``/reshape/transpose,
+deriving TT-core chain shapes from :class:`TTSpec` metadata, and
+enforcing the one-float-dtype-per-zone policy.  Findings reuse the
+reprolint machinery (severities, pragmas, JSON/SARIF output).
+
+Entry points: :func:`shapecheck_paths`, :func:`shapecheck_source`, and
+``python -m repro shapecheck``.
+"""
+
+from repro.analysis.shapecheck.checker import (
+    SHAPE_RULES,
+    shapecheck_paths,
+    shapecheck_source,
+)
+from repro.analysis.shapecheck.domain import (
+    TOP,
+    Dim,
+    SymDim,
+    TensorVal,
+    broadcast_shapes,
+    dims_conflict,
+    dims_equal,
+)
+from repro.analysis.shapecheck.einsum import EinsumIssue, check_einsum, parse_subscripts
+from repro.analysis.shapecheck.interp import ShapeRuleInfo, interpret_module
+
+__all__ = [
+    "SHAPE_RULES",
+    "ShapeRuleInfo",
+    "shapecheck_paths",
+    "shapecheck_source",
+    "interpret_module",
+    "check_einsum",
+    "parse_subscripts",
+    "EinsumIssue",
+    "TensorVal",
+    "SymDim",
+    "Dim",
+    "TOP",
+    "dims_equal",
+    "dims_conflict",
+    "broadcast_shapes",
+]

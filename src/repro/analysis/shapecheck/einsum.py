@@ -1,0 +1,211 @@
+"""Einsum signature resolution for shapecheck.
+
+Parses literal ``einsum`` subscript strings (``"lar,lrbs->labs"``) and
+checks them against abstract operand shapes: term/operand arity, term
+length vs. operand rank, and the consistency of every subscript
+letter's bound extent across operands.  Conflicts are reported only
+when *provable* (two concrete, unequal extents, neither of which is 1 —
+numpy einsum broadcasts size-1 dims on repeated labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.shapecheck.domain import (
+    Dim,
+    TensorVal,
+    dims_conflict,
+    format_shape,
+    promote_dtypes,
+)
+
+__all__ = ["EinsumIssue", "check_einsum", "parse_subscripts"]
+
+ELLIPSIS = "..."
+
+
+@dataclass(frozen=True)
+class EinsumIssue:
+    """One problem found while resolving an einsum signature."""
+
+    code: str  # "einsum-subscripts" | "einsum-rank" | "einsum-dim"
+    message: str
+
+
+@dataclass
+class _Parsed:
+    terms: List[str]  # per-operand letters, ellipsis stripped
+    term_has_ellipsis: List[bool]
+    output: Optional[str]  # None = implicit
+    output_has_ellipsis: bool = False
+
+
+def parse_subscripts(subscripts: str) -> Tuple[Optional[_Parsed], List[EinsumIssue]]:
+    """Parse a subscripts string; issues are malformed-signature findings."""
+    issues: List[EinsumIssue] = []
+    spec = subscripts.replace(" ", "")
+    if spec.count("->") > 1:
+        return None, [
+            EinsumIssue(
+                "einsum-subscripts",
+                f'"{subscripts}" has more than one "->"',
+            )
+        ]
+    if "->" in spec:
+        lhs, rhs = spec.split("->")
+        output: Optional[str] = rhs
+    else:
+        lhs, output = spec, None
+
+    def split_term(term: str, where: str) -> Tuple[Optional[str], bool]:
+        has_ellipsis = ELLIPSIS in term
+        letters = term.replace(ELLIPSIS, "", 1)
+        if ELLIPSIS in letters:
+            issues.append(
+                EinsumIssue(
+                    "einsum-subscripts",
+                    f'{where} term "{term}" repeats "..."',
+                )
+            )
+            return None, has_ellipsis
+        bad = [ch for ch in letters if not ch.isalpha()]
+        if bad:
+            issues.append(
+                EinsumIssue(
+                    "einsum-subscripts",
+                    f'invalid subscript character {bad[0]!r} in "{subscripts}"',
+                )
+            )
+            return None, has_ellipsis
+        return letters, has_ellipsis
+
+    terms: List[str] = []
+    term_has_ellipsis: List[bool] = []
+    for term in lhs.split(","):
+        letters, has_ell = split_term(term, "input")
+        if letters is None:
+            return None, issues
+        terms.append(letters)
+        term_has_ellipsis.append(has_ell)
+
+    out_letters: Optional[str] = None
+    out_has_ellipsis = False
+    if output is not None:
+        out_letters, out_has_ellipsis = split_term(output, "output")
+        if out_letters is None:
+            return None, issues
+        seen = set()
+        for ch in out_letters:
+            if ch in seen:
+                issues.append(
+                    EinsumIssue(
+                        "einsum-subscripts",
+                        f'output subscript "{output}" repeats index '
+                        f"{ch!r}",
+                    )
+                )
+                return None, issues
+            seen.add(ch)
+        input_letters = set("".join(terms))
+        for ch in out_letters:
+            if ch not in input_letters:
+                issues.append(
+                    EinsumIssue(
+                        "einsum-subscripts",
+                        f"output index {ch!r} does not appear in any "
+                        f'input term of "{subscripts}"',
+                    )
+                )
+                return None, issues
+
+    return (
+        _Parsed(
+            terms=terms,
+            term_has_ellipsis=term_has_ellipsis,
+            output=out_letters,
+            output_has_ellipsis=out_has_ellipsis,
+        ),
+        issues,
+    )
+
+
+def check_einsum(
+    subscripts: str, operands: Sequence[object]
+) -> Tuple[TensorVal, List[EinsumIssue]]:
+    """Resolve one einsum call against abstract operands.
+
+    Returns the abstract result tensor plus any provable issues.  The
+    result shape is derived from the output term and the letter→extent
+    bindings collected from known operand shapes.
+    """
+    parsed, issues = parse_subscripts(subscripts)
+    if parsed is None:
+        return TensorVal(), issues
+
+    tensors = [op if isinstance(op, TensorVal) else TensorVal() for op in operands]
+    if len(parsed.terms) != len(operands):
+        issues.append(
+            EinsumIssue(
+                "einsum-subscripts",
+                f'"{subscripts}" names {len(parsed.terms)} operand '
+                f"term(s) but the call passes {len(operands)}",
+            )
+        )
+        return TensorVal(), issues
+
+    bindings: Dict[str, Dim] = {}
+    for pos, (term, has_ellipsis, tensor) in enumerate(
+        zip(parsed.terms, parsed.term_has_ellipsis, tensors)
+    ):
+        shape = tensor.shape
+        if shape is None:
+            continue
+        rank = len(shape)
+        if not has_ellipsis and rank != len(term):
+            issues.append(
+                EinsumIssue(
+                    "einsum-rank",
+                    f'operand {pos} of "{subscripts}" has rank {rank} '
+                    f'but its term "{term}" expects rank {len(term)} '
+                    f"(shape {format_shape(shape)})",
+                )
+            )
+            continue
+        if has_ellipsis and rank < len(term):
+            issues.append(
+                EinsumIssue(
+                    "einsum-rank",
+                    f'operand {pos} of "{subscripts}" has rank {rank}, '
+                    f'fewer than the {len(term)} named indices in "{term}..."',
+                )
+            )
+            continue
+        # Named letters bind right-aligned when an ellipsis soaks up
+        # leading axes.
+        dims = shape[rank - len(term):] if has_ellipsis else shape
+        for ch, dim in zip(term, dims):
+            bound = bindings.get(ch)
+            if isinstance(dim, int) and dim != 1:
+                # Concrete non-broadcast extents pin the binding; a
+                # second concrete extent must agree (size-1 broadcasts).
+                if isinstance(bound, int) and bound not in (1, dim):
+                    issues.append(
+                        EinsumIssue(
+                            "einsum-dim",
+                            f'index {ch!r} of "{subscripts}" is bound to '
+                            f"extent {bound} but operand {pos} (shape "
+                            f"{format_shape(shape)}) provides {dim}",
+                        )
+                    )
+                else:
+                    bindings[ch] = dim
+            elif ch not in bindings and dim is not None:
+                bindings[ch] = dim
+
+    out_dtype = promote_dtypes(*(t.dtype for t in tensors))
+    if parsed.output is None or parsed.output_has_ellipsis:
+        return TensorVal(dtype=out_dtype), issues
+    out_shape = tuple(bindings.get(ch) for ch in parsed.output)
+    return TensorVal(shape=out_shape, dtype=out_dtype), issues

@@ -32,6 +32,7 @@ from .plan_cache import (
     get_plan_cache,
     reset_plan_cache,
 )
+from .sanitizer import NumericTrapError, SanitizerBackend, TrapRecord
 from .protocol import (
     KERNEL_ZONE_NAMES,
     ZONE_EFFTT_BACKWARD,
@@ -57,6 +58,9 @@ __all__ = [
     "BackendUnavailableError",
     "NumpyBackend",
     "InstrumentedBackend",
+    "SanitizerBackend",
+    "NumericTrapError",
+    "TrapRecord",
     "TorchBackend",
     "torch_available",
     "KernelStats",
@@ -88,7 +92,7 @@ __all__ = [
     "ZONE_SERVING_LOOKUP",
 ]
 
-BACKEND_NAMES: Tuple[str, ...] = ("numpy", "instrumented", "torch")
+BACKEND_NAMES: Tuple[str, ...] = ("numpy", "instrumented", "sanitizer", "torch")
 
 _DEFAULT_BACKEND = NumpyBackend()
 _active_backend: ArrayBackend = _DEFAULT_BACKEND
@@ -109,6 +113,8 @@ def resolve_backend(spec: Union[str, ArrayBackend, None]) -> ArrayBackend:
         return NumpyBackend()
     if spec == "instrumented":
         return InstrumentedBackend()
+    if spec == "sanitizer":
+        return SanitizerBackend()
     if spec == "torch":
         return TorchBackend()
     raise ValueError(f"unknown backend {spec!r}; expected one of {BACKEND_NAMES}")

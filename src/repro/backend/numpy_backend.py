@@ -21,7 +21,7 @@ tolerance-based numeric contract.
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, Optional, cast
 
 import numpy as np
 
@@ -55,18 +55,18 @@ class NumpyBackend:
 
     # -- contraction ---------------------------------------------------
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return np.matmul(a, b)
+        return cast(np.ndarray, np.matmul(a, b))
 
     def einsum(
         self, subscripts: str, *operands: np.ndarray, plan: Optional[EinsumPlan] = None
     ) -> np.ndarray:
         # optimize=False always: bitwise identity with the historical
         # call sites trumps the planned contraction order here.
-        return np.einsum(subscripts, *operands, optimize=False)
+        return cast(np.ndarray, np.einsum(subscripts, *operands, optimize=False))
 
     # -- sparse movement -----------------------------------------------
     def gather_rows(self, table: np.ndarray, indices: np.ndarray) -> np.ndarray:
-        return table[indices]
+        return cast(np.ndarray, table[indices])
 
     def scatter_add_rows(
         self,
@@ -79,13 +79,13 @@ class NumpyBackend:
 
     # -- elementwise ---------------------------------------------------
     def exp(self, a: np.ndarray) -> np.ndarray:
-        return np.exp(a)
+        return cast(np.ndarray, np.exp(a))
 
     def maximum(self, a: Any, b: Any) -> np.ndarray:
-        return np.maximum(a, b)
+        return cast(np.ndarray, np.maximum(a, b))
 
     def where(self, cond: np.ndarray, a: Any, b: Any) -> np.ndarray:
-        return np.where(cond, a, b)
+        return cast(np.ndarray, np.where(cond, a, b))
 
     def axpy(self, target: np.ndarray, values: np.ndarray, scale: float) -> None:
         if scale == 1.0:

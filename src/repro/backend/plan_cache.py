@@ -46,7 +46,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, cast
+
+_PlanT = TypeVar("_PlanT")
 
 import numpy as np
 
@@ -185,18 +187,20 @@ class ContractionPlanCache:
         self.hits = 0
         self.misses = 0
 
-    def _get_or_build(self, key: Tuple[Any, ...], build: Any) -> Any:
+    def _get_or_build(
+        self, key: Tuple[Any, ...], build: Callable[[], _PlanT]
+    ) -> _PlanT:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
             self._entries.move_to_end(key)
-            return entry
+            return cast(_PlanT, entry)
         self.misses += 1
-        entry = build()
-        self._entries[key] = entry
+        built = build()
+        self._entries[key] = built
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-        return entry
+        return built
 
     # -- chain plans ---------------------------------------------------
     def chain_plan(self, kind: str, core_shapes: CoreShapes) -> ChainPlan:

@@ -1,0 +1,245 @@
+"""numsan: a numeric-sanitizer backend wrapper.
+
+:class:`SanitizerBackend` wraps any :class:`~repro.backend.protocol.ArrayBackend`
+and forwards every call to it unchanged — results are bitwise-identical
+to the wrapped backend — while *checking* what flows through:
+
+* **non-finite outputs** — any NaN/Inf in a floating result of
+  ``matmul``/``einsum``/``exp``/``maximum``/``where``/``gather_rows``
+  (and in ``axpy``/``scatter_add_rows`` inputs and updated targets)
+  trips a ``nonfinite`` trap.  ``empty()`` results are exempt: their
+  bits are uninitialized by contract.
+* **out-of-range gather/scatter indices** — checked *before* the inner
+  call, because numpy silently wraps negative indices to the end of the
+  table; a wrapped read is precisely the bug the paper's gather/scatter
+  paths must never hit.
+* **dtype drift** — a floating result wider than the widest floating
+  operand means an implicit upcast (the float64 default leaking in);
+  trips a ``dtype-drift`` trap.
+
+Every trap is tagged with the innermost open kernel zone (see
+``ArrayBackend.zone``), so a report reads "``nonfinite`` in
+``efftt_backward``" rather than pointing at a random ufunc.  In the
+default ``mode="raise"`` the first trap raises
+:class:`NumericTrapError`; ``mode="record"`` accumulates
+:class:`TrapRecord` entries for offline assertion (the quickcheck
+equivalence gate runs this way).  In both modes every call is still
+forwarded verbatim, so a hard out-of-bounds index that numpy itself
+rejects will raise ``IndexError`` from the inner backend right after
+the trap is recorded — the record tells you *which zone* it came from.
+
+This is the dynamic half of the shapecheck story: the static checker
+(:mod:`repro.analysis.shapecheck`) proves what it can at the AST level,
+and the sanitizer enforces the same contracts on the values the static
+domain had to leave symbolic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend
+from .plan_cache import EinsumPlan
+from .protocol import ArrayBackend, DTypeLike, Shape
+
+__all__ = ["NumericTrapError", "SanitizerBackend", "TrapRecord"]
+
+UNZONED = "unzoned"
+
+
+@dataclass(frozen=True)
+class TrapRecord:
+    """One sanitizer trap: where, what op, what kind, and the details."""
+
+    zone: str
+    op: str
+    kind: str  # "nonfinite" | "gather-index" | "dtype-drift"
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.zone}] {self.op}: {self.kind} — {self.detail}"
+
+
+class NumericTrapError(RuntimeError):
+    """Raised in ``mode="raise"`` when a sanitizer check trips."""
+
+    def __init__(self, record: TrapRecord) -> None:
+        super().__init__(record.format())
+        self.record = record
+
+
+class SanitizerBackend:
+    """Checking wrapper satisfying :class:`~repro.backend.protocol.ArrayBackend`.
+
+    Forwards unchanged to ``inner`` (bitwise-identical results) and
+    traps NaN/Inf outputs, out-of-range row indices, and implicit
+    floating upcasts, tagged with the enclosing kernel zone.
+    """
+
+    def __init__(
+        self, inner: Optional[ArrayBackend] = None, mode: str = "raise"
+    ) -> None:
+        if mode not in ("raise", "record"):
+            raise ValueError(f"mode must be 'raise' or 'record', got {mode!r}")
+        self.inner: ArrayBackend = inner if inner is not None else NumpyBackend()
+        self.name = f"sanitizer[{self.inner.name}]"
+        self.mode = mode
+        self.traps: List[TrapRecord] = []
+        self._zone_stack: List[str] = []
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def current_zone(self) -> str:
+        return self._zone_stack[-1] if self._zone_stack else UNZONED
+
+    def reset(self) -> None:
+        self.traps.clear()
+
+    def report(self) -> str:
+        if not self.traps:
+            return "numsan: no traps"
+        lines = [f"numsan: {len(self.traps)} trap(s)"]
+        lines.extend(record.format() for record in self.traps)
+        return "\n".join(lines)
+
+    @contextlib.contextmanager
+    def zone(self, name: str) -> Iterator[None]:
+        self._zone_stack.append(name)
+        try:
+            yield
+        finally:
+            self._zone_stack.pop()
+
+    def _trap(self, op: str, kind: str, detail: str) -> None:
+        record = TrapRecord(zone=self.current_zone, op=op, kind=kind, detail=detail)
+        self.traps.append(record)
+        if self.mode == "raise":
+            raise NumericTrapError(record)
+
+    # -- checks --------------------------------------------------------
+    def _check_finite(self, op: str, out: np.ndarray, role: str = "result") -> np.ndarray:
+        if np.issubdtype(out.dtype, np.floating) and not np.all(np.isfinite(out)):
+            bad = int(out.size - np.count_nonzero(np.isfinite(out)))
+            self._trap(
+                op,
+                "nonfinite",
+                f"{role} of shape {out.shape} ({out.dtype}) contains "
+                f"{bad} non-finite element(s)",
+            )
+        return out
+
+    def _check_drift(self, op: str, out: np.ndarray, *operands: Any) -> np.ndarray:
+        if not np.issubdtype(out.dtype, np.floating):
+            return out
+        widest = 0
+        for operand in operands:
+            if isinstance(operand, np.ndarray) and np.issubdtype(
+                operand.dtype, np.floating
+            ):
+                widest = max(widest, operand.dtype.itemsize)
+        if widest and out.dtype.itemsize > widest:
+            self._trap(
+                op,
+                "dtype-drift",
+                f"result dtype {out.dtype} is wider than the widest "
+                f"floating operand ({widest * 8}-bit): implicit upcast",
+            )
+        return out
+
+    def _check_indices(
+        self, op: str, indices: np.ndarray, rows: int
+    ) -> None:
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            return
+        lo = int(indices.min())
+        hi = int(indices.max())
+        if lo < 0:
+            self._trap(
+                op,
+                "gather-index",
+                f"negative row index {lo} (numpy wraps it to row "
+                f"{rows + lo} silently)",
+            )
+        elif hi >= rows:
+            self._trap(
+                op,
+                "gather-index",
+                f"row index {hi} out of range for a table with {rows} rows",
+            )
+
+    # -- allocation ----------------------------------------------------
+    def zeros(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        return self.inner.zeros(shape, dtype)
+
+    def ones(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        return self.inner.ones(shape, dtype)
+
+    def empty(self, shape: Shape, dtype: DTypeLike) -> np.ndarray:
+        # Uninitialized by contract: never finite-checked.
+        return self.inner.empty(shape, dtype)
+
+    def full(self, shape: Shape, fill_value: float, dtype: DTypeLike) -> np.ndarray:
+        return self._check_finite("full", self.inner.full(shape, fill_value, dtype))
+
+    def asarray(self, a: Any, dtype: Optional[DTypeLike] = None) -> np.ndarray:
+        return self._check_finite("asarray", self.inner.asarray(a, dtype=dtype))
+
+    # -- contraction ---------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = self.inner.matmul(a, b)
+        self._check_drift("matmul", out, a, b)
+        return self._check_finite("matmul", out)
+
+    def einsum(
+        self, subscripts: str, *operands: np.ndarray, plan: Optional[EinsumPlan] = None
+    ) -> np.ndarray:
+        out = self.inner.einsum(subscripts, *operands, plan=plan)
+        self._check_drift(f"einsum[{subscripts}]", out, *operands)
+        return self._check_finite(f"einsum[{subscripts}]", out)
+
+    # -- sparse movement -----------------------------------------------
+    def gather_rows(self, table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        self._check_indices("gather_rows", indices, int(table.shape[0]))
+        return self._check_finite("gather_rows", self.inner.gather_rows(table, indices))
+
+    def scatter_add_rows(
+        self,
+        target: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        scale: float = 1.0,
+    ) -> None:
+        self._check_indices("scatter_add_rows", indices, int(target.shape[0]))
+        self._check_finite("scatter_add_rows", np.asarray(values), role="values")
+        self._check_drift("scatter_add_rows", target, values)
+        self.inner.scatter_add_rows(target, indices, values, scale=scale)
+        self._check_finite("scatter_add_rows", target, role="updated target")
+
+    # -- elementwise ---------------------------------------------------
+    def exp(self, a: np.ndarray) -> np.ndarray:
+        # The repo's stable-sigmoid only exponentiates non-positive
+        # arguments, so a non-finite exp output is always a bug.
+        return self._check_finite("exp", self.inner.exp(a))
+
+    def maximum(self, a: Any, b: Any) -> np.ndarray:
+        out = self.inner.maximum(a, b)
+        self._check_drift("maximum", out, a, b)
+        return self._check_finite("maximum", out)
+
+    def where(self, cond: np.ndarray, a: Any, b: Any) -> np.ndarray:
+        out = self.inner.where(cond, a, b)
+        self._check_drift("where", out, a, b)
+        return self._check_finite("where", out)
+
+    def axpy(self, target: np.ndarray, values: np.ndarray, scale: float) -> None:
+        self._check_finite("axpy", np.asarray(values), role="values")
+        if not np.isfinite(scale):
+            self._trap("axpy", "nonfinite", f"scale is {scale!r}")
+        self._check_drift("axpy", target, values)
+        self.inner.axpy(target, values, scale)
+        self._check_finite("axpy", target, role="updated target")

@@ -20,15 +20,23 @@ Commands
     plan-cache stats.
 ``quickcheck``
     Train a tiny DLRM on every backend and report losses, verify the
-    numpy and instrumented execution backends agree bit for bit, run a
-    few hundred requests through the serving loop, then run the static
-    checks (reprolint, and mypy when installed) — a fast smoke test
-    that the whole stack works on this machine.
+    numpy, instrumented, and sanitizer execution backends agree bit
+    for bit (with zero numsan traps), run a few hundred requests
+    through the serving loop, then run the static checks (reprolint,
+    shapecheck, and mypy when installed) — a fast smoke test that the
+    whole stack works on this machine.
 ``lint``
     Run ``reprolint`` — the repo-specific AST linter (seeded RNG only,
     SimClock-only zones, explicit kernel dtypes, batch-loop perf
     advisories) — over the given paths.  Exits 1 on error-level
-    findings.
+    findings.  ``--format json``/``--format sarif`` emit
+    machine-readable reports for CI.
+``shapecheck``
+    Run the static shape/dtype abstract interpreter over the given
+    paths: einsum signature resolution, matmul/gather/scatter/reshape
+    shape propagation, TT-core chain shapes from ``TTSpec`` metadata,
+    and the one-float-dtype-per-kernel-zone policy.  Same exit codes
+    and output formats as ``lint``.
 ``hazards``
     Train an instrumented pipelined-PS run and analyze its
     per-embedding-row read/write trace for RAW/WAR hazards;
@@ -75,7 +83,8 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", choices=list(BACKEND_NAMES), default="numpy",
         help="execution backend for all hot-path kernels (instrumented "
-        "counts FLOPs/bytes per kernel zone; torch requires PyTorch)",
+        "counts FLOPs/bytes per kernel zone; sanitizer traps NaN/Inf, "
+        "bad gather indices, and dtype drift; torch requires PyTorch)",
     )
 
 
@@ -146,7 +155,7 @@ def _cmd_compression(_: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.backend import InstrumentedBackend, get_backend, get_plan_cache
+    from repro.backend import InstrumentedBackend, SanitizerBackend, get_backend, get_plan_cache
     from repro.data.dataloader import SyntheticClickLog
     from repro.data.datasets import DATASET_FACTORIES
     from repro.models.config import DLRMConfig, EmbeddingBackend
@@ -178,14 +187,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"{stats['entries']} entries"
     )
     backend = get_backend()
-    if isinstance(backend, InstrumentedBackend):
+    if isinstance(backend, (InstrumentedBackend, SanitizerBackend)):
         print()
         print(backend.report())
     return 0 if losses[-1] < losses[0] else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.backend import InstrumentedBackend, get_backend, get_plan_cache
+    from repro.backend import InstrumentedBackend, SanitizerBackend, get_backend, get_plan_cache
     from repro.data.dataloader import SyntheticClickLog
     from repro.data.datasets import DATASET_FACTORIES
     from repro.models.config import DLRMConfig, EmbeddingBackend
@@ -221,7 +230,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{plan_cache.stats['entries']} entries"
     )
     backend = get_backend()
-    if isinstance(backend, InstrumentedBackend):
+    if isinstance(backend, (InstrumentedBackend, SanitizerBackend)):
         print()
         print(backend.report())
     else:
@@ -262,7 +271,7 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
     # Execution-backend equivalence: the same Eff-TT training run must
     # be bit-identical under the numpy and instrumented backends, and
     # the instrumented run must actually see the hot kernel zones.
-    from repro.backend import InstrumentedBackend, use_backend
+    from repro.backend import InstrumentedBackend, SanitizerBackend, use_backend
 
     eq_cfg = DLRMConfig.from_dataset(
         spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
@@ -278,13 +287,31 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
             ]
 
     instrumented = InstrumentedBackend()
-    backend_ok = _losses_under("numpy") == _losses_under(instrumented) and (
+    reference_losses = _losses_under("numpy")
+    backend_ok = reference_losses == _losses_under(instrumented) and (
         instrumented.zone_stats.get("efftt_forward") is not None
         and instrumented.zone_stats["efftt_forward"].flops > 0
     )
     ok = ok and backend_ok
     status = "ok" if backend_ok else "FAILED (backends disagree)"
     print(f"backend  numpy == instrumented over 5 steps  [{status}]")
+
+    # numsan gate: the sanitizer must be bit-identical to the reference
+    # backend on the same workload *and* observe zero traps — a trap on
+    # clean training data is a sanitizer false positive.
+    sanitizer = SanitizerBackend(mode="record")
+    sanitizer_ok = (
+        reference_losses == _losses_under(sanitizer) and not sanitizer.traps
+    )
+    ok = ok and sanitizer_ok
+    status = "ok" if sanitizer_ok else "FAILED (sanitizer diverged or trapped)"
+    print(
+        f"numsan   numpy == sanitizer over 5 steps, "
+        f"{len(sanitizer.traps)} trap(s)  [{status}]"
+    )
+    if sanitizer.traps:
+        for trap in sanitizer.traps:
+            print(f"  {trap.format()}")
 
     # Serving smoke: a few hundred simulated requests through the full
     # micro-batching loop, sanity-checking the SLO report.
@@ -326,6 +353,21 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
         for finding in lint_result.errors:
             print(f"  {finding.format()}")
 
+    from repro.analysis import shapecheck_paths
+
+    shape_result = shapecheck_paths([Path(__file__).resolve().parent])
+    shape_ok = shape_result.ok
+    ok = ok and shape_ok
+    status = "ok" if shape_ok else "FAILED (error-level findings)"
+    print(
+        f"shape    {shape_result.files_scanned} files, "
+        f"{len(shape_result.errors)} errors, "
+        f"{len(shape_result.warnings)} warnings  [{status}]"
+    )
+    if not shape_ok:
+        for finding in shape_result.errors:
+            print(f"  {finding.format()}")
+
     mypy_status = _run_mypy_step()
     if mypy_status is None:
         print("mypy     skipped (mypy not installed)")
@@ -340,6 +382,9 @@ _MYPY_STRICT_TARGETS = (
     "repro/system/queues.py",
     "repro/embeddings/cache.py",
     "repro/analysis",
+    "repro/backend/protocol.py",
+    "repro/backend/plan_cache.py",
+    "repro/backend/numpy_backend.py",
 )
 
 
@@ -421,7 +466,7 @@ def _run_serving(
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.backend import InstrumentedBackend, get_backend
+    from repro.backend import InstrumentedBackend, SanitizerBackend, get_backend
     from repro.data.datasets import DATASET_FACTORIES
     from repro.serving import export_serving_trace
 
@@ -450,7 +495,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"wrote {count} trace events to {args.trace}")
     backend = get_backend()
-    if isinstance(backend, InstrumentedBackend):
+    if isinstance(backend, (InstrumentedBackend, SanitizerBackend)):
         print()
         print(backend.report())
     return 0
@@ -459,7 +504,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.analysis import format_findings, lint_paths
+    from repro.analysis import format_findings, lint_paths, result_to_sarif
+    from repro.analysis.rules import RULE_REGISTRY
 
     if args.paths:
         paths = [Path(p) for p in args.paths]
@@ -472,6 +518,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(result.to_json())
+    elif args.format == "sarif":
+        print(result_to_sarif(result, "reprolint", RULE_REGISTRY.values()))
+    else:
+        print(format_findings(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_shapecheck(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        SHAPE_RULES,
+        format_findings,
+        result_to_sarif,
+        shapecheck_paths,
+    )
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(__file__).resolve().parent]
+    try:
+        result = shapecheck_paths(paths, select=args.select or None)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"shapecheck: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(result.to_json())
+    elif args.format == "sarif":
+        print(result_to_sarif(result, "shapecheck", SHAPE_RULES.values()))
     else:
         print(format_findings(result))
     return 0 if result.ok else 1
@@ -594,7 +670,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "repeatable",
     )
     lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
+    )
+    shapecheck = sub.add_parser(
+        "shapecheck",
+        help="run the static shape/dtype abstract interpreter",
+    )
+    shapecheck.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (default: the installed "
+        "repro package)",
+    )
+    shapecheck.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="only run the named rule (symbolic name or SHPnnn id); "
+        "repeatable",
+    )
+    shapecheck.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
     )
     hazards = sub.add_parser(
         "hazards", help="trace a pipelined run and detect RAW/WAR hazards"
@@ -654,6 +747,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "serve": _cmd_serve,
         "lint": _cmd_lint,
+        "shapecheck": _cmd_shapecheck,
         "hazards": _cmd_hazards,
     }
     return handlers[args.command](args)

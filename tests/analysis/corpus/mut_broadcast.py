@@ -1,0 +1,20 @@
+"""Seeded mutation: elementwise add of mis-sized optimizer buffers.
+
+The momentum buffer was allocated for a 17-wide embedding (an
+off-by-one from a ``dim + 1`` bias-column experiment) while the
+gradient is 16-wide; the shapes can never broadcast.
+Expected: SHP008 broadcast-shape.
+"""
+
+import numpy as np
+
+from repro.backend import ZONE_OPTIMIZER, get_backend
+
+
+def momentum_update():
+    bk = get_backend()
+    grad = bk.zeros((128, 16), dtype=np.float32)
+    # MUTATION: momentum sized dim+1
+    momentum = bk.zeros((128, 17), dtype=np.float32)
+    with bk.zone(ZONE_OPTIMIZER):
+        return grad + momentum

@@ -1,0 +1,20 @@
+"""Seeded mutation: a float64 allocation inside a float32 kernel zone.
+
+The fused-update zone runs entirely in float32; the mutated velocity
+buffer is allocated as float64 (numpy's default leaking back in), so
+the update silently upcasts — the precision drift PR 4 scrubbed out.
+Expected: SHP006 dtype-upcast.
+"""
+
+import numpy as np
+
+from repro.backend import ZONE_FUSED_UPDATE, get_backend
+
+
+def fused_update():
+    bk = get_backend()
+    with bk.zone(ZONE_FUSED_UPDATE):
+        grad = bk.zeros((128, 16), dtype=np.float32)
+        # MUTATION: np.float64 literal (zone policy is float32)
+        velocity = bk.zeros((128, 16), dtype=np.float64)
+        return grad + velocity

@@ -1,0 +1,20 @@
+"""Seeded mutation: a negative row index reaching gather_rows.
+
+Row ids are non-negative by construction; a ``-1`` sentinel (the
+"missing feature" encoding of some loaders) reaching the gather wraps
+silently to the last row and reads the wrong embedding.
+Expected: SHP007 gather-index.
+"""
+
+import numpy as np
+
+from repro.backend import ZONE_PS_GATHER, get_backend
+
+
+def gather_batch():
+    bk = get_backend()
+    table = bk.zeros((1000, 16), dtype=np.float32)
+    # MUTATION: -1 sentinel passed through unmapped
+    indices = np.array([12, -1, 840])
+    with bk.zone(ZONE_PS_GATHER):
+        return bk.gather_rows(table, indices)

@@ -1,0 +1,19 @@
+"""Seeded mutation: a gather index beyond the table's row count.
+
+The serving hot-row cache is sized to the table's first 256 rows, but
+the mutated lookup uses a raw row id (612) instead of the cache slot.
+Expected: SHP007 gather-index.
+"""
+
+import numpy as np
+
+from repro.backend import ZONE_SERVING_LOOKUP, get_backend
+
+
+def cached_lookup():
+    bk = get_backend()
+    hot_cache = bk.zeros((256, 16), dtype=np.float32)
+    # MUTATION: raw row id used as a cache slot
+    slots = np.array([3, 612, 17])
+    with bk.zone(ZONE_SERVING_LOOKUP):
+        return bk.gather_rows(hot_cache, slots)

@@ -1,0 +1,20 @@
+"""Seeded mutation: MLP matmul against an un-transposed weight matrix.
+
+The layer stores its weight as (out_features, in_features) and the
+forward must multiply by ``weight.T``; the mutation drops the
+transpose, so the inner dimensions disagree (16 vs 32).
+Expected: SHP004 matmul-shape.
+"""
+
+import numpy as np
+
+from repro.backend import ZONE_MLP, get_backend
+
+
+def forward():
+    bk = get_backend()
+    inputs = bk.zeros((64, 16), dtype=np.float32)
+    weight = bk.zeros((32, 16), dtype=np.float32)
+    with bk.zone(ZONE_MLP):
+        # MUTATION: weight used untransposed
+        return bk.matmul(inputs, weight)

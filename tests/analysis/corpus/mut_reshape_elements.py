@@ -1,0 +1,19 @@
+"""Seeded mutation: reshape target with the wrong element count.
+
+The Eff-TT forward folds (batch, cols_so_far * rank) into
+(batch, cols_so_far, rank); the mutation uses the *next* stage's rank
+(4 instead of 3), so the target has 64*2*4 = 512 elements where the
+source has 64*6 = 384.  Expected: SHP005 reshape-elements.
+"""
+
+import numpy as np
+
+from repro.backend import ZONE_EFFTT_FORWARD, get_backend
+
+
+def fold_partial():
+    bk = get_backend()
+    partial = bk.zeros((64, 6), dtype=np.float32)
+    with bk.zone(ZONE_EFFTT_FORWARD):
+        # MUTATION: rank axis of 4 (should be 3: 2 cols x 3 rank = 6)
+        return partial.reshape(64, 2, 4)

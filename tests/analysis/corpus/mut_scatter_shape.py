@@ -1,0 +1,21 @@
+"""Seeded mutation: scatter_add_rows values that don't match the target rows.
+
+The PS apply path must scatter (num_indices, dim) updates into the
+(rows, dim) table; the mutated update matrix is transposed, so its
+per-row shape (3) disagrees with the table's row width (16).
+Expected: SHP008 broadcast-shape.
+"""
+
+import numpy as np
+
+from repro.backend import ZONE_PS_APPLY, get_backend
+
+
+def apply_sparse_update():
+    bk = get_backend()
+    table = bk.zeros((1000, 16), dtype=np.float32)
+    indices = np.array([4, 9, 21])
+    # MUTATION: update matrix transposed (dim, num_indices)
+    updates = bk.zeros((16, 3), dtype=np.float32)
+    with bk.zone(ZONE_PS_APPLY):
+        bk.scatter_add_rows(table, indices, updates)

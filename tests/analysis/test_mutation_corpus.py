@@ -1,0 +1,57 @@
+"""Mutation corpus: every seeded-bad snippet must be caught.
+
+Each ``mut_*.py`` file under ``tests/analysis/corpus/`` contains one
+deliberately wrong kernel (docstring explains the mutation) and names
+the rule expected to flag it. This test is the detector's regression
+net: a checker change that stops flagging any corpus file fails here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.shapecheck import shapecheck_paths
+
+CORPUS = Path(__file__).resolve().parent / "corpus"
+
+# file stem -> rule id expected to fire on it
+EXPECTED = {
+    "mut_einsum_arity": "SHP001",
+    "mut_einsum_dropped_dim": "SHP002",
+    "mut_einsum_transposed": "SHP003",
+    "mut_matmul_inner": "SHP004",
+    "mut_reshape_elements": "SHP005",
+    "mut_float64_literal": "SHP006",
+    "mut_gather_negative": "SHP007",
+    "mut_gather_oob": "SHP007",
+    "mut_broadcast": "SHP008",
+    "mut_scatter_shape": "SHP008",
+}
+
+
+def test_manifest_matches_corpus_directory():
+    stems = sorted(p.stem for p in CORPUS.glob("mut_*.py"))
+    assert stems == sorted(EXPECTED), "corpus files and manifest diverged"
+    assert len(stems) >= 8, "ISSUE requires at least 8 seeded mutations"
+
+
+def test_every_rule_is_exercised_by_some_mutation():
+    assert set(EXPECTED.values()) == {f"SHP{n:03d}" for n in range(1, 9)}
+
+
+@pytest.mark.parametrize("stem", sorted(EXPECTED))
+def test_mutation_is_flagged_with_expected_rule(stem):
+    result = shapecheck_paths([CORPUS / f"{stem}.py"])
+    ids = [f.rule_id for f in result.findings]
+    assert EXPECTED[stem] in ids, (
+        f"{stem}.py expected {EXPECTED[stem]}, got {ids or 'no findings'}"
+    )
+
+
+def test_whole_corpus_fails_the_gate():
+    result = shapecheck_paths([CORPUS])
+    assert not result.ok
+    assert result.files_scanned == len(EXPECTED)
+    # Exactly one finding per file: mutations are minimal by design.
+    per_file = {f.path for f in result.findings}
+    assert len(per_file) == len(EXPECTED)

@@ -1,0 +1,35 @@
+"""Self-check: the shipped tree passes its own shape checker.
+
+The abstract domain is one-sided (findings only on *provable*
+inconsistencies), so symbolic repo code must produce zero findings —
+any finding here is either a real shape bug or a checker false
+positive, and both block the tree.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.shapecheck import shapecheck_paths
+
+PKG = Path(repro.__file__).resolve().parent
+
+
+def test_shipped_tree_shapechecks_clean():
+    result = shapecheck_paths([PKG])
+    formatted = "\n".join(f.format() for f in result.findings)
+    assert result.findings == [], f"shapecheck findings:\n{formatted}"
+    assert result.files_scanned > 80
+
+
+def test_self_check_covers_the_kernel_modules():
+    # The checker must actually visit the TT/backend kernels, not skip
+    # them: spot-check that the files exist and parse under the runner.
+    kernels = [
+        PKG / "embeddings" / "tt_core.py",
+        PKG / "embeddings" / "eff_tt_embedding.py",
+        PKG / "nn" / "interaction.py",
+        PKG / "backend" / "numpy_backend.py",
+    ]
+    result = shapecheck_paths(kernels)
+    assert result.files_scanned == len(kernels)
+    assert result.findings == []

@@ -2,7 +2,9 @@
 
 Runs ``mypy`` over the modules pinned to strict mode in
 ``pyproject.toml`` (``system/queues.py``, ``embeddings/cache.py``,
-``analysis/``).  Skipped when mypy is not installed — the container
+``analysis/``, and the backend core: ``protocol.py``,
+``plan_cache.py``, ``numpy_backend.py``).  Skipped when mypy is not
+installed — the container
 image for CI may not ship it; the annotations themselves are still
 exercised at runtime by the rest of the suite.
 """
@@ -23,6 +25,9 @@ STRICT_TARGETS = [
     PKG / "system" / "queues.py",
     PKG / "embeddings" / "cache.py",
     PKG / "analysis",
+    PKG / "backend" / "protocol.py",
+    PKG / "backend" / "plan_cache.py",
+    PKG / "backend" / "numpy_backend.py",
 ]
 
 

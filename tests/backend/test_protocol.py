@@ -57,7 +57,7 @@ class TestRegistry:
             resolve_backend("cuda")
 
     def test_backend_names_catalog(self):
-        assert BACKEND_NAMES == ("numpy", "instrumented", "torch")
+        assert BACKEND_NAMES == ("numpy", "instrumented", "sanitizer", "torch")
 
 
 class TestTorchGuard:

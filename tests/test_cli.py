@@ -1,5 +1,8 @@
 """Smoke tests for the ``python -m repro`` CLI."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -24,6 +27,9 @@ class TestCli:
         assert "eff_tt" in out
         assert "serving" in out  # serving smoke rides along
         assert "numpy == instrumented" in out  # backend equivalence gate
+        assert "numpy == sanitizer" in out  # numsan equivalence gate
+        assert "0 trap(s)" in out
+        assert "shape" in out  # static shapecheck gate
         assert "FAILED" not in out
 
     def test_train(self, capsys):
@@ -122,6 +128,48 @@ class TestCli:
 
     def test_lint_missing_path_errors(self, capsys, tmp_path):
         assert main(["lint", str(tmp_path / "nope")]) == 2
+
+    def test_lint_sarif_format(self, capsys):
+        assert main(["lint", "--format", "sarif"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["tool"]["driver"]["name"] == "reprolint"
+
+    def test_train_sanitizer_backend(self, capsys):
+        assert main(["train", "--steps", "3", "--backend", "sanitizer"]) == 0
+        out = capsys.readouterr().out
+        assert "numsan: no traps" in out
+
+    def test_shapecheck_shipped_tree_clean(self, capsys):
+        assert main(["shapecheck"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_shapecheck_flags_corpus(self, capsys):
+        corpus = Path(__file__).resolve().parent / "analysis" / "corpus"
+        assert main(["shapecheck", str(corpus)]) == 1
+        out = capsys.readouterr().out
+        assert "SHP" in out
+
+    def test_shapecheck_json_format(self, capsys):
+        assert main(["shapecheck", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["files_scanned"] > 80
+
+    def test_shapecheck_sarif_format(self, capsys):
+        assert main(["shapecheck", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "shapecheck"
+        assert {r["id"] for r in driver["rules"]} >= {"SHP001", "SHP008"}
+
+    def test_shapecheck_select_unknown_rule(self, capsys):
+        assert main(["shapecheck", "--select", "bogus"]) == 2
+
+    def test_shapecheck_missing_path_errors(self, capsys, tmp_path):
+        assert main(["shapecheck", str(tmp_path / "nope")]) == 2
 
     def test_hazards_clean(self, capsys):
         assert main(["hazards", "--batches", "6"]) == 0
