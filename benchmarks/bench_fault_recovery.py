@@ -1,0 +1,134 @@
+"""Extension: fault-recovery cost vs checkpoint interval.
+
+The checkpoint interval is the classic recovery trade-off: frequent
+snapshots cost write bandwidth but bound how much work a crash throws
+away; sparse snapshots are cheap until something fails.  This bench
+runs the deterministic chaos harness (real PS-pipeline numerics,
+injected crashes, simulated backoff) across a grid of intervals and
+fault positions and reports the replay/backoff bill for each — all
+while asserting the recovered loss trajectory stays bitwise identical
+to the uninterrupted run.
+
+Marked ``chaos_slow`` (each cell is a full supervised training run):
+excluded from default pytest runs; invoke with ``pytest benchmarks -m
+chaos_slow`` or run the module directly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from conftest import emit, run_once
+from repro.bench.harness import format_table
+from repro.resilience.chaos import ChaosHarnessConfig, _build_harness
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultProbe,
+    FaultSite,
+    FaultSpec,
+)
+from repro.resilience.supervisor import PipelineSupervisor, RetryPolicy
+
+NUM_BATCHES = 24
+INTERVALS = (2, 4, 8)
+# One early crash, one late crash: the late one is where a sparse
+# interval hurts (everything since the last snapshot is replayed).
+CRASH_STEPS = (5, 21)
+
+
+def build_fault_recovery_table() -> str:
+    config = ChaosHarnessConfig(num_batches=NUM_BATCHES)
+    _, log, factory = _build_harness(config)
+
+    reference = factory(None)
+    ref_losses = [float(x) for x in reference.train(log, NUM_BATCHES).losses]
+
+    plan = FaultPlan(
+        name="interval-sweep",
+        specs=tuple(
+            FaultSpec(FaultKind.CRASH, FaultSite.TRAIN, step=step)
+            for step in CRASH_STEPS
+        ),
+        seed=21,
+    )
+
+    rows = []
+    for interval in INTERVALS:
+        injector = plan.injector()
+        probe = FaultProbe(injector)
+        with tempfile.TemporaryDirectory() as scratch:
+            store = CheckpointStore(scratch, keep_last=8, injector=injector)
+            supervisor = PipelineSupervisor(
+                factory, store, probe, RetryPolicy(seed=plan.seed)
+            )
+            report = supervisor.run(log, NUM_BATCHES, interval)
+            snapshots = len(store.steps())
+        bitwise = report.losses == ref_losses
+        rows.append(
+            [
+                interval,
+                snapshots,
+                report.restarts,
+                report.replayed_batches,
+                f"{report.replayed_batches / NUM_BATCHES:.0%}",
+                f"{report.total_backoff * 1e3:.1f}",
+                "yes" if bitwise else "NO",
+            ]
+        )
+        assert bitwise, f"interval {interval}: recovery diverged"
+    return format_table(
+        [
+            "ckpt interval",
+            "snapshots kept",
+            "restarts",
+            "replayed batches",
+            "replay overhead",
+            "backoff ms",
+            "bitwise recovery",
+        ],
+        rows,
+        title=(
+            "Fault-recovery cost vs checkpoint interval "
+            f"({NUM_BATCHES} batches, crashes at steps {CRASH_STEPS}, "
+            "PS pipeline + Eff-TT)"
+        ),
+    )
+
+
+@pytest.mark.chaos_slow
+def test_fault_recovery_sweep(benchmark):
+    emit("fault_recovery", run_once(benchmark, build_fault_recovery_table))
+
+
+@pytest.mark.chaos_slow
+def test_shorter_interval_replays_less():
+    """A tighter checkpoint cadence must strictly reduce replayed work."""
+    config = ChaosHarnessConfig(num_batches=NUM_BATCHES)
+    _, log, factory = _build_harness(config)
+    plan = FaultPlan(
+        name="late-crash",
+        specs=(FaultSpec(FaultKind.CRASH, FaultSite.TRAIN, step=21),),
+        seed=3,
+    )
+
+    def replayed(interval: int) -> int:
+        injector = plan.injector()
+        probe = FaultProbe(injector)
+        with tempfile.TemporaryDirectory() as scratch:
+            store = CheckpointStore(scratch, keep_last=8, injector=injector)
+            supervisor = PipelineSupervisor(
+                factory, store, probe, RetryPolicy(seed=plan.seed)
+            )
+            return supervisor.run(
+                log, NUM_BATCHES, interval
+            ).replayed_batches
+
+    assert replayed(2) < replayed(8)
+
+
+if __name__ == "__main__":
+    print(build_fault_recovery_table())

@@ -33,6 +33,15 @@ story rests on:
     instrumentation, plan caching, and accelerated backends see every
     kernel.  The reference :class:`NumpyBackend` is the one module
     allowed to call them, via a ``disable-file`` pragma.
+``silent-except`` (REP006, error)
+    Kernel and system zones must not hide failures: a bare
+    ``except:`` catches ``KeyboardInterrupt``/``SystemExit`` along
+    with everything else, and a handler whose body is only
+    ``pass``/``...`` swallows the exception without a trace.  The
+    resilience layer's whole contract is that faults are *detected*
+    and *recovered*, never silently eaten — a swallowed exception in
+    these zones is indistinguishable from the dropped-gradient fault
+    the chaos suite injects.
 """
 
 from __future__ import annotations
@@ -55,9 +64,11 @@ __all__ = [
     "ImplicitDtypeRule",
     "BatchLoopRule",
     "DirectNumpyRule",
+    "SilentExceptRule",
     "SIMCLOCK_ZONES",
     "KERNEL_ZONES",
     "BACKEND_ROUTED_ZONES",
+    "EXCEPTION_ZONES",
     "RNG_EXEMPT_FILES",
 ]
 
@@ -67,6 +78,7 @@ SIMCLOCK_ZONES: Tuple[str, ...] = (
     "repro/system/",
     "repro/serving/",
     "repro/embeddings/",
+    "repro/resilience/",
 )
 
 # Module prefixes holding numeric kernels: allocations need explicit
@@ -83,6 +95,16 @@ BACKEND_ROUTED_ZONES: Tuple[str, ...] = KERNEL_ZONES + (
     "repro/system/",
     "repro/serving/",
     "repro/backend/",
+)
+
+# Module prefixes where exceptions must never be silently swallowed:
+# the numeric kernels plus every zone with fault-detection duties.
+EXCEPTION_ZONES: Tuple[str, ...] = (
+    "repro/embeddings/",
+    "repro/nn/",
+    "repro/system/",
+    "repro/serving/",
+    "repro/resilience/",
 )
 
 # The one module allowed to touch numpy's RNG constructors directly.
@@ -436,8 +458,69 @@ class DirectNumpyRule:
             )
 
 
+# ---------------------------------------------------------------------------
+# REP006 — bare / silently-swallowed exceptions in kernel+system zones
+# ---------------------------------------------------------------------------
+
+
+def _is_swallowed(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing observable at all."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            # A docstring or bare `...` — still silent.
+            continue
+        return False
+    return True
+
+
+class SilentExceptRule:
+    """Fault-detecting zones must not hide exceptions."""
+
+    id = "REP006"
+    name = "silent-except"
+    severity = Severity.ERROR
+    description = (
+        "no bare `except:` and no pass-only exception handlers in "
+        "kernel and system zones; recover, re-raise, or record — "
+        "never swallow"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.in_zone(EXCEPTION_ZONES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt "
+                    "and hides the failure's type",
+                    "name the exception(s) you can actually handle, or "
+                    "`except Exception` + re-raise after cleanup",
+                )
+                continue
+            if _is_swallowed(node):
+                segment = ast.get_source_segment(ctx.source, node.type) or ""
+                yield _finding(
+                    self,
+                    ctx,
+                    node,
+                    f"exception handler for {segment.strip() or 'Exception'} "
+                    "silently swallows the failure",
+                    "handle it, re-raise it, or record it (e.g. a metrics "
+                    "counter); silent drops mask injected and real faults "
+                    "alike",
+                )
+
+
 register(UnseededRngRule())
 register(WallClockRule())
 register(ImplicitDtypeRule())
 register(BatchLoopRule())
 register(DirectNumpyRule())
+register(SilentExceptRule())

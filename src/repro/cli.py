@@ -334,6 +334,42 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
         f"hit rate {report.cache_hit_rate:.1%}  [{status}]"
     )
 
+    # Chaos gate: the smoke fault plan (stage crash, corrupted
+    # checkpoint, H2D failure, dropped gradient entry, serving
+    # slowdown) must recover to the bitwise reference trajectory with
+    # every invariant green.
+    import tempfile
+
+    from repro.resilience import FAULT_PLANS, ChaosHarnessConfig, run_chaos
+
+    with tempfile.TemporaryDirectory() as scratch:
+        chaos_outcome = run_chaos(
+            FAULT_PLANS["smoke"], scratch, ChaosHarnessConfig()
+        )
+    chaos_ok = chaos_outcome.passed
+    ok = ok and chaos_ok
+    rec = chaos_outcome.recovery
+    status = "ok" if chaos_ok else "FAILED (invariant violated)"
+    print(
+        f"chaos    plan 'smoke': {len(rec.losses) if rec else 0} steps, "
+        f"{rec.restarts if rec else 0} restarts  [{status}]"
+    )
+    if not chaos_ok:
+        for check in chaos_outcome.checks:
+            if not check.ok:
+                print(f"  {check.name}: {check.detail}")
+
+    # Resume-determinism gate: kill-free chunked training through the
+    # snapshot store must be bitwise-identical to one uninterrupted
+    # run — the invariant every crash recovery above relies on.
+    from repro.resilience import resume_determinism_check
+
+    with tempfile.TemporaryDirectory() as scratch:
+        resume_ok = resume_determinism_check(scratch)
+    ok = ok and resume_ok
+    status = "ok" if resume_ok else "FAILED (trajectories diverged)"
+    print(f"resume   snapshot -> restore is bitwise  [{status}]")
+
     # Static checks: reprolint over the installed package, then mypy
     # on the strict modules when the tool is available.
     from pathlib import Path
@@ -576,6 +612,34 @@ def _cmd_hazards(args: argparse.Namespace) -> int:
     return 0 if result.report.clean else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.resilience import FAULT_PLANS, ChaosHarnessConfig, run_chaos
+    from repro.resilience.faults import FaultPlan
+
+    if args.plan == "random":
+        plan = FaultPlan.random(
+            f"random-{args.seed}", seed=args.seed,
+            num_faults=args.num_faults, max_step=args.batches,
+        )
+    else:
+        plan = FAULT_PLANS[args.plan]
+    config = ChaosHarnessConfig(
+        num_batches=args.batches,
+        checkpoint_interval=args.checkpoint_interval,
+        num_requests=args.requests,
+        max_restarts=args.max_restarts,
+    )
+    if args.checkpoint_dir is not None:
+        outcome = run_chaos(plan, args.checkpoint_dir, config)
+    else:
+        with tempfile.TemporaryDirectory() as scratch:
+            outcome = run_chaos(plan, scratch, config)
+    print(outcome.format())
+    return 0 if outcome.passed else 1
+
+
 def _cmd_figures(_: argparse.Namespace) -> int:
     import importlib.util
     from pathlib import Path
@@ -735,6 +799,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write a Chrome trace of the serving timeline here",
     )
     _add_backend_flag(serve)
+    chaos = sub.add_parser(
+        "chaos",
+        help="run train/serve under a fault plan and check recovery "
+        "invariants",
+    )
+    chaos.add_argument(
+        "--plan",
+        choices=["none", "smoke", "stage-sweep", "torn-checkpoint",
+                 "serve-degrade", "random"],
+        default="smoke",
+        help="named fault plan ('random' derives one from --seed)",
+    )
+    chaos.add_argument("--batches", type=int, default=18)
+    chaos.add_argument("--checkpoint-interval", type=int, default=4)
+    chaos.add_argument("--requests", type=int, default=600)
+    chaos.add_argument("--max-restarts", type=int, default=8)
+    chaos.add_argument("--num-faults", type=int, default=3,
+                       help="fault count for --plan random")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--checkpoint-dir", type=str, default=None,
+        help="keep snapshots here instead of a temporary directory",
+    )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -749,6 +836,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "shapecheck": _cmd_shapecheck,
         "hazards": _cmd_hazards,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -13,6 +13,14 @@ host-resident parameter-server tables are materialized into local
 dense bags (:mod:`repro.serving.snapshot`).  Version-1 checkpoints
 (no kind tags) still load with the config-derived types.
 
+Format version 3 adds an integrity manifest: a ``__crc__`` entry
+holding a per-array CRC32 map.  :func:`load_checkpoint` verifies every
+entry against it and converts *any* low-level archive failure — a
+truncated zip, a flipped byte, a missing member — into a
+:class:`CheckpointCorruptError` with an actionable message, instead of
+surfacing a raw numpy/zipfile traceback.  Older versions (no CRC map)
+still load; they simply skip the per-array verification.
+
 Host-backed bags (parameter-server tables) own no local state; their
 weights live in the server and must be checkpointed there — attempting
 to save a model containing one raises.
@@ -22,6 +30,8 @@ from __future__ import annotations
 
 import io
 import json
+import zipfile
+import zlib
 from typing import Dict, Union
 
 import numpy as np
@@ -32,10 +42,42 @@ from repro.embeddings.tt_embedding import TTEmbeddingBag
 from repro.models.config import DLRMConfig, EmbeddingBackend
 from repro.models.dlrm import DLRM
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointCorruptError",
+    "entry_crc32",
+]
 
-_FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
+#: Archive members excluded from the CRC map (the map itself).
+_UNCHECKED_ENTRIES = ("__crc__",)
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint archive is truncated, tampered with, or unreadable.
+
+    Raised instead of the underlying ``zipfile``/``numpy``/``json``
+    error so callers (the parameter-server supervisor, the serving
+    hot-swap path) can treat "this snapshot is bad, fall back to an
+    older one" as a single well-defined condition.
+    """
+
+
+def entry_crc32(value: np.ndarray) -> int:
+    """Stable CRC32 of one archive entry.
+
+    Numeric arrays hash their raw little-endian bytes; object arrays
+    (the JSON metadata strings and bag-kind tags) hash their string
+    contents, since ``tobytes`` on an object array would hash pointer
+    values.
+    """
+    arr = np.asarray(value)
+    if arr.dtype == object:
+        payload = "\x00".join(str(item) for item in arr.reshape(-1))
+        return zlib.crc32(payload.encode("utf-8"))
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes())
 
 _BAG_KINDS = {
     DenseEmbeddingBag: "dense",
@@ -100,6 +142,8 @@ def save_checkpoint(model: DLRM, path: Union[str, "io.IOBase"]) -> None:
             arrays[f"bag{t}/ranks"] = np.asarray(spec.ranks)
             for k, core in enumerate(bag.tt.cores):
                 arrays[f"bag{t}/core{k}"] = core
+    crc_map = {name: entry_crc32(value) for name, value in arrays.items()}
+    arrays["__crc__"] = np.array([json.dumps(crc_map)], dtype=object)
     np.savez_compressed(path, **arrays)
 
 
@@ -133,13 +177,97 @@ def _restore_bag(archive, t: int, kind: str, rows: int, dim: int):
     return bag
 
 
+class _VerifiedReader:
+    """Read-side view of an open ``.npz`` archive with integrity checks.
+
+    Every entry fetched through ``[]`` is CRC32-verified against the v3
+    ``__crc__`` manifest (when present), and low-level decode failures
+    (zlib errors on a flipped byte, truncated members, bad pickles in
+    the object-dtype metadata) surface as :class:`CheckpointCorruptError`
+    rather than whatever numpy/zipfile happened to raise.  ``KeyError``
+    for a genuinely absent member still propagates — a *missing*
+    parameter is a semantic mismatch, not archive corruption.
+    """
+
+    def __init__(self, archive: "np.lib.npyio.NpzFile") -> None:
+        self._archive = archive
+        self._crc: Dict[str, int] | None = None
+        if "__crc__" in archive.files:
+            raw = self._decode("__crc__")
+            try:
+                self._crc = {
+                    str(k): int(v) for k, v in json.loads(str(raw[0])).items()
+                }
+            except (json.JSONDecodeError, IndexError, AttributeError,
+                    TypeError, ValueError) as exc:
+                raise CheckpointCorruptError(
+                    f"checkpoint CRC manifest is unreadable: {exc}"
+                ) from exc
+
+    def _decode(self, key: str) -> np.ndarray:
+        try:
+            return self._archive[key]
+        except KeyError:
+            raise
+        except Exception as exc:  # zlib.error, BadZipFile, UnpicklingError
+            raise CheckpointCorruptError(
+                f"checkpoint entry {key!r} failed to decode "
+                f"({type(exc).__name__}: {exc}); the archive is likely "
+                "truncated or corrupted"
+            ) from exc
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._archive.files
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        value = self._decode(key)
+        if self._crc is not None and key not in _UNCHECKED_ENTRIES:
+            expected = self._crc.get(key)
+            if expected is None:
+                raise CheckpointCorruptError(
+                    f"checkpoint entry {key!r} is absent from the CRC "
+                    "manifest; the archive was tampered with or mis-written"
+                )
+            actual = entry_crc32(value)
+            if actual != expected:
+                raise CheckpointCorruptError(
+                    f"checkpoint entry {key!r} failed its CRC32 check "
+                    f"(manifest {expected:#010x}, computed {actual:#010x})"
+                )
+        return value
+
+
 def load_checkpoint(path) -> DLRM:
-    """Rebuild a DLRM (config + parameters) from a checkpoint."""
-    with np.load(path, allow_pickle=True) as archive:
-        meta = json.loads(str(archive["__meta__"][0]))
-        if meta.get("version") not in _READABLE_VERSIONS:
+    """Rebuild a DLRM (config + parameters) from a checkpoint.
+
+    Raises :class:`CheckpointCorruptError` when the archive is
+    truncated, has flipped bytes, or carries a damaged manifest.
+    """
+    try:
+        raw_archive = np.load(path, allow_pickle=True)
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise CheckpointCorruptError(
+            f"checkpoint archive unreadable ({type(exc).__name__}: {exc})"
+        ) from exc
+    with raw_archive as npz:
+        archive = _VerifiedReader(npz)
+        try:
+            meta = json.loads(str(archive["__meta__"][0]))
+            version = meta.get("version")
+        except KeyError as exc:
+            raise CheckpointCorruptError(
+                "checkpoint has no __meta__ entry; not a repro checkpoint "
+                "or the archive lost members"
+            ) from exc
+        except (json.JSONDecodeError, AttributeError) as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint metadata is unreadable: {exc}"
+            ) from exc
+        if version not in _READABLE_VERSIONS:
             raise ValueError(
-                f"unsupported checkpoint version {meta.get('version')!r}"
+                f"unsupported checkpoint version {version!r}"
             )
         config = _config_from_json(str(archive["__config__"][0]))
         model = DLRM(config, seed=0)

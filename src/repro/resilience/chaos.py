@@ -1,0 +1,482 @@
+"""Chaos harness: run train/serve under a fault plan, check invariants.
+
+``run_chaos`` is the engine behind the ``repro chaos`` CLI subcommand.
+Given a named :class:`~repro.resilience.faults.FaultPlan` it:
+
+1. trains an uninterrupted **reference** run (no faults, single
+   ``train`` call) on the standard small PS-pipeline harness;
+2. runs the same workload under the plan through
+   :class:`~repro.resilience.supervisor.PipelineSupervisor` with a
+   fault-injecting probe and a sabotaged checkpoint store;
+3. serves a request stream through
+   :class:`~repro.resilience.degradation.ResilientInferenceServer`
+   twice — clean baseline and under the plan's slowdown windows —
+   with the reference model as primary and an earlier snapshot as the
+   stale fallback;
+4. evaluates the **invariant checklist**: bitwise-identical loss
+   trajectory, no lost steps, no duplicate host applies, every
+   scheduled fault fired, recovery within the restart budget, a
+   deterministic backoff schedule, bounded fallback staleness, full
+   request accounting, and bounded p99 degradation.
+
+Every check lands in the outcome as ``(name, ok, detail)`` so both the
+CLI and the test suite render/assert the same list.  The whole run is
+deterministic — two invocations of the same plan produce identical
+outcomes, including the failure story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.data.dataloader import SyntheticClickLog
+from repro.data.datasets import criteo_kaggle_like
+from repro.models.config import DLRMConfig, EmbeddingBackend
+from repro.models.dlrm import DLRM, build_embedding_bag
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.circuit import BreakerConfig, BreakerState
+from repro.resilience.degradation import (
+    DegradationOutcome,
+    DegradationPolicy,
+    ResilientInferenceServer,
+)
+from repro.resilience.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultProbe,
+    FaultSite,
+    FaultSpec,
+)
+from repro.resilience.supervisor import (
+    PipelineSupervisor,
+    RecoveryReport,
+    RetryPolicy,
+)
+from repro.serving.batcher import BatchingPolicy
+from repro.serving.requests import RequestGenerator
+from repro.serving.server import ServiceTimeModel, ServingModel
+from repro.serving.snapshot import ModelSnapshot
+from repro.system.parameter_server import (
+    HostBackedEmbeddingBag,
+    HostParameterServer,
+)
+from repro.system.pipeline import PipelinedPSTrainer
+
+__all__ = [
+    "FAULT_PLANS",
+    "ChaosCheck",
+    "ChaosOutcome",
+    "ChaosHarnessConfig",
+    "run_chaos",
+    "resume_determinism_check",
+]
+
+
+#: Named plans for the CLI and quickcheck.  Trainer faults are keyed on
+#: the 18-step harness below (snapshots every 4 steps); serving
+#: slowdowns on its ~0.5 s simulated request stream.
+FAULT_PLANS: Dict[str, FaultPlan] = {
+    "none": FaultPlan(name="none"),
+    "smoke": FaultPlan(
+        name="smoke",
+        specs=(
+            FaultSpec(FaultKind.CRASH, FaultSite.TRAIN, step=5),
+            FaultSpec(FaultKind.CORRUPT, FaultSite.CHECKPOINT, step=8),
+            FaultSpec(FaultKind.H2D_FAIL, FaultSite.PREFETCH_QUEUE, step=9),
+            FaultSpec(FaultKind.DROP, FaultSite.GRAD_QUEUE, step=12),
+            FaultSpec(
+                FaultKind.SLOWDOWN, FaultSite.SERVE,
+                time=0.05, duration=0.1, factor=40.0,
+            ),
+        ),
+        seed=11,
+    ),
+    "stage-sweep": FaultPlan(
+        name="stage-sweep",
+        specs=(
+            FaultSpec(FaultKind.CRASH, FaultSite.GATHER, step=3),
+            FaultSpec(FaultKind.CRASH, FaultSite.TRAIN, step=7),
+            FaultSpec(FaultKind.CRASH, FaultSite.APPLY, step=11),
+            FaultSpec(FaultKind.STALL, FaultSite.PREFETCH_QUEUE, step=14),
+        ),
+        seed=12,
+    ),
+    "torn-checkpoint": FaultPlan(
+        name="torn-checkpoint",
+        specs=(
+            FaultSpec(FaultKind.TORN, FaultSite.CHECKPOINT, step=8),
+            FaultSpec(FaultKind.CRASH, FaultSite.TRAIN, step=10),
+            FaultSpec(FaultKind.CORRUPT, FaultSite.CHECKPOINT, step=12),
+            FaultSpec(FaultKind.CRASH, FaultSite.APPLY, step=14),
+        ),
+        seed=13,
+    ),
+    "serve-degrade": FaultPlan(
+        name="serve-degrade",
+        specs=(
+            FaultSpec(
+                FaultKind.SLOWDOWN, FaultSite.SERVE,
+                time=0.05, duration=0.1, factor=40.0,
+            ),
+        ),
+        seed=14,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ChaosCheck:
+    """One verified invariant."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ChaosHarnessConfig:
+    """Workload knobs for a chaos run (defaults sized for CI)."""
+
+    num_batches: int = 18
+    checkpoint_interval: int = 4
+    batch_size: int = 32
+    scale: float = 2e-5
+    num_requests: int = 600
+    request_rate: float = 1500.0
+    hot_coverage: float = 0.3
+    #: Degraded p99 may exceed the clean baseline's by at most this
+    #: factor (the "bounded degradation" SLO under injected slowdowns).
+    #: The breaker trips only after ``failure_threshold`` slow batches,
+    #: so a handful of breach-window requests always land in the tail;
+    #: without the ladder a 40x slowdown window blows p99 far past
+    #: this.
+    p99_budget_factor: float = 10.0
+    max_restarts: int = 8
+
+
+@dataclass
+class ChaosOutcome:
+    """Everything one chaos run produced."""
+
+    plan: FaultPlan
+    checks: List[ChaosCheck] = field(default_factory=list)
+    recovery: Optional[RecoveryReport] = None
+    serving_baseline: Optional[DegradationOutcome] = None
+    serving_degraded: Optional[DegradationOutcome] = None
+
+    @property
+    def passed(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def format(self) -> str:
+        lines = [self.plan.describe(), ""]
+        if self.recovery is not None:
+            rec = self.recovery
+            lines.append(
+                f"training: {len(rec.losses)} steps committed, "
+                f"{rec.restarts} restarts, {rec.rollbacks} rollbacks, "
+                f"{rec.replayed_batches} batches replayed, "
+                f"{rec.total_backoff:.4f}s backoff"
+            )
+            for event in rec.events:
+                lines.append(f"  {event}")
+        if self.serving_degraded is not None:
+            deg = self.serving_degraded
+            lines.append(
+                f"serving: {deg.primary_batches} primary / "
+                f"{deg.fallback_batches} fallback batches, "
+                f"{len(deg.shed_ids)} shed, breaker "
+                f"{deg.final_breaker_state.value}"
+            )
+        lines.append("")
+        for check in self.checks:
+            status = "ok" if check.ok else "FAIL"
+            suffix = f"  ({check.detail})" if check.detail else ""
+            lines.append(f"  {check.name:34s} [{status}]{suffix}")
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(f"chaos plan {self.plan.name!r}: {verdict}")
+        return "\n".join(lines)
+
+
+def _build_harness(config: ChaosHarnessConfig):
+    """The standard small PS-pipeline workload (mirrors the test suite)."""
+    spec = criteo_kaggle_like(scale=config.scale)
+    log = SyntheticClickLog(spec, batch_size=config.batch_size, seed=0)
+    model_cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        tt_threshold_rows=100, bottom_mlp=(16,), top_mlp=(16,),
+    )
+    rows = list(model_cfg.table_rows)
+    host_positions = sorted(range(len(rows)), key=lambda t: -rows[t])[:2]
+    host_map = {p: i for i, p in enumerate(host_positions)}
+    server_rows = [rows[p] for p in host_positions]
+
+    def factory(probe) -> PipelinedPSTrainer:
+        bags = []
+        for t, r in enumerate(model_cfg.table_rows):
+            if t in host_map:
+                bags.append(HostBackedEmbeddingBag(r, model_cfg.embedding_dim))
+            else:
+                bags.append(
+                    build_embedding_bag(
+                        model_cfg.backend_for_table(t), r,
+                        model_cfg.embedding_dim, model_cfg.tt_rank,
+                        seed=(200 + t),
+                    )
+                )
+        model = DLRM(model_cfg, seed=7, embedding_bags=bags)
+        server = HostParameterServer(
+            server_rows, model_cfg.embedding_dim, lr=0.05, seed=3
+        )
+        return PipelinedPSTrainer(
+            model, server, host_map, lr=0.05,
+            prefetch_depth=3, grad_queue_depth=2, use_cache=True,
+            probe=probe,
+        )
+
+    return spec, log, factory
+
+
+def _check_training(
+    plan: FaultPlan,
+    config: ChaosHarnessConfig,
+    checkpoint_dir: str,
+    outcome: ChaosOutcome,
+) -> Optional[PipelinedPSTrainer]:
+    spec, log, factory = _build_harness(config)
+
+    reference = factory(None)
+    ref_losses = [
+        float(x) for x in reference.train(log, config.num_batches).losses
+    ]
+
+    injector = plan.injector()
+    probe = FaultProbe(injector)
+    store = CheckpointStore(
+        checkpoint_dir, keep_last=max(4, config.max_restarts),
+        injector=injector,
+    )
+    policy = RetryPolicy(max_restarts=config.max_restarts, seed=plan.seed)
+    supervisor = PipelineSupervisor(factory, store, probe, policy)
+    report = supervisor.run(
+        log, config.num_batches, config.checkpoint_interval
+    )
+    outcome.recovery = report
+
+    checks = outcome.checks
+    checks.append(ChaosCheck(
+        "bitwise loss trajectory",
+        report.losses == ref_losses,
+        f"{len(report.losses)} committed vs {len(ref_losses)} reference",
+    ))
+    checks.append(ChaosCheck(
+        "no lost steps",
+        len(report.losses) == config.num_batches,
+        f"{len(report.losses)}/{config.num_batches}",
+    ))
+    checks.append(ChaosCheck(
+        "no duplicate applies",
+        not report.duplicate_applies,
+        f"{len(report.duplicate_applies)} duplicates",
+    ))
+    train_pending = [
+        s for s in injector.pending if s.kind is not FaultKind.SLOWDOWN
+    ]
+    checks.append(ChaosCheck(
+        "all trainer faults fired",
+        not train_pending,
+        f"{len(train_pending)} never fired",
+    ))
+    recoveries = report.restarts + report.rollbacks
+    checks.append(ChaosCheck(
+        "recovery within budget",
+        recoveries <= config.max_restarts,
+        f"{recoveries} recoveries, budget {config.max_restarts}",
+    ))
+    expected_backoff = sum(policy.schedule(report.restarts))
+    checks.append(ChaosCheck(
+        "deterministic backoff schedule",
+        abs(report.total_backoff - expected_backoff) < 1e-12,
+        f"waited {report.total_backoff:.4f}s",
+    ))
+    return reference
+
+
+#: Degradation policy every chaos serving run uses (shared so checks
+#: and server agree on the staleness bound).
+_SERVE_POLICY = DegradationPolicy(
+    slo_target=5e-3,
+    max_staleness=10.0,
+    breaker=BreakerConfig(
+        failure_threshold=3, cooldown=0.02, half_open_successes=2,
+    ),
+)
+
+
+def _serve(
+    model: DLRM,
+    fallback: ModelSnapshot,
+    spec,
+    config: ChaosHarnessConfig,
+    injector,
+) -> DegradationOutcome:
+    generator = RequestGenerator(spec, rate=config.request_rate, seed=5)
+    requests = generator.generate(config.num_requests)
+    hot_rows = {
+        t: generator.hot_rows(t, config.hot_coverage)
+        for t in range(spec.num_sparse)
+    }
+    server = ResilientInferenceServer(
+        ServingModel(model, hot_rows=hot_rows, version=1),
+        batching=BatchingPolicy(max_batch_size=16, max_wait=1e-3),
+        degradation=_SERVE_POLICY,
+        service_time=ServiceTimeModel(),
+        injector=injector,
+    )
+    server.set_fallback(fallback, hot_rows=hot_rows, time=0.0)
+    return server.run(requests)
+
+
+def _check_serving(
+    plan: FaultPlan,
+    config: ChaosHarnessConfig,
+    reference: PipelinedPSTrainer,
+    spec,
+    outcome: ChaosOutcome,
+) -> None:
+    primary_model = ModelSnapshot.from_trainer(
+        reference, version=1
+    ).materialize()
+    fallback = ModelSnapshot.from_trainer(reference, version=0)
+
+    baseline = _serve(primary_model, fallback, spec, config, injector=None)
+    degraded = _serve(
+        primary_model, fallback, spec, config, injector=plan.injector()
+    )
+    outcome.serving_baseline = baseline
+    outcome.serving_degraded = degraded
+
+    checks = outcome.checks
+    offered = degraded.report.offered
+    accounted = (
+        degraded.report.completed
+        + len(degraded.rejected_ids)
+        + len(degraded.shed_ids)
+    )
+    checks.append(ChaosCheck(
+        "all requests accounted",
+        offered == accounted and offered == config.num_requests,
+        f"{accounted}/{offered} (completed {degraded.report.completed})",
+    ))
+    checks.append(ChaosCheck(
+        "bounded fallback staleness",
+        degraded.max_fallback_age <= _SERVE_POLICY.max_staleness,
+        f"max age {degraded.max_fallback_age:.4f}s "
+        f"(bound {_SERVE_POLICY.max_staleness:g}s)",
+    ))
+    p99_bound = baseline.report.latency_p99 * config.p99_budget_factor
+    checks.append(ChaosCheck(
+        "p99 degradation bounded",
+        degraded.report.latency_p99 <= p99_bound,
+        f"p99 {degraded.report.latency_p99 * 1e3:.3f}ms vs bound "
+        f"{p99_bound * 1e3:.3f}ms",
+    ))
+    if plan.serve_specs:
+        opened = any(
+            tr.dst is BreakerState.OPEN for tr in degraded.breaker_transitions
+        )
+        checks.append(ChaosCheck(
+            "breaker opened under slowdown",
+            opened,
+            f"{len(degraded.breaker_transitions)} transitions",
+        ))
+        checks.append(ChaosCheck(
+            "breaker recovered after window",
+            degraded.final_breaker_state is BreakerState.CLOSED,
+            f"final state {degraded.final_breaker_state.value}",
+        ))
+        checks.append(ChaosCheck(
+            "fallback actually served",
+            degraded.fallback_batches > 0,
+            f"{degraded.fallback_batches} stale batches",
+        ))
+    else:
+        checks.append(ChaosCheck(
+            "breaker stayed closed (no serve faults)",
+            degraded.final_breaker_state is BreakerState.CLOSED
+            and not degraded.breaker_transitions,
+            f"{len(degraded.breaker_transitions)} transitions",
+        ))
+
+
+def run_chaos(
+    plan: FaultPlan,
+    checkpoint_dir: str,
+    config: Optional[ChaosHarnessConfig] = None,
+) -> ChaosOutcome:
+    """Run the full chaos scenario for ``plan``; see the module docs."""
+    config = config or ChaosHarnessConfig()
+    outcome = ChaosOutcome(plan=plan)
+    reference = _check_training(plan, config, checkpoint_dir, outcome)
+    spec, _, _ = _build_harness(config)
+    if reference is not None:
+        _check_serving(plan, config, reference, spec, outcome)
+    return outcome
+
+
+def resume_determinism_check(
+    checkpoint_dir: str,
+    config: Optional[ChaosHarnessConfig] = None,
+    split: Optional[int] = None,
+) -> bool:
+    """Kill-free snapshot/restore must reproduce the bitwise trajectory.
+
+    Trains ``num_batches`` uninterrupted, then again as two chunks
+    joined through a :class:`~repro.resilience.checkpoint.CheckpointStore`
+    round-trip (snapshot at ``split``, fresh trainer, restore, resume).
+    Returns whether losses *and* final host tables match bit for bit —
+    the foundation invariant of every crash recovery in this package.
+    """
+    import numpy as np
+
+    from repro.resilience.checkpoint import (
+        capture_trainer_arrays,
+        restore_trainer_arrays,
+    )
+
+    config = config or ChaosHarnessConfig()
+    split = split if split is not None else config.num_batches // 2
+    if not 0 < split < config.num_batches:
+        raise ValueError(
+            f"split must be in (0, {config.num_batches}), got {split}"
+        )
+    _, log, factory = _build_harness(config)
+
+    reference = factory(None)
+    ref_losses = [
+        float(x) for x in reference.train(log, config.num_batches).losses
+    ]
+
+    store = CheckpointStore(checkpoint_dir, keep_last=2)
+    first = factory(None)
+    losses = [float(x) for x in first.train(log, split).losses]
+    store.save(split, capture_trainer_arrays(first))
+
+    state, skipped = store.load_latest()
+    if skipped or state.step != split:
+        return False
+    second = factory(None)
+    restore_trainer_arrays(second, state.arrays)
+    losses += [
+        float(x)
+        for x in second.train(
+            log, config.num_batches - split, start=split
+        ).losses
+    ]
+
+    tables_equal = all(
+        np.array_equal(a, b)
+        for a, b in zip(reference.server.tables, second.server.tables)
+    )
+    return losses == ref_losses and tables_equal

@@ -1,0 +1,149 @@
+"""Circuit breaker over the serving primary path.
+
+Standard three-state machine, driven by the deterministic event loop
+(times are Simulator seconds, never wall clock):
+
+* **CLOSED** — traffic flows; ``failure_threshold`` *consecutive*
+  SLO breaches trip it OPEN.
+* **OPEN** — the primary is presumed unhealthy; all traffic is routed
+  away (fallback or shed).  After ``cooldown`` seconds the next
+  ``allow`` transitions to HALF_OPEN.
+* **HALF_OPEN** — exactly one probe batch may be outstanding at a
+  time.  ``half_open_successes`` consecutive probe successes close the
+  breaker; any probe failure re-opens it (and restarts the cooldown).
+
+Every transition is appended to :attr:`CircuitBreaker.transitions`
+with its timestamp and reason, so tests assert the exact trajectory
+(e.g. CLOSED→OPEN→HALF_OPEN→CLOSED under a slowdown window that ends).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "BreakerState",
+    "BreakerConfig",
+    "BreakerTransition",
+    "CircuitBreaker",
+]
+
+
+class BreakerState(str, enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery thresholds, all in consecutive events or seconds."""
+
+    failure_threshold: int = 3
+    cooldown: float = 0.05
+    half_open_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown <= 0:
+            raise ValueError(f"cooldown must be > 0, got {self.cooldown}")
+        if self.half_open_successes < 1:
+            raise ValueError(
+                "half_open_successes must be >= 1, got "
+                f"{self.half_open_successes}"
+            )
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    time: float
+    src: BreakerState
+    dst: BreakerState
+    reason: str
+
+
+class CircuitBreaker:
+    """Deterministic breaker; the caller supplies every timestamp."""
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config or BreakerConfig()
+        self.state = BreakerState.CLOSED
+        self.transitions: List[BreakerTransition] = []
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        self._probe_successes = 0
+
+    def _move(self, now: float, dst: BreakerState, reason: str) -> None:
+        self.transitions.append(
+            BreakerTransition(time=now, src=self.state, dst=dst, reason=reason)
+        )
+        self.state = dst
+
+    # -- routing decision ----------------------------------------------
+    def allow(self, now: float) -> bool:
+        """May the primary path take a batch dispatched at ``now``?
+
+        In HALF_OPEN this *claims* the single probe slot when granted,
+        so callers must follow every ``True`` with exactly one
+        ``record_success``/``record_failure`` for that batch.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at >= self.config.cooldown:
+                self._move(now, BreakerState.HALF_OPEN, "cooldown elapsed")
+                self._probe_successes = 0
+                self._probe_outstanding = True
+                return True
+            return False
+        # HALF_OPEN: one outstanding probe at a time.
+        if self._probe_outstanding:
+            return False
+        self._probe_outstanding = True
+        return True
+
+    # -- outcome signals ------------------------------------------------
+    def record_success(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_outstanding = False
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.half_open_successes:
+                self._move(
+                    now, BreakerState.CLOSED,
+                    f"{self._probe_successes} probe successes",
+                )
+                self._consecutive_failures = 0
+            return
+        self._consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_outstanding = False
+            self._move(now, BreakerState.OPEN, "probe failed")
+            self._opened_at = now
+            return
+        if self.state is BreakerState.CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.config.failure_threshold:
+                self._move(
+                    now, BreakerState.OPEN,
+                    f"{self._consecutive_failures} consecutive SLO breaches",
+                )
+                self._opened_at = now
+        # OPEN: failures while open carry no extra information.
+
+    # -- reporting ------------------------------------------------------
+    def describe(self) -> str:
+        lines = [f"breaker state: {self.state.value}"]
+        lines += [
+            f"  t={tr.time:.4f}  {tr.src.value} -> {tr.dst.value}  "
+            f"({tr.reason})"
+            for tr in self.transitions
+        ]
+        return "\n".join(lines)

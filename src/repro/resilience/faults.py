@@ -1,0 +1,447 @@
+"""Deterministic fault injection for the trainer and the serving loop.
+
+A :class:`FaultPlan` is a *finite, explicit* schedule of faults — stage
+crashes, queue stalls, H2D copy failures, dropped gradient-queue
+entries, torn/corrupted checkpoints, serving slowdown windows — keyed
+by pipeline step (trainer faults) or simulated time (serving faults).
+Because the pipeline executor and the serving event loop are both
+deterministic, a plan makes the *whole failure scenario* a pure
+function of (plan, seed): every chaos run reproduces the same crashes
+at the same points, which is what lets the test suite assert bitwise
+recovery instead of "usually recovers".
+
+Injection rides the seams the codebase already has:
+
+* the trainer's :class:`~repro.system.pipeline.TraceProbe` protocol —
+  :class:`FaultProbe` implements it, so a
+  :class:`~repro.system.pipeline.PipelinedPSTrainer` needs **no**
+  hot-path changes (and pays nothing when no probe is attached);
+* the probe's queue factory — :class:`FaultyQueue` subclasses
+  :class:`~repro.system.queues.BoundedQueue` to fail/stall/drop on cue;
+* :class:`~repro.resilience.checkpoint.CheckpointStore`'s save hooks —
+  torn and corrupted snapshot writes;
+* the resilient serving loop's service-time model — slowdown windows.
+
+Faults are **one-shot**: each spec fires at most once per injector
+(standard chaos-engineering semantics), so recovery replay of the same
+step does not re-crash and every plan terminates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, TypeVar
+
+from repro.embeddings.cache import EmbeddingCache
+from repro.system.queues import BoundedQueue
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "FaultKind",
+    "FaultSite",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultProbe",
+    "FaultyQueue",
+    "FaultError",
+    "InjectedCrash",
+    "H2DCopyError",
+    "QueueStallTimeout",
+]
+
+T = TypeVar("T")
+
+
+class FaultKind(str, enum.Enum):
+    """What goes wrong."""
+
+    CRASH = "crash"          #: a pipeline stage dies (raises mid-step)
+    STALL = "stall"          #: a queue interaction exceeds its timeout
+    H2D_FAIL = "h2d_fail"    #: the host->device copy of a prefetch entry fails
+    DROP = "drop"            #: a gradient-queue entry is silently lost
+    TORN = "torn"            #: a checkpoint write is torn (tmp only, truncated)
+    CORRUPT = "corrupt"      #: committed checkpoint bytes are flipped
+    SLOWDOWN = "slowdown"    #: serving service times inflate for a window
+
+
+class FaultSite(str, enum.Enum):
+    """Where it goes wrong."""
+
+    GATHER = "gather"            #: server-side prefetch gather stage
+    TRAIN = "train"              #: worker forward/backward stage
+    APPLY = "apply"              #: server-side gradient-apply stage
+    PREFETCH_QUEUE = "prefetch"  #: the H2D prefetch queue
+    GRAD_QUEUE = "gradient"      #: the D2H gradient queue
+    CHECKPOINT = "checkpoint"    #: snapshot write path
+    SERVE = "serve"              #: the online-inference primary path
+
+
+#: Legal (kind, site) combinations; anything else is a plan bug.
+_VALID_COMBOS: Dict[FaultKind, Tuple[FaultSite, ...]] = {
+    FaultKind.CRASH: (FaultSite.GATHER, FaultSite.TRAIN, FaultSite.APPLY),
+    FaultKind.STALL: (FaultSite.PREFETCH_QUEUE, FaultSite.GRAD_QUEUE),
+    FaultKind.H2D_FAIL: (FaultSite.PREFETCH_QUEUE,),
+    FaultKind.DROP: (FaultSite.GRAD_QUEUE,),
+    FaultKind.TORN: (FaultSite.CHECKPOINT,),
+    FaultKind.CORRUPT: (FaultSite.CHECKPOINT,),
+    FaultKind.SLOWDOWN: (FaultSite.SERVE,),
+}
+
+
+class FaultError(RuntimeError):
+    """Base class for every injected failure.
+
+    Carries the :class:`FaultSpec` that fired so supervisors and tests
+    can attribute the crash.
+    """
+
+    def __init__(self, spec: "FaultSpec", detail: str = "") -> None:
+        self.spec = spec
+        message = f"injected {spec.kind.value} at {spec.site.value}"
+        if spec.step is not None:
+            message += f" (step {spec.step})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class InjectedCrash(FaultError):
+    """A pipeline stage crashed."""
+
+
+class H2DCopyError(FaultError):
+    """The host->device copy of a prefetched batch failed."""
+
+
+class QueueStallTimeout(FaultError):
+    """A queue interaction stalled past the supervisor's patience."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Trainer faults are *step*-scheduled (the pipeline's logical clock:
+    the batch id being gathered/trained/applied); serving faults are
+    *time*-scheduled on the Simulator clock, with a ``duration`` window
+    and a service-time ``factor``.
+    """
+
+    kind: FaultKind
+    site: FaultSite
+    step: Optional[int] = None
+    time: Optional[float] = None
+    duration: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.site not in _VALID_COMBOS[self.kind]:
+            raise ValueError(
+                f"fault kind {self.kind.value!r} cannot target site "
+                f"{self.site.value!r}"
+            )
+        if self.kind is FaultKind.SLOWDOWN:
+            if self.time is None or self.time < 0:
+                raise ValueError("slowdown faults need time >= 0")
+            if self.duration <= 0:
+                raise ValueError("slowdown faults need duration > 0")
+            if self.factor < 1.0:
+                raise ValueError(
+                    f"slowdown factor must be >= 1, got {self.factor}"
+                )
+        else:
+            if self.step is None or self.step < 0:
+                raise ValueError(
+                    f"{self.kind.value} faults need an integer step >= 0"
+                )
+
+    def describe(self) -> str:
+        if self.kind is FaultKind.SLOWDOWN:
+            return (
+                f"{self.kind.value:9s} @ {self.site.value:10s} "
+                f"t=[{self.time:.3f}, {self.time + self.duration:.3f}) "
+                f"x{self.factor:g}"
+            )
+        return f"{self.kind.value:9s} @ {self.site.value:10s} step={self.step}"
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired during a run."""
+
+    spec: FaultSpec
+    fired_step: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Named, seeded schedule of faults.
+
+    ``specs`` is the explicit schedule; :meth:`random` derives one
+    deterministically from a seed for fuzz-style chaos runs.
+    """
+
+    name: str
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def injector(self) -> "FaultInjector":
+        """Fresh injector (one-shot firing state) for one run."""
+        return FaultInjector(self)
+
+    @property
+    def train_specs(self) -> Tuple[FaultSpec, ...]:
+        return tuple(
+            s for s in self.specs if s.kind is not FaultKind.SLOWDOWN
+        )
+
+    @property
+    def serve_specs(self) -> Tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind is FaultKind.SLOWDOWN)
+
+    def describe(self) -> str:
+        lines = [f"fault plan {self.name!r} (seed {self.seed}):"]
+        lines += [f"  {spec.describe()}" for spec in self.specs]
+        if not self.specs:
+            lines.append("  (no faults)")
+        return "\n".join(lines)
+
+    @classmethod
+    def random(
+        cls,
+        name: str,
+        seed: int,
+        num_faults: int,
+        max_step: int,
+    ) -> "FaultPlan":
+        """Deterministically sample a trainer-fault plan from a seed.
+
+        Draws ``num_faults`` distinct steps in ``[1, max_step)`` and a
+        crash/stall/drop/h2d fault for each — reproducible fuzzing for
+        the recovery path.
+        """
+        if num_faults < 0:
+            raise ValueError(f"num_faults must be >= 0, got {num_faults}")
+        if max_step <= 1:
+            raise ValueError(f"max_step must be > 1, got {max_step}")
+        rng = ensure_rng((seed, 0xFA))
+        menu: Tuple[Tuple[FaultKind, FaultSite], ...] = (
+            (FaultKind.CRASH, FaultSite.GATHER),
+            (FaultKind.CRASH, FaultSite.TRAIN),
+            (FaultKind.CRASH, FaultSite.APPLY),
+            (FaultKind.H2D_FAIL, FaultSite.PREFETCH_QUEUE),
+            (FaultKind.STALL, FaultSite.PREFETCH_QUEUE),
+            (FaultKind.DROP, FaultSite.GRAD_QUEUE),
+        )
+        count = min(num_faults, max_step - 1)
+        steps = rng.choice(
+            range(1, max_step), size=count, replace=False
+        )
+        specs = []
+        for step in sorted(int(s) for s in steps):
+            kind, site = menu[int(rng.integers(len(menu)))]
+            specs.append(FaultSpec(kind=kind, site=site, step=step))
+        return cls(name=name, specs=tuple(specs), seed=seed)
+
+
+class FaultInjector:
+    """Run-scoped firing state for one :class:`FaultPlan`.
+
+    The injector is consulted from the probe hooks, the faulty queues,
+    the checkpoint store, and the resilient serving loop.  Every fault
+    that fires is appended to :attr:`records`, so a chaos harness can
+    cross-check "what the plan promised" against "what actually
+    happened".
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._pending: List[FaultSpec] = list(plan.train_specs)
+        self._slowdowns: List[FaultSpec] = list(plan.serve_specs)
+        self._slowdowns_seen: Set[int] = set()
+        self.records: List[FaultRecord] = []
+        #: Logical step of the batch the worker is currently training;
+        #: maintained by :class:`FaultProbe` via ``on_batch_start``.
+        self.current_step = -1
+
+    # -- trainer-side hooks --------------------------------------------
+    def _take(
+        self, kinds: Tuple[FaultKind, ...], site: FaultSite, step: int
+    ) -> Optional[FaultSpec]:
+        for spec in self._pending:
+            if spec.kind in kinds and spec.site is site and spec.step == step:
+                self._pending.remove(spec)
+                self.records.append(FaultRecord(spec=spec, fired_step=step))
+                return spec
+        return None
+
+    def stage_crash(self, site: FaultSite, step: int) -> None:
+        """Raise if the plan crashes ``site`` while it handles ``step``."""
+        spec = self._take((FaultKind.CRASH,), site, step)
+        if spec is not None:
+            raise InjectedCrash(spec)
+
+    def queue_get_fault(self, site: FaultSite, step: int) -> None:
+        """Raise if this queue ``get`` fails (H2D copy / stall timeout)."""
+        spec = self._take((FaultKind.H2D_FAIL,), site, step)
+        if spec is not None:
+            raise H2DCopyError(spec, "prefetch entry lost in transfer")
+        spec = self._take((FaultKind.STALL,), site, step)
+        if spec is not None:
+            raise QueueStallTimeout(
+                spec, "consumer timed out waiting on the queue"
+            )
+
+    def queue_drop(self, site: FaultSite, step: int) -> bool:
+        """True when this queue ``put`` should silently lose its item."""
+        return self._take((FaultKind.DROP,), site, step) is not None
+
+    def checkpoint_fault(self, step: int) -> Optional[FaultSpec]:
+        """The torn/corrupt fault scheduled for the snapshot at ``step``."""
+        return self._take(
+            (FaultKind.TORN, FaultKind.CORRUPT), FaultSite.CHECKPOINT, step
+        )
+
+    # -- serving-side hooks --------------------------------------------
+    def slowdown_factor(self, now: float) -> float:
+        """Product of every slowdown window active at simulated ``now``."""
+        factor = 1.0
+        for i, spec in enumerate(self._slowdowns):
+            assert spec.time is not None
+            if spec.time <= now < spec.time + spec.duration:
+                factor *= spec.factor
+                if i not in self._slowdowns_seen:
+                    self._slowdowns_seen.add(i)
+                    self.records.append(
+                        FaultRecord(
+                            spec=spec,
+                            fired_step=-1,
+                            detail=f"window entered at t={now:.4f}",
+                        )
+                    )
+        return factor
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def pending(self) -> Tuple[FaultSpec, ...]:
+        """Trainer faults that have not fired yet."""
+        return tuple(self._pending)
+
+    @property
+    def fired(self) -> Tuple[FaultSpec, ...]:
+        return tuple(record.spec for record in self.records)
+
+
+_QUEUE_SITES = {
+    "prefetch": FaultSite.PREFETCH_QUEUE,
+    "gradient": FaultSite.GRAD_QUEUE,
+}
+
+
+class FaultyQueue(BoundedQueue[T]):
+    """A :class:`BoundedQueue` that fails or drops on the injector's cue.
+
+    Behaviour is bit-identical to the plain queue except at the exact
+    (site, step) points named by the plan: ``get`` may raise
+    :class:`H2DCopyError`/:class:`QueueStallTimeout`, and a gradient
+    ``put`` may silently discard its item (the lost-update fault the
+    supervisor must *detect*, not just survive).
+    """
+
+    def __init__(
+        self, capacity: int, injector: FaultInjector, site: FaultSite
+    ) -> None:
+        super().__init__(capacity)
+        self._injector = injector
+        self._site = site
+        self.dropped = 0
+
+    def put(self, item: T) -> None:
+        if self._injector.queue_drop(self._site, self._injector.current_step):
+            self.dropped += 1
+            return
+        super().put(item)
+
+    def get(self) -> T:
+        self._injector.queue_get_fault(
+            self._site, self._injector.current_step
+        )
+        return super().get()
+
+
+class FaultProbe:
+    """A :class:`~repro.system.pipeline.TraceProbe` that injects faults.
+
+    Where :class:`repro.analysis.shims.PipelineProbe` only observes,
+    this probe *acts*: stage hooks raise :class:`InjectedCrash` on the
+    plan's cue and the queue factory builds :class:`FaultyQueue`
+    instances.  It also keeps per-segment accounting — which batch ids
+    started, trained, and were applied — which is how the supervisor
+    detects *silent* faults (dropped gradient entries) that raise
+    nothing.
+    """
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+        self.started: Set[int] = set()
+        self.trained: Set[int] = set()
+        self.applied: Set[int] = set()
+        #: (batch_id, table) -> number of host applies observed.  An
+        #: exactly-once segment has every count equal to 1.
+        self.apply_counts: Dict[Tuple[int, int], int] = {}
+
+    # -- segment accounting (used by the supervisor) --------------------
+    def begin_segment(self) -> None:
+        """Reset per-segment accounting before a training segment."""
+        self.started.clear()
+        self.trained.clear()
+        self.applied.clear()
+        self.apply_counts.clear()
+
+    @property
+    def steps_started(self) -> int:
+        return len(self.started)
+
+    def missing_applies(self) -> List[int]:
+        """Batch ids that trained but whose update never reached host."""
+        return sorted(self.trained - self.applied)
+
+    def duplicate_applies(self) -> List[Tuple[int, int]]:
+        """(batch_id, table) pairs whose update hit host more than once."""
+        return sorted(k for k, n in self.apply_counts.items() if n > 1)
+
+    # -- TraceProbe factories ------------------------------------------
+    def make_queue(self, capacity: int, name: str) -> BoundedQueue:
+        site = _QUEUE_SITES.get(name)
+        if site is None:
+            return BoundedQueue(capacity)
+        return FaultyQueue(capacity, self.injector, site)
+
+    def make_cache(
+        self, embedding_dim: int, default_lifecycle: int, table: int
+    ) -> EmbeddingCache:
+        return EmbeddingCache(embedding_dim, default_lifecycle)
+
+    # -- TraceProbe hooks ----------------------------------------------
+    def on_batch_start(self, batch_id: int) -> None:
+        self.injector.current_step = batch_id
+        self.started.add(batch_id)
+
+    def on_gather(self, batch_id, table, unique_indices) -> None:
+        self.injector.stage_crash(FaultSite.GATHER, batch_id)
+
+    def on_consume(self, batch_id, table, unique_indices) -> None:
+        self.injector.stage_crash(FaultSite.TRAIN, batch_id)
+
+    def on_update(self, batch_id, table, unique_indices) -> None:
+        self.trained.add(batch_id)
+
+    def on_apply(self, batch_id, table, unique_indices) -> None:
+        self.injector.stage_crash(FaultSite.APPLY, batch_id)
+        self.applied.add(batch_id)
+        key = (batch_id, table)
+        self.apply_counts[key] = self.apply_counts.get(key, 0) + 1

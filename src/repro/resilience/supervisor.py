@@ -1,0 +1,257 @@
+"""Stage supervision: restart crashed pipelines, replay exactly once.
+
+The supervisor runs :class:`~repro.system.pipeline.PipelinedPSTrainer`
+in *segments* of ``checkpoint_interval`` batches.  Each segment starts
+from the arrays of the last committed snapshot, trains, and commits —
+losses appended, arrays captured, snapshot published — only when the
+segment's exactly-once accounting is clean.  Recovery is therefore a
+pure rollback-and-replay:
+
+* a **crash** (injected or real) anywhere in a segment discards the
+  whole trainer, waits a deterministic backoff, restores the newest
+  snapshot that CRC-verifies, and replays from there;
+* a **dropped gradient entry** raises nothing — the pipeline finishes
+  the segment with host tables silently diverged.  The probe's
+  trained-vs-applied ledger catches it at the segment boundary and the
+  supervisor rolls back exactly as for a crash;
+* a **torn snapshot** never commits (write-then-rename), so the next
+  rollback simply lands one interval earlier; a **corrupted** snapshot
+  commits but fails its CRC at restore time and
+  :meth:`~repro.resilience.checkpoint.CheckpointStore.load_latest`
+  falls back past it.
+
+Because trainers are Markov in their snapshot arrays (see
+:mod:`repro.resilience.checkpoint`) and replayed batches recompute
+bitwise-identically, the committed loss trajectory equals the
+uninterrupted run's no matter where faults land — the property
+``repro chaos`` asserts.
+
+Backoff is simulated, not slept: chaos runs complete in milliseconds
+while still exercising (and asserting on) the exact schedule a real
+deployment would wait out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataloader import SyntheticClickLog
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    capture_trainer_arrays,
+    restore_trainer_arrays,
+)
+from repro.resilience.faults import FaultError, FaultProbe
+from repro.system.pipeline import PipelinedPSTrainer
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "RetryPolicy",
+    "RecoveryBudgetExceeded",
+    "RecoveryReport",
+    "PipelineSupervisor",
+]
+
+
+class RecoveryBudgetExceeded(RuntimeError):
+    """The run needed more restarts than the policy allows."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``backoff(attempt)`` (1-based) returns
+    ``min(max_delay, base_delay * 2**(attempt-1)) * (1 + jitter * u)``
+    where ``u`` is drawn from a generator seeded by ``(seed, attempt)``
+    — the same attempt always waits the same time, so recovery
+    timelines are reproducible and testable.
+    """
+
+    max_restarts: int = 8
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.base_delay <= 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                "need 0 < base_delay <= max_delay, got "
+                f"{self.base_delay} / {self.max_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff(self, attempt: int) -> float:
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = self.base_delay * (2.0 ** (attempt - 1))
+        capped = min(self.max_delay, raw)
+        u = float(ensure_rng((self.seed, 0x5E, attempt)).random())
+        return capped * (1.0 + self.jitter * u)
+
+    def schedule(self, attempts: int) -> List[float]:
+        """The first ``attempts`` backoff delays, for reports and tests."""
+        return [self.backoff(a) for a in range(1, attempts + 1)]
+
+
+@dataclass
+class RecoveryReport:
+    """What a supervised run did, committed, and survived."""
+
+    losses: List[float] = field(default_factory=list)
+    #: Number of segment replays triggered by raised faults.
+    restarts: int = 0
+    #: Number of segment replays triggered by silent lost updates.
+    rollbacks: int = 0
+    #: Snapshot steps skipped because their CRC check failed.
+    corrupt_skipped: List[int] = field(default_factory=list)
+    #: Snapshot steps whose write was torn (never committed).
+    torn_steps: List[int] = field(default_factory=list)
+    #: Simulated seconds spent in backoff across all restarts.
+    total_backoff: float = 0.0
+    #: Batches replayed beyond the minimum (recovery work).
+    replayed_batches: int = 0
+    #: (batch, table) duplicate host applies observed in any committed
+    #: segment — must stay empty for exactly-once semantics.
+    duplicate_applies: List[Tuple[int, int]] = field(default_factory=list)
+    #: Human-readable recovery timeline.
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no committed steps")
+        return self.losses[-1]
+
+
+class PipelineSupervisor:
+    """Run a pipelined PS trainer to completion despite injected faults.
+
+    Parameters
+    ----------
+    trainer_factory:
+        Builds a *fresh* structurally-identical trainer wired to the
+        given probe.  Called once per segment attempt — after any
+        fault the crashed trainer (whose queues and caches are in an
+        undefined state) is discarded wholesale.
+    store:
+        Snapshot store (its injector, if any, tears/corrupts writes).
+    probe:
+        The fault-injecting probe shared with the trainer.
+    policy:
+        Restart budget and backoff schedule.
+    """
+
+    def __init__(
+        self,
+        trainer_factory: Callable[[FaultProbe], PipelinedPSTrainer],
+        store: CheckpointStore,
+        probe: FaultProbe,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.trainer_factory = trainer_factory
+        self.store = store
+        self.probe = probe
+        self.policy = policy or RetryPolicy()
+
+    def run(
+        self,
+        log: SyntheticClickLog,
+        num_batches: int,
+        checkpoint_interval: int,
+    ) -> RecoveryReport:
+        """Train ``num_batches`` with snapshots every ``interval`` steps."""
+        if num_batches < 1:
+            raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+        if checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        report = RecoveryReport()
+
+        # Seed snapshot: capture the freshly initialized arrays so the
+        # earliest possible rollback target always exists.
+        trainer = self.trainer_factory(self.probe)
+        arrays = capture_trainer_arrays(trainer)
+        if not self.store.save(0, arrays):
+            report.torn_steps.append(0)
+
+        committed = 0
+        total_started = 0
+        while committed < num_batches:
+            seg_end = min(committed + checkpoint_interval, num_batches)
+            self.probe.begin_segment()
+            trainer = self.trainer_factory(self.probe)
+            restore_trainer_arrays(trainer, arrays)
+            try:
+                seg_log = trainer.train(
+                    log, seg_end - committed, start=committed
+                )
+            except FaultError as exc:
+                total_started += self.probe.steps_started
+                report.restarts += 1
+                if report.restarts > self.policy.max_restarts:
+                    raise RecoveryBudgetExceeded(
+                        f"{report.restarts} restarts exceed the budget of "
+                        f"{self.policy.max_restarts} (last fault: {exc})"
+                    ) from exc
+                delay = self.policy.backoff(report.restarts)
+                report.total_backoff += delay
+                committed, arrays = self._rollback(report)
+                report.events.append(
+                    f"restart {report.restarts}: {exc}; backoff "
+                    f"{delay:.4f}s; resume from step {committed}"
+                )
+                continue
+
+            total_started += self.probe.steps_started
+            missing = self.probe.missing_applies()
+            if missing:
+                # Silent lost update: nothing raised, but host tables
+                # diverged.  Treat like a crash, minus the backoff
+                # (there is no process to restart, only state to heal).
+                report.rollbacks += 1
+                if (
+                    report.restarts + report.rollbacks
+                    > self.policy.max_restarts
+                ):
+                    raise RecoveryBudgetExceeded(
+                        f"rollbacks plus restarts exceed the budget of "
+                        f"{self.policy.max_restarts}"
+                    )
+                committed, arrays = self._rollback(report)
+                report.events.append(
+                    f"rollback {report.rollbacks}: lost host updates for "
+                    f"batches {missing}; resume from step {committed}"
+                )
+                continue
+
+            report.duplicate_applies.extend(self.probe.duplicate_applies())
+            report.losses.extend(float(x) for x in seg_log.losses)
+            arrays = capture_trainer_arrays(trainer)
+            if not self.store.save(seg_end, arrays):
+                report.torn_steps.append(seg_end)
+                report.events.append(
+                    f"snapshot at step {seg_end} torn mid-write; "
+                    "continuing on the in-memory state"
+                )
+            committed = seg_end
+
+        report.replayed_batches = max(0, total_started - num_batches)
+        return report
+
+    def _rollback(
+        self, report: RecoveryReport
+    ) -> Tuple[int, Dict[str, np.ndarray]]:
+        """Restore the newest verifiable snapshot; heal committed losses."""
+        state, skipped = self.store.load_latest()
+        report.corrupt_skipped.extend(skipped)
+        del report.losses[state.step:]
+        return state.step, state.arrays

@@ -33,6 +33,18 @@ class BoundedQueue(Generic[T]):
         Maximum entries; ``put`` on a full queue raises (the pipeline
         executor checks ``full()`` and applies backpressure instead of
         blocking).
+
+    Notes
+    -----
+    Close semantics (drain-then-raise): ``close()`` seals the *intake*
+    only.  A closed queue rejects every ``put`` with
+    :class:`QueueClosed` — even when it has free capacity — but
+    ``get``/``peek``/``drain`` keep returning the items already queued
+    until the queue runs dry; only then do ``get`` and ``peek`` raise
+    :class:`QueueClosed`.  This is what lets a consumer distinguish
+    "producer is finished, finish the backlog" from "no data yet"
+    without losing in-flight entries — the gradient queue relies on it
+    during end-of-run drain.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -63,6 +75,8 @@ class BoundedQueue(Generic[T]):
 
     def peek(self) -> T:
         if not self._items:
+            if self._closed:
+                raise QueueClosed("peek on closed, empty queue")
             raise LookupError("queue empty")
         return self._items[0]
 

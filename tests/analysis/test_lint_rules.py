@@ -154,6 +154,73 @@ class TestDirectNumpy:
         assert result.suppressed == 1
 
 
+class TestSilentExcept:
+    def test_bare_except_flagged(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        raise\n"
+        )
+        result = lint_source(src, rel="repro/system/foo.py")
+        assert _rules_of(result) == ["silent-except"]
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_pass_only_handler_flagged(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        result = lint_source(src, rel="repro/resilience/foo.py")
+        assert _rules_of(result) == ["silent-except"]
+        assert "ValueError" in result.findings[0].message
+
+    def test_docstring_only_handler_flagged(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except KeyError:\n"
+            "        'tolerated'\n"
+        )
+        result = lint_source(src, rel="repro/embeddings/foo.py")
+        assert _rules_of(result) == ["silent-except"]
+
+    def test_handler_that_acts_ok(self):
+        src = (
+            "def f(log):\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError as exc:\n"
+            "        log.append(exc)\n"
+        )
+        assert not lint_source(src, rel="repro/system/foo.py").findings
+
+    def test_reraise_ok(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        raise RuntimeError('context')\n"
+        )
+        assert not lint_source(src, rel="repro/serving/foo.py").findings
+
+    def test_outside_zone_ok(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert not lint_source(src, rel="repro/data/foo.py").findings
+
+
 class TestPragmas:
     def test_line_pragma_suppresses(self):
         src = (
@@ -208,6 +275,7 @@ class TestRunner:
             "implicit-dtype",
             "batch-loop",
             "direct-numpy-in-kernel-zone",
+            "silent-except",
         }
 
     def test_select_unknown_rule_raises(self):

@@ -10,7 +10,11 @@ from repro.data.datasets import criteo_kaggle_like
 from repro.embeddings.base import EmbeddingBagBase
 from repro.models.config import DLRMConfig, EmbeddingBackend
 from repro.models.dlrm import DLRM
-from repro.models.serialization import load_checkpoint, save_checkpoint
+from repro.models.serialization import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.system.parameter_server import HostBackedEmbeddingBag
 
 
@@ -113,3 +117,109 @@ class TestErrors:
         )
         restored = _roundtrip(DLRM(cfg, seed=0))
         assert restored.config == cfg
+
+
+def _saved_bytes(setup) -> bytes:
+    spec, log = setup
+    cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    model = DLRM(cfg, seed=9)
+    model.train_step(log.batch(0), lr=0.1)
+    buffer = io.BytesIO()
+    save_checkpoint(model, buffer)
+    return buffer.getvalue()
+
+
+def _rewrite(data: bytes, mutate) -> io.BytesIO:
+    """Unpack an archive, apply ``mutate(arrays)``, repack it.
+
+    Repacking preserves whatever ``__crc__`` manifest the dict holds, so
+    mutating an array *without* touching the manifest models in-archive
+    tampering, and editing/dropping ``__crc__`` models manifest damage.
+    """
+    with np.load(io.BytesIO(data), allow_pickle=True) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    mutate(arrays)
+    out = io.BytesIO()
+    np.savez_compressed(out, **arrays)
+    out.seek(0)
+    return out
+
+
+class TestCorruption:
+    def test_flipped_byte_detected(self, setup):
+        import struct
+        import zipfile
+
+        # Flip a byte in the middle of the largest member's *compressed
+        # payload* (a flip in an unused local-header field would be
+        # silently ignored by zip readers).
+        data = bytearray(_saved_bytes(setup))
+        with zipfile.ZipFile(io.BytesIO(bytes(data))) as archive:
+            info = max(archive.infolist(), key=lambda i: i.compress_size)
+        name_len, extra_len = struct.unpack_from(
+            "<HH", data, info.header_offset + 26
+        )
+        payload_start = info.header_offset + 30 + name_len + extra_len
+        data[payload_start + info.compress_size // 2] ^= 0xFF
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(io.BytesIO(bytes(data)))
+
+    def test_truncated_archive_detected(self, setup):
+        data = _saved_bytes(setup)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(io.BytesIO(data[: len(data) // 3]))
+
+    def test_tampered_array_fails_crc(self, setup):
+        def bump_first_param(arrays):
+            name = next(k for k in arrays if k.startswith("param/"))
+            arrays[name] = arrays[name] + 1.0
+
+        tampered = _rewrite(_saved_bytes(setup), bump_first_param)
+        with pytest.raises(CheckpointCorruptError, match="CRC32"):
+            load_checkpoint(tampered)
+
+    def test_entry_missing_from_manifest(self, setup):
+        import json
+
+        def drop_manifest_entry(arrays):
+            crc = json.loads(str(arrays["__crc__"][0]))
+            crc.pop(next(k for k in crc if k.startswith("param/")))
+            arrays["__crc__"] = np.array([json.dumps(crc)], dtype=object)
+
+        tampered = _rewrite(_saved_bytes(setup), drop_manifest_entry)
+        with pytest.raises(CheckpointCorruptError, match="absent"):
+            load_checkpoint(tampered)
+
+    def test_unreadable_manifest(self, setup):
+        def garble(arrays):
+            arrays["__crc__"] = np.array(["not json"], dtype=object)
+
+        tampered = _rewrite(_saved_bytes(setup), garble)
+        with pytest.raises(CheckpointCorruptError, match="manifest"):
+            load_checkpoint(tampered)
+
+    def test_legacy_archive_without_crc_loads(self, setup):
+        import json
+
+        spec, log = setup
+
+        def to_v2(arrays):
+            del arrays["__crc__"]
+            arrays["__meta__"] = np.array(
+                [json.dumps({"version": 2})], dtype=object
+            )
+
+        legacy = _rewrite(_saved_bytes(setup), to_v2)
+        model = load_checkpoint(legacy)
+        reference = load_checkpoint(io.BytesIO(_saved_bytes(setup)))
+        batch = log.batch(3)
+        np.testing.assert_array_equal(
+            model.forward(batch), reference.forward(batch)
+        )
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(str(tmp_path / "absent.npz"))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the resilience suite.
+
+Everything runs on the same small PS-pipeline workload as the chaos
+CLI (``repro.resilience.chaos._build_harness``), sized down to 12
+batches so the crash sweep stays fast.  The fixtures are session-scoped
+and read-only: the reference trainer is trained once and only inspected
+afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.chaos import ChaosHarnessConfig, _build_harness
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return ChaosHarnessConfig(num_batches=12, checkpoint_interval=4)
+
+
+@pytest.fixture(scope="session")
+def harness(small_config):
+    """(dataset spec, click log, trainer factory) for the small workload."""
+    return _build_harness(small_config)
+
+
+@pytest.fixture(scope="session")
+def reference_run(harness, small_config):
+    """Uninterrupted run: (trained trainer, its loss trajectory)."""
+    _, log, factory = harness
+    trainer = factory(None)
+    losses = [
+        float(x) for x in trainer.train(log, small_config.num_batches).losses
+    ]
+    return trainer, losses

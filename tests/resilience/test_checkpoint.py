@@ -1,0 +1,136 @@
+"""Tests for crash-consistent trainer snapshots."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.models.serialization import CheckpointCorruptError
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    NoCheckpointError,
+    capture_trainer_arrays,
+    restore_trainer_arrays,
+)
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSite, FaultSpec
+
+
+@pytest.fixture(scope="module")
+def trained_arrays(harness, small_config):
+    _, log, factory = harness
+    trainer = factory(None)
+    trainer.train(log, 3)
+    return capture_trainer_arrays(trainer)
+
+
+class TestCaptureRestore:
+    def test_roundtrip_is_bitwise(self, harness, trained_arrays):
+        _, _, factory = harness
+        fresh = factory(None)
+        restore_trainer_arrays(fresh, trained_arrays)
+        recaptured = capture_trainer_arrays(fresh)
+        assert sorted(recaptured) == sorted(trained_arrays)
+        for name, arr in trained_arrays.items():
+            np.testing.assert_array_equal(arr, recaptured[name])
+
+    def test_covers_server_tables(self, trained_arrays):
+        assert any(k.startswith("server/table") for k in trained_arrays)
+        assert any(k.startswith("param/") for k in trained_arrays)
+
+    def test_missing_array_rejected_before_any_write(
+        self, harness, trained_arrays
+    ):
+        _, _, factory = harness
+        fresh = factory(None)
+        before = capture_trainer_arrays(fresh)
+        partial = dict(trained_arrays)
+        del partial[next(iter(partial))]
+        with pytest.raises(KeyError, match="missing"):
+            restore_trainer_arrays(fresh, partial)
+        after = capture_trainer_arrays(fresh)
+        for name in before:  # all-or-nothing: nothing was written
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_shape_mismatch_rejected_before_any_write(
+        self, harness, trained_arrays
+    ):
+        _, _, factory = harness
+        fresh = factory(None)
+        before = capture_trainer_arrays(fresh)
+        bad = dict(trained_arrays)
+        name = next(k for k in bad if k.startswith("server/table"))
+        bad[name] = bad[name][:-1]
+        with pytest.raises(ValueError, match="shape"):
+            restore_trainer_arrays(fresh, bad)
+        after = capture_trainer_arrays(fresh)
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self, tmp_path, trained_arrays):
+        store = CheckpointStore(str(tmp_path))
+        assert store.save(4, trained_arrays)
+        state = store.load(4)
+        assert state.step == 4
+        for name, arr in trained_arrays.items():
+            np.testing.assert_array_equal(arr, state.arrays[name])
+
+    def test_prune_keeps_newest(self, tmp_path, trained_arrays):
+        store = CheckpointStore(str(tmp_path), keep_last=2)
+        for step in (0, 4, 8, 12):
+            store.save(step, trained_arrays)
+        assert store.steps() == [8, 12]
+
+    def test_missing_step_raises_no_checkpoint(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with pytest.raises(NoCheckpointError):
+            store.load(7)
+        with pytest.raises(NoCheckpointError):
+            store.load_latest()
+
+    def test_torn_write_never_commits(self, tmp_path, trained_arrays):
+        plan = FaultPlan(
+            name="torn",
+            specs=(FaultSpec(FaultKind.TORN, FaultSite.CHECKPOINT, step=4),),
+        )
+        store = CheckpointStore(str(tmp_path), injector=plan.injector())
+        assert store.save(4, trained_arrays) is False
+        assert store.steps() == []  # the .tmp orphan is never visible
+        assert os.path.exists(str(tmp_path / "ckpt-00000004.npz.tmp"))
+        with pytest.raises(NoCheckpointError):
+            store.load_latest()
+
+    def test_corrupt_snapshot_detected_and_skipped(
+        self, tmp_path, trained_arrays
+    ):
+        plan = FaultPlan(
+            name="rot",
+            specs=(
+                FaultSpec(FaultKind.CORRUPT, FaultSite.CHECKPOINT, step=8),
+            ),
+        )
+        store = CheckpointStore(str(tmp_path), injector=plan.injector())
+        assert store.save(0, trained_arrays)
+        assert store.save(8, trained_arrays)  # committed, then bit-rotted
+        with pytest.raises(CheckpointCorruptError):
+            store.load(8)
+        state, skipped = store.load_latest()
+        assert state.step == 0
+        assert skipped == [8]
+
+    def test_manifest_mismatch_detected(self, tmp_path, trained_arrays):
+        store = CheckpointStore(str(tmp_path))
+        store.save(0, trained_arrays)
+        # a snapshot with extra/missing members vs its manifest is corrupt
+        path = str(tmp_path / "ckpt-00000000.npz")
+        with np.load(path, allow_pickle=True) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        del payload[next(k for k in payload if k.startswith("param/"))]
+        np.savez_compressed(path, **payload)
+        with pytest.raises(CheckpointCorruptError, match="manifest"):
+            store.load(0)
+
+    def test_keep_last_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(str(tmp_path), keep_last=0)

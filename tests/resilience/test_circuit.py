@@ -1,0 +1,108 @@
+"""Tests for the serving circuit breaker state machine."""
+
+import pytest
+
+from repro.resilience.circuit import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+
+CFG = BreakerConfig(failure_threshold=3, cooldown=1.0, half_open_successes=2)
+
+
+def _tripped(at: float = 0.0) -> CircuitBreaker:
+    breaker = CircuitBreaker(CFG)
+    for _ in range(CFG.failure_threshold):
+        breaker.record_failure(at)
+    assert breaker.state is BreakerState.OPEN
+    return breaker
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown=0.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(half_open_successes=0)
+
+
+class TestClosed:
+    def test_allows_traffic(self):
+        breaker = CircuitBreaker(CFG)
+        assert breaker.allow(0.0)
+        assert breaker.transitions == []
+
+    def test_trips_on_consecutive_failures_only(self):
+        breaker = CircuitBreaker(CFG)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success(0.2)  # resets the streak
+        breaker.record_failure(0.3)
+        breaker.record_failure(0.4)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(0.5)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.transitions[-1].reason == "3 consecutive SLO breaches"
+
+
+class TestOpen:
+    def test_blocks_until_cooldown(self):
+        breaker = _tripped(at=5.0)
+        assert not breaker.allow(5.5)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_cooldown_elapsed_moves_to_half_open(self):
+        breaker = _tripped(at=5.0)
+        assert breaker.allow(6.0)  # exactly cooldown later: probe granted
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestHalfOpen:
+    def test_single_probe_slot(self):
+        breaker = _tripped(at=0.0)
+        assert breaker.allow(1.0)       # claims the probe slot
+        assert not breaker.allow(1.01)  # second batch must wait
+        breaker.record_success(1.1)     # frees the slot
+        assert breaker.allow(1.2)
+
+    def test_successes_close_the_breaker(self):
+        breaker = _tripped(at=0.0)
+        for t in (1.0, 1.2):
+            assert breaker.allow(t)
+            breaker.record_success(t + 0.05)
+        assert breaker.state is BreakerState.CLOSED
+        trajectory = [
+            (tr.src.value, tr.dst.value) for tr in breaker.transitions
+        ]
+        assert trajectory == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker = _tripped(at=0.0)
+        assert breaker.allow(1.0)
+        breaker.record_failure(1.1)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(1.5)  # old cooldown point: still blocked
+        assert breaker.allow(2.1)      # new cooldown from t=1.1
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_reclose_resets_failure_streak(self):
+        breaker = _tripped(at=0.0)
+        for t in (1.0, 1.2):
+            breaker.allow(t)
+            breaker.record_success(t)
+        # back in CLOSED, the streak starts from zero
+        breaker.record_failure(2.0)
+        breaker.record_failure(2.1)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_describe_lists_transitions(self):
+        breaker = _tripped(at=0.0)
+        text = breaker.describe()
+        assert "open" in text and "closed -> open" in text

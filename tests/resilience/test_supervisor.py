@@ -1,0 +1,169 @@
+"""Tests for supervised rollback-and-replay recovery.
+
+The headline property (the issue's acceptance criterion): kill the
+pipeline at step *k* in **any** stage, resume from the last committed
+snapshot, and the committed loss trajectory is bitwise identical to an
+uninterrupted run.
+"""
+
+import pytest
+
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultProbe,
+    FaultSite,
+    FaultSpec,
+)
+from repro.resilience.supervisor import (
+    PipelineSupervisor,
+    RecoveryBudgetExceeded,
+    RetryPolicy,
+)
+
+
+def _run(harness, small_config, tmp_path, plan, max_restarts=8):
+    _, log, factory = harness
+    injector = plan.injector()
+    probe = FaultProbe(injector)
+    store = CheckpointStore(str(tmp_path), keep_last=8, injector=injector)
+    policy = RetryPolicy(max_restarts=max_restarts, seed=plan.seed)
+    supervisor = PipelineSupervisor(factory, store, probe, policy)
+    report = supervisor.run(
+        log, small_config.num_batches, small_config.checkpoint_interval
+    )
+    return report, injector, policy
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential_with_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.4, jitter=0.5)
+        for attempt, base in ((1, 0.1), (2, 0.2), (3, 0.4), (4, 0.4)):
+            delay = policy.backoff(attempt)
+            assert base <= delay <= base * 1.5
+
+    def test_backoff_is_deterministic_per_attempt(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert a.schedule(5) == b.schedule(5)
+        assert RetryPolicy(seed=8).schedule(5) != a.schedule(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_restarts=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestCrashSweep:
+    """Kill at step k in every stage; recovery must be bitwise."""
+
+    @pytest.mark.parametrize(
+        "site", [FaultSite.GATHER, FaultSite.TRAIN, FaultSite.APPLY]
+    )
+    @pytest.mark.parametrize("step", [1, 6, 11])
+    def test_crash_then_resume_is_bitwise(
+        self, harness, small_config, reference_run, tmp_path, site, step
+    ):
+        plan = FaultPlan(
+            name=f"{site.value}@{step}",
+            specs=(FaultSpec(FaultKind.CRASH, site, step=step),),
+        )
+        report, injector, _ = _run(harness, small_config, tmp_path, plan)
+        _, ref_losses = reference_run
+        assert report.losses == ref_losses
+        assert report.restarts == 1
+        assert injector.pending == ()
+        assert not report.duplicate_applies
+
+
+class TestSupervisor:
+    def test_fault_free_run_matches_reference(
+        self, harness, small_config, reference_run, tmp_path
+    ):
+        report, _, _ = _run(
+            harness, small_config, tmp_path, FaultPlan(name="clean")
+        )
+        _, ref_losses = reference_run
+        assert report.losses == ref_losses
+        assert report.restarts == 0
+        assert report.rollbacks == 0
+        assert report.replayed_batches == 0
+        assert report.events == []
+        assert report.final_loss == ref_losses[-1]
+
+    def test_silent_drop_detected_and_healed(
+        self, harness, small_config, reference_run, tmp_path
+    ):
+        plan = FaultPlan(
+            name="drop",
+            specs=(FaultSpec(FaultKind.DROP, FaultSite.GRAD_QUEUE, step=6),),
+        )
+        report, _, _ = _run(harness, small_config, tmp_path, plan)
+        _, ref_losses = reference_run
+        assert report.losses == ref_losses
+        assert report.rollbacks == 1
+        assert report.restarts == 0
+        assert any("lost host updates" in event for event in report.events)
+
+    def test_backoff_totals_match_schedule(
+        self, harness, small_config, reference_run, tmp_path
+    ):
+        plan = FaultPlan(
+            name="two-crashes",
+            specs=(
+                FaultSpec(FaultKind.CRASH, FaultSite.TRAIN, step=3),
+                FaultSpec(FaultKind.CRASH, FaultSite.APPLY, step=9),
+            ),
+        )
+        report, _, policy = _run(harness, small_config, tmp_path, plan)
+        _, ref_losses = reference_run
+        assert report.losses == ref_losses
+        assert report.restarts == 2
+        assert report.total_backoff == sum(policy.schedule(2))
+        assert report.replayed_batches > 0
+
+    def test_torn_snapshot_falls_back_one_interval(
+        self, harness, small_config, reference_run, tmp_path
+    ):
+        # snapshot@4 is torn, so the crash at step 6 must roll all the
+        # way back to the seed snapshot at step 0 — and still recover.
+        plan = FaultPlan(
+            name="torn-then-crash",
+            specs=(
+                FaultSpec(FaultKind.TORN, FaultSite.CHECKPOINT, step=4),
+                FaultSpec(FaultKind.CRASH, FaultSite.TRAIN, step=6),
+            ),
+        )
+        report, _, _ = _run(harness, small_config, tmp_path, plan)
+        _, ref_losses = reference_run
+        assert report.losses == ref_losses
+        assert report.torn_steps == [4]
+        assert any("resume from step 0" in event for event in report.events)
+
+    def test_restart_budget_enforced(self, harness, small_config, tmp_path):
+        plan = FaultPlan(
+            name="over-budget",
+            specs=(FaultSpec(FaultKind.CRASH, FaultSite.TRAIN, step=2),),
+        )
+        with pytest.raises(RecoveryBudgetExceeded):
+            _run(harness, small_config, tmp_path, plan, max_restarts=0)
+
+    def test_run_validates_arguments(self, harness, small_config, tmp_path):
+        _, log, factory = harness
+        plan = FaultPlan(name="clean")
+        probe = FaultProbe(plan.injector())
+        supervisor = PipelineSupervisor(
+            factory, CheckpointStore(str(tmp_path)), probe
+        )
+        with pytest.raises(ValueError):
+            supervisor.run(log, 0, 4)
+        with pytest.raises(ValueError):
+            supervisor.run(log, 4, 0)

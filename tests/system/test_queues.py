@@ -3,6 +3,7 @@
 import pytest
 
 from repro.system.queues import BoundedQueue, QueueClosed
+from repro.system.simclock import Simulator
 
 
 class TestBoundedQueue:
@@ -122,3 +123,96 @@ class TestBoundedQueue:
         iterator = iter(q)
         q.drain()
         assert list(iterator) == ["a", "b"]
+
+    def test_peek_on_closed_empty_raises_queue_closed(self):
+        # Same drain-then-raise contract as get(): while items remain,
+        # peek works; once dry, a closed queue reports QueueClosed (not
+        # the generic "empty" LookupError a consumer would retry on).
+        q = BoundedQueue(2)
+        q.put(1)
+        q.close()
+        assert q.peek() == 1
+        q.get()
+        with pytest.raises(QueueClosed):
+            q.peek()
+
+
+class TestCloseRacesUnderSimClock:
+    """Close/consume interleavings driven by the deterministic event loop.
+
+    These are the single-threaded analogue of close races: the
+    Simulator fixes the interleaving, so each scenario pins down
+    exactly which side of the close every operation lands on.
+    """
+
+    def test_close_while_full_drains_before_raising(self):
+        q = BoundedQueue(2)
+        sim = Simulator()
+        events = []
+
+        def consume():
+            try:
+                events.append(("got", q.get()))
+            except QueueClosed:
+                events.append(("closed", None))
+
+        sim.schedule(0.0, lambda: (q.put("a"), q.put("b")))
+        sim.schedule(1.0, q.close)  # close while the queue is FULL
+        sim.schedule(2.0, consume)
+        sim.schedule(3.0, consume)
+        sim.schedule(4.0, consume)
+        sim.run()
+        # Both in-flight items survive the close; only the dry get raises.
+        assert events == [("got", "a"), ("got", "b"), ("closed", None)]
+
+    def test_close_while_empty_rejects_put_and_get(self):
+        q = BoundedQueue(2)
+        sim = Simulator()
+        events = []
+
+        def probe_get():
+            try:
+                q.get()
+            except QueueClosed:
+                events.append("get-closed")
+            except LookupError:
+                events.append("get-empty")
+
+        def probe_put():
+            try:
+                q.put("late")
+                events.append("put-ok")
+            except QueueClosed:
+                events.append("put-closed")
+
+        sim.schedule(0.0, probe_get)   # empty but still open: plain empty
+        sim.schedule(1.0, q.close)     # close while EMPTY
+        sim.schedule(2.0, probe_get)   # now surfaces the close
+        sim.schedule(3.0, probe_put)   # producers locked out
+        sim.run()
+        assert events == ["get-empty", "get-closed", "put-closed"]
+        assert q.empty() and q.closed
+
+    def test_producer_racing_close_never_leaks_items(self):
+        # A put scheduled in the same interleaving as close either
+        # lands wholly before (item is drainable) or wholly after
+        # (QueueClosed, queue untouched) — never a half-state.
+        q = BoundedQueue(4)
+        sim = Simulator()
+        outcome = []
+
+        sim.schedule(0.0, lambda: q.put(1))
+        sim.schedule(1.0, q.close)
+
+        def racing_put():
+            try:
+                q.put(2)
+                outcome.append("accepted")
+            except QueueClosed:
+                outcome.append("rejected")
+
+        sim.schedule(1.0, racing_put)  # same timestamp as the close
+        sim.run()
+        assert outcome == ["rejected"]  # FIFO event order: close first
+        assert q.drain() == [1]
+        assert q.total_puts == 1
