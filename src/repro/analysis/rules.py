@@ -79,6 +79,7 @@ SIMCLOCK_ZONES: Tuple[str, ...] = (
     "repro/serving/",
     "repro/embeddings/",
     "repro/resilience/",
+    "repro/sharding/",
 )
 
 # Module prefixes holding numeric kernels: allocations need explicit
@@ -86,6 +87,7 @@ SIMCLOCK_ZONES: Tuple[str, ...] = (
 KERNEL_ZONES: Tuple[str, ...] = (
     "repro/embeddings/",
     "repro/nn/",
+    "repro/sharding/",
 )
 
 # Module prefixes whose contractions are routed through repro.backend:
@@ -105,6 +107,7 @@ EXCEPTION_ZONES: Tuple[str, ...] = (
     "repro/system/",
     "repro/serving/",
     "repro/resilience/",
+    "repro/sharding/",
 )
 
 # The one module allowed to touch numpy's RNG constructors directly.

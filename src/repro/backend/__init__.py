@@ -40,11 +40,13 @@ from .protocol import (
     ZONE_FUSED_UPDATE,
     ZONE_INTERACTION,
     ZONE_LC_CACHE,
+    ZONE_LINK_COMPRESS,
     ZONE_MLP,
     ZONE_OPTIMIZER,
     ZONE_PS_APPLY,
     ZONE_PS_GATHER,
     ZONE_SERVING_LOOKUP,
+    ZONE_SHARD_ROUTE,
     ZONE_TT_BACKWARD,
     ZONE_TT_FORWARD,
     ZONE_TT_RECONSTRUCT,
@@ -90,6 +92,8 @@ __all__ = [
     "ZONE_PS_GATHER",
     "ZONE_PS_APPLY",
     "ZONE_SERVING_LOOKUP",
+    "ZONE_SHARD_ROUTE",
+    "ZONE_LINK_COMPRESS",
 ]
 
 BACKEND_NAMES: Tuple[str, ...] = ("numpy", "instrumented", "sanitizer", "torch")

@@ -62,6 +62,8 @@ __all__ = [
     "ZONE_PS_GATHER",
     "ZONE_PS_APPLY",
     "ZONE_SERVING_LOOKUP",
+    "ZONE_SHARD_ROUTE",
+    "ZONE_LINK_COMPRESS",
     "KERNEL_ZONE_NAMES",
 ]
 
@@ -85,6 +87,8 @@ ZONE_LC_CACHE = "lc_cache"              # §V-B life-cycle cache traffic
 ZONE_PS_GATHER = "ps_gather"            # parameter-server row gather
 ZONE_PS_APPLY = "ps_apply"              # server-side sparse update
 ZONE_SERVING_LOOKUP = "serving_lookup"  # hot-row-cached inference arms
+ZONE_SHARD_ROUTE = "shard_route"        # row -> shard routing index math
+ZONE_LINK_COMPRESS = "link_compress"    # PS-link compression / quantization
 
 KERNEL_ZONE_NAMES: Tuple[str, ...] = (
     ZONE_TT_FORWARD,
@@ -100,6 +104,8 @@ KERNEL_ZONE_NAMES: Tuple[str, ...] = (
     ZONE_PS_GATHER,
     ZONE_PS_APPLY,
     ZONE_SERVING_LOOKUP,
+    ZONE_SHARD_ROUTE,
+    ZONE_LINK_COMPRESS,
 )
 
 

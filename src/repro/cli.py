@@ -170,6 +170,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         backend=EmbeddingBackend(args.embedding_backend),
         tt_rank=args.tt_rank, bottom_mlp=(16,), top_mlp=(16,),
     )
+    if args.shards >= 1:
+        return _train_sharded(args, spec, log, cfg)
     model = DLRM(cfg, seed=args.seed)
     plan_cache = get_plan_cache()
     losses = [
@@ -185,6 +187,67 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(
         f"plan cache: {stats['hits']} hits, {stats['misses']} misses, "
         f"{stats['entries']} entries"
+    )
+    backend = get_backend()
+    if isinstance(backend, (InstrumentedBackend, SanitizerBackend)):
+        print()
+        print(backend.report())
+    return 0 if losses[-1] < losses[0] else 1
+
+
+def _train_sharded(args: argparse.Namespace, spec, log, cfg) -> int:
+    """``repro train --shards N``: the sharded-PS pipelined path.
+
+    Profiles a training-data prefix into measured per-table
+    :class:`~repro.reorder.stats.TableStats`, plans a placement, and
+    trains through the pipelined trainer on an N-shard parameter
+    server, reporting the placement decision table and per-link PS
+    traffic.  With ``--compress none`` (the default) the loss
+    trajectory is bitwise-independent of N.
+    """
+    from repro.backend import InstrumentedBackend, SanitizerBackend, get_backend
+    from repro.reorder import table_stats_from_log
+    from repro.sharding import LinkCompressionConfig, build_sharded_ps_trainer
+
+    profile_batches = max(1, min(args.steps, 8))
+    stats = [
+        table_stats_from_log(log, t, num_batches=profile_batches)
+        for t in range(spec.num_sparse)
+    ]
+    compression = LinkCompressionConfig(
+        mode=args.compress, topk_fraction=args.topk_fraction
+    )
+    setup = build_sharded_ps_trainer(
+        cfg,
+        num_shards=args.shards,
+        compression=compression,
+        stats=stats,
+        device_budget_bytes=args.device_budget_mb * 1_000_000,
+        lr=args.lr,
+    )
+    print(f"placement plan ({setup.plan.strategy}, {args.shards} shard(s)):")
+    print(setup.plan.format_table())
+    print(
+        f"server tables at positions {setup.host_positions} "
+        f"behind {args.shards}-shard PS, compression '{args.compress}'"
+    )
+    result = setup.trainer.train(log, args.steps)
+    losses = [float(x) for x in result.losses]
+    print(
+        f"trained {args.steps} steps on {args.dataset} "
+        f"({get_backend().name} backend, {args.shards} shard(s)): "
+        f"loss {losses[0]:.4f} -> {losses[-1]:.4f}"
+    )
+    link = setup.server.link_stats.summary()
+    print(
+        f"PS links: pull {link['pull_wire_bytes']:,}B / "
+        f"push {link['push_wire_bytes']:,}B on wire "
+        f"(raw {link['pull_raw_bytes'] + link['push_raw_bytes']:,}B, "
+        f"ratio {link['compression_ratio']:.2f}x)"
+    )
+    print(
+        f"exactly-once: {setup.server.update_count} updates, "
+        f"per-shard applies {setup.server.shard_apply_counts.tolist()}"
     )
     backend = get_backend()
     if isinstance(backend, (InstrumentedBackend, SanitizerBackend)):
@@ -370,6 +433,15 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
     status = "ok" if resume_ok else "FAILED (trajectories diverged)"
     print(f"resume   snapshot -> restore is bitwise  [{status}]")
 
+    # Sharded-equivalence gate: with link compression off, training on
+    # a 2-shard parameter server must be bitwise-identical to the
+    # 1-shard run; with compression on, the final loss must stay within
+    # the documented accuracy bound (DESIGN.md §11).
+    sharded_ok, sharded_detail = _sharded_equivalence_gate()
+    ok = ok and sharded_ok
+    status = "ok" if sharded_ok else "FAILED (sharding changed the math)"
+    print(f"sharded  {sharded_detail}  [{status}]")
+
     # Static checks: reprolint over the installed package, then mypy
     # on the strict modules when the tool is available.
     from pathlib import Path
@@ -411,6 +483,68 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
         ok = ok and mypy_status
         print(f"mypy     strict modules  [{'ok' if mypy_status else 'FAILED'}]")
     return 0 if ok else 1
+
+
+# Accuracy bound for the compression-on quickcheck gate: top-k
+# error-feedback plus int8 pulls may move the final loss of the short
+# gate run by at most this relative amount (DESIGN.md §11 documents the
+# bound; tests/sharding pins it too).
+_COMPRESSED_LOSS_RTOL = 5e-2
+
+
+def _sharded_equivalence_gate() -> tuple:
+    """(ok, detail) for the quickcheck sharded-PS gate."""
+    from repro.data.dataloader import SyntheticClickLog
+    from repro.data.datasets import criteo_kaggle_like
+    from repro.models.config import DLRMConfig, EmbeddingBackend
+    from repro.sharding import LinkCompressionConfig, build_sharded_ps_trainer
+
+    num_batches = 10
+    spec = criteo_kaggle_like(scale=2e-5)
+    log = SyntheticClickLog(spec, batch_size=32, seed=0)
+    cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        tt_threshold_rows=100, bottom_mlp=(16,), top_mlp=(16,),
+    )
+    rows = list(cfg.table_rows)
+    positions = sorted(range(len(rows)), key=lambda t: -rows[t])[:2]
+
+    def run(num_shards, compression=None):
+        setup = build_sharded_ps_trainer(
+            cfg, num_shards=num_shards, compression=compression,
+            host_positions=positions,
+        )
+        losses = [
+            float(x) for x in setup.trainer.train(log, num_batches).losses
+        ]
+        return losses, setup.server
+
+    base_losses, base_server = run(1)
+    shard_losses, shard_server = run(2)
+    import numpy as np
+
+    base_state = base_server.state_arrays()
+    shard_view = {
+        t: np.asarray(shard_server.tables[t])
+        for t in range(shard_server.num_tables)
+    }
+    bitwise = base_losses == shard_losses and all(
+        np.array_equal(base_state[f"table{t}/shard0"], shard_view[t])
+        for t in range(shard_server.num_tables)
+    )
+
+    comp_losses, comp_server = run(
+        2, LinkCompressionConfig(mode="both", topk_fraction=0.25)
+    )
+    rel = abs(comp_losses[-1] - base_losses[-1]) / abs(base_losses[-1])
+    bounded = rel <= _COMPRESSED_LOSS_RTOL
+    shrunk = comp_server.link_stats.compression_ratio > 1.0
+    detail = (
+        f"2-shard == 1-shard bitwise: {bitwise}; compressed final-loss "
+        f"drift {rel:.2e} (bound {_COMPRESSED_LOSS_RTOL:g}), "
+        f"wire ratio {comp_server.link_stats.compression_ratio:.2f}x"
+    )
+    return bitwise and bounded and shrunk, detail
 
 
 # Modules held to `mypy --strict` (see [tool.mypy] in pyproject.toml).
@@ -630,6 +764,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         num_requests=args.requests,
         max_restarts=args.max_restarts,
+        num_shards=args.shards,
     )
     if args.checkpoint_dir is not None:
         outcome = run_chaos(plan, args.checkpoint_dir, config)
@@ -703,6 +838,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     train.add_argument("--lr", type=float, default=0.1)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--shards", type=int, default=0,
+        help="train through a sharded parameter server with this many "
+        "simulated devices (0 = plain local training); with "
+        "--compress none the loss trajectory is bitwise-independent "
+        "of the shard count",
+    )
+    train.add_argument(
+        "--compress", choices=["none", "topk", "quant", "both"],
+        default="none",
+        help="PS-link compression: top-k error-feedback gradient "
+        "pushes and/or int8-quantized row pulls (requires --shards)",
+    )
+    train.add_argument(
+        "--topk-fraction", type=float, default=0.1,
+        help="fraction of unique rows sent per step under --compress "
+        "topk/both",
+    )
+    train.add_argument(
+        "--device-budget-mb", type=int, default=1,
+        help="per-device memory budget for the placement planner "
+        "(sharded path only)",
+    )
     _add_backend_flag(train)
     bench = sub.add_parser(
         "bench", help="per-kernel-zone cost report for a fixed workload"
@@ -817,6 +975,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--max-restarts", type=int, default=8)
     chaos.add_argument("--num-faults", type=int, default=3,
                        help="fault count for --plan random")
+    chaos.add_argument(
+        "--shards", type=int, default=0,
+        help="run the harness on a sharded parameter server with this "
+        "many shards (0 = legacy host server); recovery invariants "
+        "must hold either way",
+    )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument(
         "--checkpoint-dir", type=str, default=None,

@@ -28,7 +28,12 @@ import numpy as np
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive, check_probability
 
-__all__ = ["zipf_probabilities", "ZipfSampler", "ClusteredZipfSampler"]
+__all__ = [
+    "zipf_probabilities",
+    "analytic_hot_mass",
+    "ZipfSampler",
+    "ClusteredZipfSampler",
+]
 
 # Above this row count the exact CDF array (8 bytes/row) is replaced by
 # the analytic continuous inverse.
@@ -47,6 +52,37 @@ def zipf_probabilities(num_rows: int, alpha: float) -> np.ndarray:
     ranks = np.arange(1, num_rows + 1, dtype=np.float64)
     weights = ranks**-alpha
     return weights / weights.sum()
+
+
+def analytic_hot_mass(num_rows: int, alpha: float, hot_fraction: float) -> float:
+    """Expected fraction of accesses landing in the hottest rows.
+
+    The "hot-set mass" a :class:`~repro.reorder.stats.TableStats` would
+    converge to over an infinite access stream: the Zipf CDF evaluated
+    at ``ceil(hot_fraction * num_rows)`` ranks.  Uses the exact pmf for
+    tables that fit a CDF array and the continuous power-law integral
+    (the same approximation :meth:`ZipfSampler._analytic_inverse`
+    samples from) for Figure-13-scale tables.
+    """
+    check_positive(num_rows, "num_rows")
+    check_positive(alpha, "alpha", strict=False)
+    check_probability(hot_fraction, "hot_fraction")
+    hot_rows = int(np.ceil(hot_fraction * num_rows))
+    if hot_rows <= 0:
+        return 0.0
+    if hot_rows >= num_rows:
+        return 1.0
+    if num_rows <= _EXACT_CDF_LIMIT:
+        probs = zipf_probabilities(num_rows, alpha)
+        return float(probs[:hot_rows].sum())
+    # Continuous-support approximation: mass(m) = h(m+1) / h(N+1) with
+    # h(x) the integral of t^-alpha over [1, x].
+    def h(x: float) -> float:
+        if abs(alpha - 1.0) < 1e-9:
+            return float(np.log(x))
+        return float((x ** (1.0 - alpha) - 1.0) / (1.0 - alpha))
+
+    return h(hot_rows + 1.0) / h(num_rows + 1.0)
 
 
 class ZipfSampler:
@@ -151,6 +187,15 @@ class ZipfSampler:
         if not self._exact:
             raise ValueError("rows_covering requires an exact-CDF sampler")
         return int(np.searchsorted(self._cdf, fraction, side="left")) + 1
+
+    def hot_mass(self, hot_fraction: float) -> float:
+        """Fraction of accesses expected to hit the hottest rows.
+
+        The analytic counterpart of the measured
+        :class:`~repro.reorder.stats.TableStats` hot-set mass; the
+        placement planner accepts either.
+        """
+        return analytic_hot_mass(self.num_rows, self.alpha, hot_fraction)
 
 
 class ClusteredZipfSampler:

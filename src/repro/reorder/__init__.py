@@ -22,7 +22,13 @@ from repro.reorder.bijection import (
     build_bijection,
     build_frequency_bijection,
 )
-from repro.reorder.stats import batch_locality_stats, reuse_improvement
+from repro.reorder.stats import (
+    TableStats,
+    batch_locality_stats,
+    measure_table_stats,
+    reuse_improvement,
+    table_stats_from_log,
+)
 
 __all__ = [
     "IndexGraph",
@@ -34,4 +40,7 @@ __all__ = [
     "build_frequency_bijection",
     "batch_locality_stats",
     "reuse_improvement",
+    "TableStats",
+    "measure_table_stats",
+    "table_stats_from_log",
 ]

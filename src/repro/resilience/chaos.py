@@ -153,6 +153,11 @@ class ChaosHarnessConfig:
     #: this.
     p99_budget_factor: float = 10.0
     max_restarts: int = 8
+    #: 0 = legacy single-table :class:`HostParameterServer`; >= 1 puts
+    #: the host tables behind a
+    #: :class:`~repro.sharding.server.ShardedParameterServer` with that
+    #: many shards (bitwise-identical trajectories, compression off).
+    num_shards: int = 0
 
 
 @dataclass
@@ -226,9 +231,17 @@ def _build_harness(config: ChaosHarnessConfig):
                     )
                 )
         model = DLRM(model_cfg, seed=7, embedding_bags=bags)
-        server = HostParameterServer(
-            server_rows, model_cfg.embedding_dim, lr=0.05, seed=3
-        )
+        if config.num_shards >= 1:
+            from repro.sharding.server import ShardedParameterServer
+
+            server = ShardedParameterServer(
+                server_rows, model_cfg.embedding_dim, lr=0.05,
+                num_shards=config.num_shards, seed=3,
+            )
+        else:
+            server = HostParameterServer(
+                server_rows, model_cfg.embedding_dim, lr=0.05, seed=3
+            )
         return PipelinedPSTrainer(
             model, server, host_map, lr=0.05,
             prefetch_depth=3, grad_queue_depth=2, use_cache=True,
@@ -475,8 +488,9 @@ def resume_determinism_check(
         ).losses
     ]
 
-    tables_equal = all(
-        np.array_equal(a, b)
-        for a, b in zip(reference.server.tables, second.server.tables)
+    ref_state = reference.server.state_arrays()
+    second_state = second.server.state_arrays()
+    tables_equal = sorted(ref_state) == sorted(second_state) and all(
+        np.array_equal(ref_state[k], second_state[k]) for k in ref_state
     )
     return losses == ref_losses and tables_equal

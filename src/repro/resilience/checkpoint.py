@@ -67,9 +67,12 @@ def capture_trainer_arrays(trainer: _PSTrainerBase) -> Dict[str, np.ndarray]:
 
     Covers dense MLP parameters (``param/<name>``), local embedding
     bags (``bag<t>/weight`` for dense, ``bag<t>/core<k>`` plus optional
-    ``bag<t>/adagrad<k>`` for TT), and the parameter server's host
-    tables (``server/table<s>``).  Host-backed bags own nothing local —
-    their rows are a view into the server — so they are skipped.
+    ``bag<t>/adagrad<k>`` for TT), and the parameter server's state
+    under a ``server/`` prefix, as named by the server's own
+    ``state_arrays()`` — ``server/table<s>`` for the host server,
+    ``server/table<t>/shard<s>`` (plus error-feedback residuals) for
+    the sharded one.  Host-backed bags own nothing local — their rows
+    are a view into the server — so they are skipped.
     """
     arrays: Dict[str, np.ndarray] = {}
     for name, param in trainer.model.named_parameters():
@@ -86,8 +89,8 @@ def capture_trainer_arrays(trainer: _PSTrainerBase) -> Dict[str, np.ndarray]:
         if acc is not None:
             for k, slot in enumerate(acc):
                 arrays[f"bag{t}/adagrad{k}"] = np.array(slot, copy=True)
-    for s, table in enumerate(trainer.server.tables):
-        arrays[f"server/table{s}"] = np.array(table, copy=True)
+    for name, array in trainer.server.state_arrays().items():
+        arrays[f"server/{name}"] = np.array(array, copy=True)
     return arrays
 
 
@@ -128,8 +131,16 @@ def restore_trainer_arrays(
         if acc is not None:
             for k, slot in enumerate(acc):
                 stage(f"bag{t}/adagrad{k}", slot)
-    for s, table in enumerate(trainer.server.tables):
-        stage(f"server/table{s}", table)
+    # The server validates its own arrays (shape-check before any
+    # write), so staging model/bag arrays first then handing the
+    # ``server/`` subset over keeps the all-or-nothing property.
+    server_arrays = {}
+    for name in trainer.server.state_arrays():
+        key = f"server/{name}"
+        if key not in arrays:
+            raise KeyError(f"snapshot missing array {key!r}")
+        server_arrays[name] = arrays[key]
+    trainer.server.load_state_arrays(server_arrays)
 
     for target, stored in writes:
         target[...] = stored

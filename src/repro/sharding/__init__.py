@@ -1,0 +1,76 @@
+"""Sharded parameter-server tier with statistics-driven placement.
+
+EL-Rec's PS-pipelined training (paper §V) assumes one host-resident
+parameter server.  This package scales that tier out to ``N`` simulated
+devices while preserving the repo's foundation invariant — bitwise
+determinism:
+
+* :mod:`repro.sharding.partitioner` — deterministic mod-N row routing
+  between global ids and per-shard blocks.
+* :mod:`repro.sharding.placement` — RecShard-style placement planning:
+  per-table :class:`~repro.reorder.stats.TableStats` (cardinality,
+  Zipf skew, hot-set mass) decide between dense-on-device, TT
+  compression, hot/cold split, row sharding, and host overflow under a
+  per-device memory budget, behind a pluggable
+  :class:`~repro.sharding.placement.PlacementStrategy` protocol.
+* :mod:`repro.sharding.server` — the
+  :class:`~repro.sharding.server.ShardedParameterServer`, a drop-in
+  for :class:`~repro.system.parameter_server.HostParameterServer` with
+  per-shard-link byte accounting and exactly-once gradient counters.
+* :mod:`repro.sharding.compression` — optional top-k error-feedback
+  gradient compression and int8 pull quantization on the PS links
+  (both off by default; the default path is bitwise).
+* :mod:`repro.sharding.trainer` — glue that plans a placement and
+  assembles the standard pipelined PS trainer on the sharded tier.
+
+With compression off, ``N``-shard training is bit-identical to the
+single-table baseline for any ``N`` — the property the quickcheck
+sharded-equivalence gate and ``tests/sharding`` pin.
+"""
+
+from repro.sharding.compression import (
+    COMPRESSION_MODES,
+    CompressedPush,
+    LinkCompressionConfig,
+    PullQuantizer,
+    TopKErrorFeedback,
+)
+from repro.sharding.partitioner import ShardPartitioner
+from repro.sharding.placement import (
+    PlacementDecision,
+    PlacementKind,
+    PlacementPlan,
+    PlacementStrategy,
+    RowShardedStrategy,
+    StatsDrivenStrategy,
+    server_resident,
+    tt_core_bytes,
+)
+from repro.sharding.server import LinkStats, ShardedParameterServer
+from repro.sharding.trainer import (
+    ShardedTrainerSetup,
+    analytic_table_stats,
+    build_sharded_ps_trainer,
+)
+
+__all__ = [
+    "ShardPartitioner",
+    "PlacementKind",
+    "PlacementDecision",
+    "PlacementPlan",
+    "PlacementStrategy",
+    "StatsDrivenStrategy",
+    "RowShardedStrategy",
+    "server_resident",
+    "tt_core_bytes",
+    "ShardedParameterServer",
+    "LinkStats",
+    "LinkCompressionConfig",
+    "COMPRESSION_MODES",
+    "CompressedPush",
+    "TopKErrorFeedback",
+    "PullQuantizer",
+    "ShardedTrainerSetup",
+    "analytic_table_stats",
+    "build_sharded_ps_trainer",
+]

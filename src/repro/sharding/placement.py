@@ -1,0 +1,427 @@
+"""Statistics-driven embedding-table placement planning (RecShard-style).
+
+Given per-table :class:`~repro.reorder.stats.TableStats` (cardinality,
+measured Zipf skew, hot-set mass) and a per-device memory budget, a
+:class:`PlacementStrategy` decides where each table lives:
+
+==============  =====================================================
+kind            meaning
+==============  =====================================================
+DENSE_DEVICE    small table, dense copy in device HBM
+TT_DEVICE       large table, TT-compressed cores in device HBM
+HOT_COLD        skewed table: hot rows cached on device, cold rows
+                served from the (sharded) parameter server
+ROW_SHARDED     rows mod-N split across the PS shard devices
+HOST            falls back to plain host memory behind the PS
+==============  =====================================================
+
+:class:`StatsDrivenStrategy` generalizes the hand-rolled placement the
+training harness used (TT above a row threshold, two largest tables on
+the host); :class:`RowShardedStrategy` reproduces HugeCTR's
+all-tables-sharded model-parallel layout and backs
+:class:`repro.frameworks.hugectr.HugeCTR`.
+
+Decision rules compare against **fixed fractions of the whole
+per-device budget**, never against a running remaining budget, so each
+table's decision is independent of the others and — apart from the
+ROW_SHARDED / HOST boundary, which moves with the device count but
+stays on the server-resident side — independent of ``num_devices``.
+That independence is what keeps N-shard training bitwise-identical to
+the single-shard baseline: changing N never moves a table between the
+worker and the server.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.reorder.stats import TableStats
+from repro.utils.factorize import suggest_tt_shapes
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "PlacementKind",
+    "PlacementDecision",
+    "PlacementPlan",
+    "PlacementStrategy",
+    "StatsDrivenStrategy",
+    "RowShardedStrategy",
+    "server_resident",
+    "tt_core_bytes",
+]
+
+
+class PlacementKind(enum.Enum):
+    DENSE_DEVICE = "dense_device"
+    TT_DEVICE = "tt_device"
+    HOT_COLD = "hot_cold"
+    ROW_SHARDED = "row_sharded"
+    HOST = "host"
+
+
+#: Kinds whose rows are served by the parameter server (vs worker-owned).
+_SERVER_KINDS = frozenset(
+    {PlacementKind.HOT_COLD, PlacementKind.ROW_SHARDED, PlacementKind.HOST}
+)
+
+
+def server_resident(kind: PlacementKind) -> bool:
+    """Whether a placement kind routes lookups through the PS tier."""
+    return kind in _SERVER_KINDS
+
+
+def tt_core_bytes(
+    num_rows: int,
+    embedding_dim: int,
+    tt_rank: int,
+    dtype_bytes: int = 8,
+    num_cores: int = 3,
+) -> Optional[int]:
+    """Bytes of a TT factorization's cores, or None if none fits.
+
+    Rank pattern ``(1, r, ..., r, 1)``; shapes via
+    :func:`~repro.utils.factorize.suggest_tt_shapes`.  Returns None
+    when no balanced factorization exists within the padding budget.
+    """
+    try:
+        row_shape, col_shape, _padded = suggest_tt_shapes(
+            num_rows, embedding_dim, num_cores=num_cores
+        )
+    except ValueError:
+        return None
+    ranks = [1] + [tt_rank] * (len(row_shape) - 1) + [1]
+    params = sum(
+        ranks[k] * row_shape[k] * col_shape[k] * ranks[k + 1]
+        for k in range(len(row_shape))
+    )
+    return params * dtype_bytes
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where one table lives, with its memory footprint split out."""
+
+    table_idx: int
+    kind: PlacementKind
+    num_rows: int
+    device_bytes: int
+    server_bytes: int
+    reason: str
+
+    @property
+    def on_server(self) -> bool:
+        return server_resident(self.kind)
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """A full placement: one decision per table plus feasibility."""
+
+    strategy: str
+    num_devices: int
+    device_budget_bytes: int
+    decisions: List[PlacementDecision]
+
+    @property
+    def per_device_bytes(self) -> int:
+        """Worst-case device HBM consumed by this plan.
+
+        Worker-resident tables (dense / TT / hot caches) are counted in
+        full on every device (data-parallel replication); row-sharded
+        server tables contribute their largest shard block.
+        """
+        replicated = sum(
+            d.device_bytes
+            for d in self.decisions
+            if d.kind != PlacementKind.ROW_SHARDED
+        )
+        sharded = sum(
+            d.device_bytes
+            for d in self.decisions
+            if d.kind == PlacementKind.ROW_SHARDED
+        )
+        return replicated + sharded
+
+    @property
+    def host_bytes(self) -> int:
+        """Bytes that stay in plain host memory (HOST + cold halves)."""
+        return sum(
+            d.server_bytes
+            for d in self.decisions
+            if d.kind in (PlacementKind.HOST, PlacementKind.HOT_COLD)
+        )
+
+    @property
+    def feasible(self) -> bool:
+        return self.per_device_bytes <= self.device_budget_bytes
+
+    @property
+    def infeasible_reason(self) -> Optional[str]:
+        if self.feasible:
+            return None
+        return (
+            f"per-device footprint {self.per_device_bytes / 1e9:.2f} GB "
+            f"exceeds budget {self.device_budget_bytes / 1e9:.2f} GB "
+            f"at {self.num_devices} device(s)"
+        )
+
+    def server_table_positions(self) -> List[int]:
+        """Model positions whose lookups go through the PS tier."""
+        return [d.table_idx for d in self.decisions if d.on_server]
+
+    def kind_of(self, table_idx: int) -> PlacementKind:
+        for d in self.decisions:
+            if d.table_idx == table_idx:
+                return d.kind
+        raise KeyError(f"no decision for table {table_idx}")
+
+    def format_table(self) -> str:
+        """Human-readable decision table for the CLI."""
+        header = (
+            f"{'table':>5}  {'rows':>10}  {'kind':<12}  "
+            f"{'device':>10}  {'server':>10}  reason"
+        )
+        lines = [header, "-" * len(header)]
+        for d in self.decisions:
+            lines.append(
+                f"{d.table_idx:>5}  {d.num_rows:>10}  {d.kind.value:<12}  "
+                f"{d.device_bytes / 1e6:>8.2f}MB  "
+                f"{d.server_bytes / 1e6:>8.2f}MB  {d.reason}"
+            )
+        lines.append(
+            f"per-device {self.per_device_bytes / 1e6:.2f} MB of "
+            f"{self.device_budget_bytes / 1e6:.2f} MB budget "
+            f"({self.num_devices} device(s)) -> "
+            f"{'feasible' if self.feasible else 'INFEASIBLE'}"
+        )
+        return "\n".join(lines)
+
+
+@runtime_checkable
+class PlacementStrategy(Protocol):
+    """Pluggable placement policy (the HugeCTR/EL-Rec extension point)."""
+
+    name: str
+
+    def plan(
+        self,
+        stats: Sequence[TableStats],
+        num_devices: int,
+        device_budget_bytes: int,
+        embedding_dim: int,
+        dtype_bytes: int = 8,
+        tt_rank: int = 8,
+    ) -> PlacementPlan:
+        """Decide a placement for every table in ``stats``."""
+        ...
+
+
+class StatsDrivenStrategy:
+    """Skew- and size-aware placement (the EL-Rec/RecShard hybrid).
+
+    Parameters
+    ----------
+    dense_fraction:
+        A table whose dense bytes fit within this fraction of the
+        budget is simply replicated on-device.
+    tt_fraction:
+        A TT-compressible table whose cores fit within this fraction
+        of the budget keeps its compressed form on-device.
+    shard_fraction:
+        A server table is row-sharded if its dense bytes fit within
+        this fraction of the budget *per device*; beyond that it
+        overflows to plain host memory.
+    tt_threshold_rows:
+        Minimum cardinality for TT to be worth the decompression
+        compute (small tables are cheaper dense).
+    """
+
+    name = "stats_driven"
+
+    def __init__(
+        self,
+        dense_fraction: float = 0.05,
+        tt_fraction: float = 0.10,
+        shard_fraction: float = 0.50,
+        tt_threshold_rows: int = 4096,
+    ) -> None:
+        for val, label in (
+            (dense_fraction, "dense_fraction"),
+            (tt_fraction, "tt_fraction"),
+            (shard_fraction, "shard_fraction"),
+        ):
+            if not 0.0 < val <= 1.0:
+                raise ValueError(f"{label} must be in (0, 1], got {val}")
+        check_positive(tt_threshold_rows, "tt_threshold_rows")
+        self.dense_fraction = float(dense_fraction)
+        self.tt_fraction = float(tt_fraction)
+        self.shard_fraction = float(shard_fraction)
+        self.tt_threshold_rows = int(tt_threshold_rows)
+
+    def plan(
+        self,
+        stats: Sequence[TableStats],
+        num_devices: int,
+        device_budget_bytes: int,
+        embedding_dim: int,
+        dtype_bytes: int = 8,
+        tt_rank: int = 8,
+    ) -> PlacementPlan:
+        check_positive(num_devices, "num_devices")
+        check_positive(device_budget_bytes, "device_budget_bytes")
+        decisions = []
+        for st in stats:
+            decisions.append(
+                self._decide(
+                    st,
+                    num_devices,
+                    device_budget_bytes,
+                    embedding_dim,
+                    dtype_bytes,
+                    tt_rank,
+                )
+            )
+        return PlacementPlan(
+            strategy=self.name,
+            num_devices=num_devices,
+            device_budget_bytes=device_budget_bytes,
+            decisions=decisions,
+        )
+
+    def _decide(
+        self,
+        st: TableStats,
+        num_devices: int,
+        budget: int,
+        embedding_dim: int,
+        dtype_bytes: int,
+        tt_rank: int,
+    ) -> PlacementDecision:
+        dense_bytes = st.num_rows * embedding_dim * dtype_bytes
+        if dense_bytes <= self.dense_fraction * budget:
+            return PlacementDecision(
+                table_idx=st.table_idx,
+                kind=PlacementKind.DENSE_DEVICE,
+                num_rows=st.num_rows,
+                device_bytes=dense_bytes,
+                server_bytes=0,
+                reason=(
+                    f"dense {dense_bytes / 1e6:.2f} MB within "
+                    f"{self.dense_fraction:.0%} of budget"
+                ),
+            )
+        if st.num_rows >= self.tt_threshold_rows:
+            tt_bytes = tt_core_bytes(
+                st.num_rows, embedding_dim, tt_rank, dtype_bytes
+            )
+            if tt_bytes is not None and tt_bytes <= self.tt_fraction * budget:
+                return PlacementDecision(
+                    table_idx=st.table_idx,
+                    kind=PlacementKind.TT_DEVICE,
+                    num_rows=st.num_rows,
+                    device_bytes=tt_bytes,
+                    server_bytes=0,
+                    reason=(
+                        f"TT rank {tt_rank} compresses "
+                        f"{dense_bytes / 1e6:.2f} MB to "
+                        f"{tt_bytes / 1e6:.2f} MB"
+                    ),
+                )
+        if st.skewed:
+            hot_bytes = st.hot_rows * embedding_dim * dtype_bytes
+            if hot_bytes <= self.dense_fraction * budget:
+                return PlacementDecision(
+                    table_idx=st.table_idx,
+                    kind=PlacementKind.HOT_COLD,
+                    num_rows=st.num_rows,
+                    device_bytes=hot_bytes,
+                    server_bytes=dense_bytes - hot_bytes,
+                    reason=(
+                        f"hot {st.hot_fraction:.0%} of rows carries "
+                        f"{st.hot_mass:.0%} of accesses"
+                    ),
+                )
+        per_shard = _shard_block_bytes(
+            st.num_rows, num_devices, embedding_dim, dtype_bytes
+        )
+        if per_shard <= self.shard_fraction * budget:
+            return PlacementDecision(
+                table_idx=st.table_idx,
+                kind=PlacementKind.ROW_SHARDED,
+                num_rows=st.num_rows,
+                device_bytes=per_shard,
+                server_bytes=dense_bytes,
+                reason=(
+                    f"mod-{num_devices} shard block "
+                    f"{per_shard / 1e6:.2f} MB within "
+                    f"{self.shard_fraction:.0%} of budget"
+                ),
+            )
+        return PlacementDecision(
+            table_idx=st.table_idx,
+            kind=PlacementKind.HOST,
+            num_rows=st.num_rows,
+            device_bytes=0,
+            server_bytes=dense_bytes,
+            reason=(
+                f"dense {dense_bytes / 1e9:.2f} GB overflows to host"
+            ),
+        )
+
+
+class RowShardedStrategy:
+    """HugeCTR-style model parallelism: every table row-sharded.
+
+    Each device owns a ``ceil(rows / N)`` block of every table; the
+    plan is infeasible when the summed blocks exceed the per-device
+    budget.  No statistics are consulted — this is the baseline the
+    stats-driven planner improves on.
+    """
+
+    name = "row_sharded"
+
+    def plan(
+        self,
+        stats: Sequence[TableStats],
+        num_devices: int,
+        device_budget_bytes: int,
+        embedding_dim: int,
+        dtype_bytes: int = 8,
+        tt_rank: int = 8,
+    ) -> PlacementPlan:
+        check_positive(num_devices, "num_devices")
+        check_positive(device_budget_bytes, "device_budget_bytes")
+        decisions = []
+        for st in stats:
+            dense_bytes = st.num_rows * embedding_dim * dtype_bytes
+            per_shard = _shard_block_bytes(
+                st.num_rows, num_devices, embedding_dim, dtype_bytes
+            )
+            decisions.append(
+                PlacementDecision(
+                    table_idx=st.table_idx,
+                    kind=PlacementKind.ROW_SHARDED,
+                    num_rows=st.num_rows,
+                    device_bytes=per_shard,
+                    server_bytes=dense_bytes,
+                    reason=f"mod-{num_devices} row shard",
+                )
+            )
+        return PlacementPlan(
+            strategy=self.name,
+            num_devices=num_devices,
+            device_budget_bytes=device_budget_bytes,
+            decisions=decisions,
+        )
+
+
+def _shard_block_bytes(
+    num_rows: int, num_devices: int, embedding_dim: int, dtype_bytes: int
+) -> int:
+    """Largest per-device block of a mod-N row-sharded table."""
+    rows = int(np.ceil(num_rows / num_devices))
+    return rows * embedding_dim * dtype_bytes

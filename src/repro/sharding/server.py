@@ -1,0 +1,368 @@
+"""Sharded parameter server: host tables split across simulated devices.
+
+:class:`ShardedParameterServer` duck-types
+:class:`~repro.system.parameter_server.HostParameterServer` — same
+``gather`` / ``apply_gradients`` / ``tables`` surface — so the existing
+sequential and pipelined PS trainers drive it unchanged.  Internally
+every table is split across ``num_shards`` simulated devices by the
+mod-N :class:`~repro.sharding.partitioner.ShardPartitioner`; a gather
+fans out to the owning shards and reassembles rows in globally sorted
+order, an apply fans the aggregated row gradients back out.
+
+Three invariants the tests pin:
+
+* **Bitwise equivalence** — with link compression off, training against
+  an N-shard server is bit-identical to the single-table baseline for
+  any N: tables are initialized *before* splitting with the exact
+  HostParameterServer RNG stream, per-shard blocks are strided views'
+  copies (``table[s::N]``), and both fan-out directions preserve sorted
+  order, so every float op matches the unsharded execution.
+* **Exactly-once accounting** — each ``apply_gradients`` call is one
+  logical update; per-shard apply counters track which devices actually
+  received rows, and their sum over a run equals the number of
+  non-empty (table, shard) pushes.  The resilience ledger's replay
+  therefore reconciles against ``update_count`` exactly as it does for
+  the host server.
+* **Explicit wire accounting** — every pull (gather) and push
+  (gradient) is metered per shard link in raw vs on-wire bytes, so the
+  scaling benchmark can show compression shrinking PS traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.backend import ZONE_PS_APPLY, ZONE_PS_GATHER, get_backend
+from repro.nn.optim import SparseSGD
+from repro.sharding.compression import (
+    LinkCompressionConfig,
+    build_pull_quantizer,
+    build_push_compressor,
+)
+from repro.sharding.partitioner import ShardPartitioner
+from repro.system.parameter_server import PrefetchedRows
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.validation import check_1d_int_array
+
+__all__ = ["ShardedParameterServer", "LinkStats"]
+
+_ROW_ID_BYTES = 8
+
+
+@dataclass
+class LinkStats:
+    """Per-shard-link byte counters (pull = gather, push = gradients)."""
+
+    num_shards: int
+    pull_raw: np.ndarray = field(init=False)
+    pull_wire: np.ndarray = field(init=False)
+    push_raw: np.ndarray = field(init=False)
+    push_wire: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        for name in ("pull_raw", "pull_wire", "push_raw", "push_wire"):
+            setattr(self, name, np.zeros(self.num_shards, dtype=np.int64))
+
+    @property
+    def total_raw(self) -> int:
+        return int(self.pull_raw.sum() + self.push_raw.sum())
+
+    @property
+    def total_wire(self) -> int:
+        return int(self.pull_wire.sum() + self.push_wire.sum())
+
+    @property
+    def compression_ratio(self) -> float:
+        """raw / wire (1.0 when nothing crossed a link yet)."""
+        wire = self.total_wire
+        return self.total_raw / wire if wire else 1.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "pull_raw_bytes": int(self.pull_raw.sum()),
+            "pull_wire_bytes": int(self.pull_wire.sum()),
+            "push_raw_bytes": int(self.push_raw.sum()),
+            "push_wire_bytes": int(self.push_wire.sum()),
+            "compression_ratio": self.compression_ratio,
+        }
+
+
+class _ShardedTableView:
+    """Read-only global-index view over one table's shard blocks.
+
+    Lets callers that expect a plain ``np.ndarray`` table (the
+    pipeline's no-cache diagnostic, serving snapshots) address rows by
+    global id without knowing the shard layout.
+    """
+
+    def __init__(
+        self,
+        blocks: List[np.ndarray],
+        partitioner: ShardPartitioner,
+        num_rows: int,
+        embedding_dim: int,
+    ) -> None:
+        self._blocks = blocks
+        self._partitioner = partitioner
+        self._num_rows = num_rows
+        self._embedding_dim = embedding_dim
+
+    @property
+    def shape(self):
+        return (self._num_rows, self._embedding_dim)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._blocks)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __getitem__(self, key) -> np.ndarray:
+        idx = np.asarray(key, dtype=np.int64)
+        scalar = idx.ndim == 0
+        flat = idx.reshape(-1)
+        shard_ids, local = self._partitioner.route(flat)
+        out = np.empty(
+            (flat.size, self._embedding_dim), dtype=np.float64
+        )
+        for s, block in enumerate(self._blocks):
+            mask = shard_ids == s
+            if mask.any():
+                out[mask] = block[local[mask]]
+        if scalar:
+            return out[0]
+        return out.reshape(idx.shape + (self._embedding_dim,))
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        full = np.empty(
+            (self._num_rows, self._embedding_dim), dtype=np.float64
+        )
+        for s, block in enumerate(self._blocks):
+            full[s :: self._partitioner.num_shards] = block
+        if dtype is not None:
+            return full.astype(dtype)
+        return full
+
+
+class _TableViewList:
+    """List-like ``server.tables`` facade producing shard views."""
+
+    def __init__(self, server: "ShardedParameterServer") -> None:
+        self._server = server
+
+    def __len__(self) -> int:
+        return self._server.num_tables
+
+    def __getitem__(self, table_idx: int) -> _ShardedTableView:
+        return self._server.table_view(table_idx)
+
+    def __iter__(self):
+        for t in range(len(self)):
+            yield self[t]
+
+
+class ShardedParameterServer:
+    """Parameter server whose tables are row-sharded across N devices.
+
+    Parameters
+    ----------
+    table_rows:
+        Cardinality of each server-resident table.
+    embedding_dim:
+        Shared embedding width.
+    lr:
+        Learning rate for the server-side sparse update.
+    num_shards:
+        Simulated device count (``1`` reduces to the host server's
+        behaviour, still bitwise).
+    seed:
+        RNG for table initialization — the same seed produces tables
+        bitwise-identical to a :class:`HostParameterServer`.
+    compression:
+        Optional :class:`LinkCompressionConfig`; ``None`` (or mode
+        ``"none"``) keeps both link directions exact.
+    """
+
+    def __init__(
+        self,
+        table_rows: Sequence[int],
+        embedding_dim: int,
+        lr: float,
+        num_shards: int = 1,
+        seed: RngLike = 0,
+        compression: Optional[LinkCompressionConfig] = None,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.embedding_dim = int(embedding_dim)
+        self.lr = float(lr)
+        self.partitioner = ShardPartitioner(num_shards)
+        self.num_shards = self.partitioner.num_shards
+        self.table_rows: List[int] = [int(r) for r in table_rows]
+        self.compression = compression or LinkCompressionConfig()
+
+        # Initialize full tables with the HostParameterServer RNG
+        # stream, *then* split — shard blocks hold bitwise the same
+        # values the unsharded server would.
+        rngs = spawn_rngs(seed, len(self.table_rows))
+        self._shards: List[List[np.ndarray]] = []
+        for rows, rng in zip(self.table_rows, rngs):
+            bound = 1.0 / np.sqrt(rows)
+            full = rng.uniform(-bound, bound, size=(rows, embedding_dim))
+            self._shards.append(self.partitioner.split_table(full))
+
+        self._sgd = SparseSGD(lr)
+        self._push = build_push_compressor(
+            self.compression, self.table_rows, self.embedding_dim
+        )
+        self._pull = build_pull_quantizer(self.compression, self.embedding_dim)
+
+        self.gather_count = 0
+        self.update_count = 0
+        self.shard_apply_counts = np.zeros(self.num_shards, dtype=np.int64)
+        self.link_stats = LinkStats(self.num_shards)
+
+    # -- HostParameterServer surface -----------------------------------
+    @property
+    def num_tables(self) -> int:
+        return len(self.table_rows)
+
+    @property
+    def tables(self) -> _TableViewList:
+        return _TableViewList(self)
+
+    def table_view(self, table_idx: int) -> _ShardedTableView:
+        return _ShardedTableView(
+            self._shards[table_idx],
+            self.partitioner,
+            self.table_rows[table_idx],
+            self.embedding_dim,
+        )
+
+    def shard_blocks(self, table_idx: int) -> List[np.ndarray]:
+        """The live per-shard blocks of one table (not copies)."""
+        return self._shards[table_idx]
+
+    def gather(self, table_idx: int, indices: np.ndarray) -> PrefetchedRows:
+        """Gather a batch's unique rows from their owning shards.
+
+        The reassembled ``rows`` array is ordered by ascending global
+        id, exactly as the host server's ``np.unique``-sorted gather.
+        """
+        num_rows = self.table_rows[table_idx]
+        idx = check_1d_int_array(
+            indices, "indices", min_value=0, max_value=num_rows - 1
+        )
+        unique = np.unique(idx)
+        self.gather_count += 1
+        shard_ids, local = self.partitioner.route(unique)
+        rows = np.empty(
+            (unique.size, self.embedding_dim), dtype=np.float64
+        )
+        bk = get_backend()
+        for s, block in enumerate(self._shards[table_idx]):
+            mask = shard_ids == s
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            with bk.zone(ZONE_PS_GATHER):
+                pulled = bk.gather_rows(block, local[mask])
+            raw = count * self.embedding_dim * 8
+            wire = raw
+            if self._pull is not None:
+                pulled, raw, wire = self._pull.apply(pulled)
+            rows[mask] = pulled
+            self.link_stats.pull_raw[s] += raw + count * _ROW_ID_BYTES
+            self.link_stats.pull_wire[s] += wire + count * _ROW_ID_BYTES
+        return PrefetchedRows(
+            table_idx=table_idx,
+            unique_indices=unique,
+            rows=rows,
+        )
+
+    def apply_gradients(
+        self, table_idx: int, unique_indices: np.ndarray, row_grads: np.ndarray
+    ) -> None:
+        """Route one batch's aggregated row gradients to their shards.
+
+        With top-k compression enabled, only the top rows by
+        residual-corrected norm cross the links this step; everything
+        else is banked in the error-feedback residual and sent later.
+        The call counts as exactly one logical update regardless of how
+        many shard links it touched.
+        """
+        uidx = np.asarray(unique_indices, dtype=np.int64)
+        grads = np.asarray(row_grads, dtype=np.float64)
+        raw_ids, raw_locals = self.partitioner.route(uidx)
+        if self._push is not None:
+            pushed = self._push.compress(table_idx, uidx, grads)
+            sent_idx, sent_grads = pushed.unique_indices, pushed.row_grads
+            sent_ids, sent_locals = self.partitioner.route(sent_idx)
+        else:
+            sent_idx, sent_grads = uidx, grads
+            sent_ids, sent_locals = raw_ids, raw_locals
+        per_row_bytes = self.embedding_dim * 8 + _ROW_ID_BYTES
+        blocks = self._shards[table_idx]
+        for s in range(self.num_shards):
+            raw_count = int((raw_ids == s).sum())
+            mask = sent_ids == s
+            count = int(mask.sum())
+            self.link_stats.push_raw[s] += raw_count * per_row_bytes
+            self.link_stats.push_wire[s] += count * per_row_bytes
+            if count == 0:
+                continue
+            self._sgd.step_rows(
+                blocks[s],
+                sent_locals[mask],
+                sent_grads[mask],
+                zone=ZONE_PS_APPLY,
+            )
+            self.shard_apply_counts[s] += 1
+        self.update_count += 1
+
+    def nbytes(self) -> int:
+        return sum(
+            block.nbytes for shards in self._shards for block in shards
+        )
+
+    # -- checkpoint support --------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Live state arrays for a trainer snapshot.
+
+        Shard blocks are exposed per (table, shard) so a checkpoint of
+        an N-shard run restores into an N-shard server without
+        re-splitting; error-feedback residuals ride along so recovery
+        is bitwise even with compression on.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for t, shards in enumerate(self._shards):
+            for s, block in enumerate(shards):
+                arrays[f"table{t}/shard{s}"] = block
+        if self._push is not None:
+            for key, residual in self._push.state_arrays().items():
+                arrays[key] = residual
+        return arrays
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_arrays` output (validate, then write)."""
+        staged = []
+        for t, shards in enumerate(self._shards):
+            for s, block in enumerate(shards):
+                key = f"table{t}/shard{s}"
+                if key not in arrays:
+                    raise KeyError(f"snapshot missing shard array {key!r}")
+                stored = np.asarray(arrays[key], dtype=np.float64)
+                if stored.shape != block.shape:
+                    raise ValueError(
+                        f"shard {key!r} shape mismatch: "
+                        f"{stored.shape} vs {block.shape}"
+                    )
+                staged.append((block, stored))
+        for block, stored in staged:
+            block[...] = stored
+        if self._push is not None:
+            self._push.load_state_arrays(arrays)

@@ -1,0 +1,168 @@
+"""Assemble a PS-pipeline trainer on top of the sharded server tier.
+
+:func:`build_sharded_ps_trainer` is the one-stop constructor the CLI,
+the chaos harness, and the scaling benchmark share: it runs the
+placement planner over per-table statistics, puts the server-resident
+tables behind a :class:`~repro.sharding.server.ShardedParameterServer`,
+and wires the standard :class:`~repro.system.pipeline.PipelinedPSTrainer`
+around them.  Seeds follow the established harness conventions (model
+7, server 3, worker bags ``200 + table``), so a 1-shard build is
+bitwise-identical to the legacy
+:class:`~repro.system.parameter_server.HostParameterServer` harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.models.config import DLRMConfig
+from repro.models.dlrm import DLRM, build_embedding_bag
+from repro.reorder.stats import TableStats
+from repro.sharding.compression import LinkCompressionConfig
+from repro.sharding.placement import (
+    PlacementPlan,
+    PlacementStrategy,
+    StatsDrivenStrategy,
+)
+from repro.sharding.server import ShardedParameterServer
+from repro.system.devices import TESLA_V100
+from repro.system.parameter_server import HostBackedEmbeddingBag
+from repro.system.pipeline import PipelinedPSTrainer
+
+__all__ = [
+    "ShardedTrainerSetup",
+    "build_sharded_ps_trainer",
+    "analytic_table_stats",
+]
+
+#: Default skew for analytic stats when no index stream was profiled
+#: (matches the synthetic data generators' default).
+_DEFAULT_ALPHA = 1.05
+
+
+def analytic_table_stats(
+    table_rows: Sequence[int], alpha: float = _DEFAULT_ALPHA
+) -> List[TableStats]:
+    """Analytic per-table stats when no profiling window is available."""
+    return [
+        TableStats.from_spec(t, rows, alpha)
+        for t, rows in enumerate(table_rows)
+    ]
+
+
+@dataclass
+class ShardedTrainerSetup:
+    """Everything :func:`build_sharded_ps_trainer` assembled."""
+
+    model: DLRM
+    server: ShardedParameterServer
+    trainer: PipelinedPSTrainer
+    plan: PlacementPlan
+    host_positions: List[int]
+    host_table_map: Dict[int, int]
+    stats: List[TableStats]
+
+
+def build_sharded_ps_trainer(
+    model_cfg: DLRMConfig,
+    num_shards: int = 1,
+    compression: Optional[LinkCompressionConfig] = None,
+    stats: Optional[Sequence[TableStats]] = None,
+    strategy: Optional[PlacementStrategy] = None,
+    device_budget_bytes: Optional[int] = None,
+    host_positions: Optional[Sequence[int]] = None,
+    probe=None,
+    lr: float = 0.05,
+    prefetch_depth: int = 3,
+    grad_queue_depth: int = 2,
+    use_cache: bool = True,
+    model_seed: int = 7,
+    server_seed: int = 3,
+    bag_seed_base: int = 200,
+) -> ShardedTrainerSetup:
+    """Build a pipelined PS trainer backed by a sharded server.
+
+    The placement plan decides which tables sit behind the PS tier
+    (``host_positions`` overrides it — the chaos harness pins the two
+    largest tables for backward-compatible trajectories).  When the
+    plan puts *every* table on-device, the two largest tables are
+    forced server-side anyway: this is a PS trainer and an empty
+    server would degenerate to plain local training.
+    """
+    rows = list(model_cfg.table_rows)
+    table_stats = (
+        list(stats) if stats is not None else analytic_table_stats(rows)
+    )
+    if len(table_stats) != len(rows):
+        raise ValueError(
+            f"got {len(table_stats)} stats for {len(rows)} tables"
+        )
+    planner = strategy if strategy is not None else StatsDrivenStrategy()
+    budget = (
+        int(device_budget_bytes)
+        if device_budget_bytes is not None
+        else int(TESLA_V100.hbm_bytes * 0.8)
+    )
+    plan = planner.plan(
+        table_stats,
+        num_devices=num_shards,
+        device_budget_bytes=budget,
+        embedding_dim=model_cfg.embedding_dim,
+        dtype_bytes=8,
+        tt_rank=model_cfg.tt_rank,
+    )
+
+    if host_positions is not None:
+        positions = sorted(int(p) for p in host_positions)
+    else:
+        positions = sorted(plan.server_table_positions())
+        if not positions:
+            positions = sorted(
+                sorted(range(len(rows)), key=lambda t: -rows[t])[:2]
+            )
+    host_map = {p: i for i, p in enumerate(positions)}
+    server_rows = [rows[p] for p in positions]
+
+    bags = []
+    for t, r in enumerate(rows):
+        if t in host_map:
+            bags.append(HostBackedEmbeddingBag(r, model_cfg.embedding_dim))
+        else:
+            bags.append(
+                build_embedding_bag(
+                    model_cfg.backend_for_table(t),
+                    r,
+                    model_cfg.embedding_dim,
+                    model_cfg.tt_rank,
+                    seed=(bag_seed_base + t),
+                )
+            )
+    model = DLRM(model_cfg, seed=model_seed, embedding_bags=bags)
+    server = ShardedParameterServer(
+        server_rows,
+        model_cfg.embedding_dim,
+        lr=lr,
+        num_shards=num_shards,
+        seed=server_seed,
+        compression=compression,
+    )
+    trainer = PipelinedPSTrainer(
+        model,
+        server,
+        host_map,
+        lr=lr,
+        prefetch_depth=prefetch_depth,
+        grad_queue_depth=grad_queue_depth,
+        use_cache=use_cache,
+        probe=probe,
+    )
+    return ShardedTrainerSetup(
+        model=model,
+        server=server,
+        trainer=trainer,
+        plan=plan,
+        host_positions=positions,
+        host_table_map=host_map,
+        stats=table_stats,
+    )

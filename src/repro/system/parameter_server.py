@@ -116,6 +116,33 @@ class HostParameterServer:
     def nbytes(self) -> int:
         return sum(t.nbytes for t in self.tables)
 
+    # -- checkpoint support ----------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Live state arrays for a trainer snapshot (keys ``table{t}``).
+
+        The duck-typed surface the resilience checkpointing layer uses
+        so any server implementation (host or sharded) can be captured
+        and restored without the layer knowing its internal layout.
+        """
+        return {f"table{t}": table for t, table in enumerate(self.tables)}
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_arrays` output (validate, then write)."""
+        staged = []
+        for t, table in enumerate(self.tables):
+            key = f"table{t}"
+            if key not in arrays:
+                raise KeyError(f"snapshot missing table array {key!r}")
+            stored = np.asarray(arrays[key], dtype=np.float64)
+            if stored.shape != table.shape:
+                raise ValueError(
+                    f"table {key!r} shape mismatch: "
+                    f"{stored.shape} vs {table.shape}"
+                )
+            staged.append((table, stored))
+        for table, stored in staged:
+            table[...] = stored
+
     # -- persistence -----------------------------------------------------
     def save(self, path) -> None:
         """Persist the host-resident tables (and lr) to an .npz file.

@@ -1,0 +1,1 @@
+"""Tests for the sharded parameter-server tier (repro.sharding)."""

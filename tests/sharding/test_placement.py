@@ -1,0 +1,161 @@
+"""Placement planning: decision rules, N-invariance, feasibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frameworks.base import WorkloadProfile
+from repro.frameworks.hugectr import HugeCTR
+from repro.reorder import TableStats
+from repro.sharding import (
+    PlacementKind,
+    PlacementStrategy,
+    RowShardedStrategy,
+    StatsDrivenStrategy,
+    server_resident,
+    tt_core_bytes,
+)
+from repro.system.devices import TESLA_V100, KernelCostModel
+
+GB = int(1e9)
+
+
+def _stats(num_rows, alpha=1.05, hot_mass=None):
+    if hot_mass is None:
+        return TableStats.from_spec(0, num_rows, alpha)
+    return TableStats(
+        table_idx=0, num_rows=num_rows, zipf_alpha=alpha,
+        hot_fraction=0.1, hot_mass=hot_mass,
+    )
+
+
+def test_strategies_satisfy_protocol():
+    assert isinstance(StatsDrivenStrategy(), PlacementStrategy)
+    assert isinstance(RowShardedStrategy(), PlacementStrategy)
+
+
+def test_small_table_stays_dense_on_device():
+    plan = StatsDrivenStrategy().plan(
+        [_stats(1000)], num_devices=4, device_budget_bytes=GB,
+        embedding_dim=64,
+    )
+    assert plan.kind_of(0) is PlacementKind.DENSE_DEVICE
+    assert plan.feasible
+
+
+def test_large_compressible_table_goes_tt():
+    plan = StatsDrivenStrategy().plan(
+        [_stats(40_000_000)], num_devices=4,
+        device_budget_bytes=12 * GB, embedding_dim=128, dtype_bytes=4,
+    )
+    assert plan.kind_of(0) is PlacementKind.TT_DEVICE
+    decision = plan.decisions[0]
+    assert decision.device_bytes == tt_core_bytes(40_000_000, 128, 8, 4)
+    assert decision.device_bytes < 40_000_000 * 128 * 4 // 1000
+
+
+def test_skewed_table_splits_hot_cold():
+    # Dense (25.6 MB) misses the 5 MB dense slice, TT is disabled, but
+    # the 2.56 MB hot set fits — skew buys the table a device cache.
+    strategy = StatsDrivenStrategy(
+        dense_fraction=0.05, tt_fraction=1e-9, shard_fraction=0.5
+    )
+    budget = 100_000_000
+    stats = _stats(200_000, hot_mass=0.9)
+    plan = strategy.plan(
+        [stats], num_devices=2, device_budget_bytes=budget, embedding_dim=16
+    )
+    decision = plan.decisions[0]
+    assert decision.kind is PlacementKind.HOT_COLD
+    assert decision.device_bytes == stats.hot_rows * 16 * 8
+    assert decision.server_bytes == (200_000 - stats.hot_rows) * 16 * 8
+    assert server_resident(decision.kind)
+
+
+def test_unskewed_overflow_row_shards_then_hosts():
+    strategy = StatsDrivenStrategy(
+        dense_fraction=0.01, tt_fraction=1e-9, shard_fraction=0.5
+    )
+    stats = _stats(1_000_000, alpha=0.0, hot_mass=0.1)
+    small = strategy.plan(
+        [stats], num_devices=8, device_budget_bytes=200_000_000,
+        embedding_dim=64,
+    )
+    assert small.kind_of(0) is PlacementKind.ROW_SHARDED
+    tiny = strategy.plan(
+        [stats], num_devices=1, device_budget_bytes=2_000_000,
+        embedding_dim=64,
+    )
+    assert tiny.kind_of(0) is PlacementKind.HOST
+    # Both sides of the N-dependent boundary are server-resident.
+    assert server_resident(small.kind_of(0))
+    assert server_resident(tiny.kind_of(0))
+
+
+@pytest.mark.parametrize("num_devices", [1, 2, 8, 64])
+def test_worker_vs_server_split_is_n_invariant(num_devices):
+    """The device/server side of every decision never moves with N —
+    the property behind bitwise-equal training across shard counts."""
+    stats = [
+        TableStats.from_spec(t, rows, 1.05)
+        for t, rows in enumerate([100, 5_000, 200_000, 3_000_000])
+    ]
+    plan = StatsDrivenStrategy().plan(
+        stats, num_devices=num_devices,
+        device_budget_bytes=50_000_000, embedding_dim=16,
+    )
+    reference = StatsDrivenStrategy().plan(
+        stats, num_devices=1,
+        device_budget_bytes=50_000_000, embedding_dim=16,
+    )
+    assert plan.server_table_positions() == reference.server_table_positions()
+
+
+def test_row_sharded_strategy_feasibility_boundary():
+    stats = [_stats(40_000_000)]
+    strategy = RowShardedStrategy()
+    one = strategy.plan(
+        stats, num_devices=1,
+        device_budget_bytes=int(TESLA_V100.hbm_bytes * 0.8),
+        embedding_dim=128, dtype_bytes=4,
+    )
+    assert not one.feasible
+    assert one.infeasible_reason is not None
+    four = strategy.plan(
+        stats, num_devices=4,
+        device_budget_bytes=int(TESLA_V100.hbm_bytes * 0.8),
+        embedding_dim=128, dtype_bytes=4,
+    )
+    assert four.feasible
+    assert four.per_device_bytes == 10_000_000 * 128 * 4
+
+
+def test_format_table_mentions_feasibility():
+    plan = RowShardedStrategy().plan(
+        [_stats(1000)], num_devices=2, device_budget_bytes=GB,
+        embedding_dim=8,
+    )
+    text = plan.format_table()
+    assert "row_sharded" in text
+    assert "feasible" in text
+
+
+def test_hugectr_uses_row_sharded_strategy():
+    """The framework model delegates feasibility to the shared
+    placement strategy (same decisions the functional tier executes)."""
+    cost = KernelCostModel()
+    fw = HugeCTR(cost)
+    assert isinstance(fw.placement, RowShardedStrategy)
+    profile = WorkloadProfile(
+        name="big", batch_size=2048, embedding_dim=128,
+        table_rows=(40_000_000,), indices_per_batch=2048,
+        host_mlp_time=1e-3, host_dense_emb_time=1e-3,
+        host_tt_fwd_time=1e-3, host_tt_bwd_time=1e-3,
+        host_efftt_fwd_time=1e-3, host_efftt_bwd_time=1e-3,
+        dtype_bytes=4,
+    )
+    plan1 = fw.placement_plan(profile, TESLA_V100, num_gpus=1)
+    plan4 = fw.placement_plan(profile, TESLA_V100, num_gpus=4)
+    assert not plan1.feasible and plan4.feasible
+    assert not fw.iteration_time(profile, TESLA_V100, num_gpus=1).feasible
+    assert fw.iteration_time(profile, TESLA_V100, num_gpus=4).feasible

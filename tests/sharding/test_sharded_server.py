@@ -1,0 +1,163 @@
+"""ShardedParameterServer: bitwise equivalence to the host server."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sharding import LinkCompressionConfig, ShardedParameterServer
+from repro.system.parameter_server import HostParameterServer
+
+_ROWS = [97, 40]
+_DIM = 4
+_SEED = 3
+
+
+def _servers(num_shards, compression=None):
+    host = HostParameterServer(_ROWS, _DIM, lr=0.05, seed=_SEED)
+    sharded = ShardedParameterServer(
+        _ROWS, _DIM, lr=0.05, num_shards=num_shards, seed=_SEED,
+        compression=compression,
+    )
+    return host, sharded
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 8])
+def test_init_matches_host_server_bitwise(num_shards):
+    host, sharded = _servers(num_shards)
+    for t in range(len(_ROWS)):
+        assert np.array_equal(np.asarray(sharded.tables[t]), host.tables[t])
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 8])
+def test_gather_apply_cycle_matches_host_bitwise(num_shards):
+    host, sharded = _servers(num_shards)
+    rng = np.random.default_rng(0)
+    for step in range(4):
+        for t, rows in enumerate(_ROWS):
+            idx = rng.integers(0, rows, size=16)
+            a = host.gather(t, idx)
+            b = sharded.gather(t, idx)
+            assert np.array_equal(a.unique_indices, b.unique_indices)
+            assert np.array_equal(a.rows, b.rows)
+            grads = rng.standard_normal((a.unique_indices.size, _DIM))
+            host.apply_gradients(t, a.unique_indices, grads)
+            sharded.apply_gradients(t, b.unique_indices, grads)
+    for t in range(len(_ROWS)):
+        assert np.array_equal(np.asarray(sharded.tables[t]), host.tables[t])
+
+
+def test_table_view_global_indexing():
+    _, sharded = _servers(3)
+    full = np.asarray(sharded.tables[0])
+    view = sharded.tables[0]
+    assert view.shape == (_ROWS[0], _DIM)
+    assert len(view) == _ROWS[0]
+    assert view.nbytes == full.nbytes
+    idx = np.array([0, 5, 96, 5])
+    assert np.array_equal(view[idx], full[idx])
+    assert np.array_equal(view[7], full[7])
+    assert len(list(sharded.tables)) == len(_ROWS)
+
+
+def test_exactly_once_accounting():
+    _, sharded = _servers(2)
+    # Rows 0 and 2 both live on shard 0; shard 1 receives nothing.
+    sharded.apply_gradients(0, np.array([0, 2]), np.ones((2, _DIM)))
+    assert sharded.update_count == 1
+    assert sharded.shard_apply_counts.tolist() == [1, 0]
+    sharded.apply_gradients(0, np.array([1, 2]), np.ones((2, _DIM)))
+    assert sharded.update_count == 2
+    assert sharded.shard_apply_counts.tolist() == [2, 1]
+
+
+def test_link_stats_meter_uncompressed_traffic():
+    _, sharded = _servers(2)
+    sharded.gather(0, np.array([0, 1, 2, 3]))
+    stats = sharded.link_stats
+    row_bytes = _DIM * 8 + 8  # payload + row id
+    assert stats.pull_raw.sum() == 4 * row_bytes
+    assert np.array_equal(stats.pull_raw, stats.pull_wire)
+    sharded.apply_gradients(0, np.arange(4), np.ones((4, _DIM)))
+    assert stats.push_raw.sum() == 4 * row_bytes
+    assert stats.compression_ratio == 1.0
+    summary = stats.summary()
+    assert summary["pull_raw_bytes"] == 4 * row_bytes
+
+
+def test_compression_meters_wire_savings_and_bounded_error():
+    host, sharded = _servers(
+        2, compression=LinkCompressionConfig(mode="both", topk_fraction=0.5)
+    )
+    rng = np.random.default_rng(1)
+    # First gather happens before any apply, so the only divergence
+    # from the host server is int8 rounding: <= scale/2 per element.
+    idx = rng.integers(0, _ROWS[0], size=16)
+    a = host.gather(0, idx)
+    b = sharded.gather(0, idx)
+    scale = np.abs(a.rows).max(axis=1, keepdims=True) / 127.0
+    assert np.all(np.abs(a.rows - b.rows) <= scale / 2 + 1e-12)
+    # Keep training: top-k drops gradient mass into the residual, so
+    # tables drift — but only within the banked-gradient envelope.
+    grads = rng.standard_normal((a.unique_indices.size, _DIM))
+    host.apply_gradients(0, a.unique_indices, grads)
+    sharded.apply_gradients(0, b.unique_indices, grads)
+    for _ in range(2):
+        idx = rng.integers(0, _ROWS[0], size=16)
+        a = host.gather(0, idx)
+        b = sharded.gather(0, idx)
+        grads = rng.standard_normal((a.unique_indices.size, _DIM))
+        host.apply_gradients(0, a.unique_indices, grads)
+        sharded.apply_gradients(0, b.unique_indices, grads)
+    stats = sharded.link_stats
+    assert stats.total_wire < stats.total_raw
+    assert stats.compression_ratio > 1.0
+    assert np.allclose(np.asarray(sharded.tables[0]), host.tables[0], atol=0.5)
+
+
+def test_state_roundtrip_including_ef_residuals():
+    cfg = LinkCompressionConfig(mode="topk", topk_fraction=0.3)
+    _, src = _servers(2, compression=cfg)
+    rng = np.random.default_rng(2)
+    for _ in range(3):
+        idx = rng.integers(0, _ROWS[0], size=12)
+        got = src.gather(0, idx)
+        src.apply_gradients(
+            0, got.unique_indices,
+            rng.standard_normal((got.unique_indices.size, _DIM)),
+        )
+    state = {k: np.array(v, copy=True) for k, v in src.state_arrays().items()}
+    assert "table0/shard0" in state and "ef0" in state
+
+    _, dst = _servers(2, compression=cfg)
+    dst.load_state_arrays(state)
+    for k, v in dst.state_arrays().items():
+        assert np.array_equal(v, state[k])
+
+
+def test_load_state_arrays_validates_before_writing():
+    _, sharded = _servers(2)
+    state = {k: np.array(v, copy=True) for k, v in sharded.state_arrays().items()}
+    before = np.asarray(sharded.tables[0])
+    with pytest.raises(KeyError):
+        sharded.load_state_arrays({"table0/shard0": state["table0/shard0"]})
+    bad = dict(state)
+    bad["table1/shard1"] = np.zeros((1, 1))
+    with pytest.raises(ValueError):
+        sharded.load_state_arrays(bad)
+    # Failed loads leave the server untouched.
+    assert np.array_equal(np.asarray(sharded.tables[0]), before)
+
+
+def test_gather_validates_indices():
+    _, sharded = _servers(2)
+    with pytest.raises(ValueError):
+        sharded.gather(0, np.array([_ROWS[0]]))
+    with pytest.raises(ValueError):
+        ShardedParameterServer(_ROWS, _DIM, lr=0.0, num_shards=2)
+
+
+def test_nbytes_matches_host():
+    host, sharded = _servers(4)
+    assert sharded.nbytes() == host.nbytes()
+    assert sharded.num_tables == host.num_tables

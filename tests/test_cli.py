@@ -51,6 +51,49 @@ class TestCli:
             ["train", "--steps", "3", "--embedding-backend", "dense"]
         ) == 0
 
+    def test_train_sharded(self, capsys):
+        assert main(["train", "--steps", "6", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "placement plan" in out
+        assert "2-shard PS" in out
+        assert "PS links:" in out
+        assert "exactly-once:" in out
+
+    def test_train_sharded_loss_is_shard_count_invariant(self, capsys):
+        assert main(["train", "--steps", "6", "--shards", "1"]) == 0
+        one = capsys.readouterr().out
+        assert main(["train", "--steps", "6", "--shards", "4"]) == 0
+        four = capsys.readouterr().out
+
+        def final_loss(out):
+            line = next(ln for ln in out.splitlines() if "loss" in ln)
+            return line.split("loss", 1)[1]
+
+        assert final_loss(one) == final_loss(four)
+
+    def test_train_sharded_compressed(self, capsys):
+        assert main(
+            [
+                "train", "--steps", "6", "--shards", "2",
+                "--compress", "both", "--topk-fraction", "0.25",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compression 'both'" in out
+        # Compressed links must report real savings (ratio > 1).
+        ratio = float(out.split("ratio ", 1)[1].split("x")[0])
+        assert ratio > 1.0
+
+    def test_chaos_sharded(self, capsys):
+        rc = main([
+            "chaos", "--plan", "none", "--shards", "2",
+            "--batches", "8", "--checkpoint-interval", "4",
+            "--requests", "200",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "PASS" in out
+
     def test_bench_instrumented(self, capsys):
         assert main(
             [
