@@ -18,14 +18,21 @@ from repro.analysis.experiment import (
     HazardExperimentResult,
     run_hazard_experiment,
 )
+from repro.analysis.detcheck import (
+    DET_RULES,
+    detcheck_paths,
+    detcheck_source,
+)
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.hazards import (
+    HAZARD_RULES,
     EventKind,
     Hazard,
     HazardReport,
     RowEvent,
     TraceRecorder,
     analyze_trace,
+    hazard_findings,
 )
 from repro.analysis.linter import (
     LintResult,
@@ -67,5 +74,10 @@ __all__ = [
     "SHAPE_RULES",
     "shapecheck_paths",
     "shapecheck_source",
+    "DET_RULES",
+    "detcheck_paths",
+    "detcheck_source",
+    "HAZARD_RULES",
+    "hazard_findings",
     "result_to_sarif",
 ]

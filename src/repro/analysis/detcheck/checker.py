@@ -1,0 +1,131 @@
+"""The ``detcheck`` runner.
+
+Mirrors the :mod:`repro.analysis.linter` / shapecheck surface — same
+:class:`Finding`/:class:`LintResult` records, same ``# reprolint:
+disable=`` pragmas, same file discovery — but the analysis underneath
+is *whole-program*: every file handed to one run is parsed into a
+single :class:`~.callgraph.Program`, function summaries are computed
+bottom-up over the call graph, and only then are per-file findings
+reported.  That is what lets DET004 fire at a call site in
+``system/`` when the entropy RNG is minted three calls away in a
+helper module.
+
+Usage surfaces:
+
+* CLI — ``python -m repro detcheck [paths...]`` (exit 1 on errors);
+* pytest — ``tests/analysis/test_detcheck_self.py`` proves
+  ``src/repro`` ships clean while the seeded-mutation corpus is caught;
+* library — :func:`detcheck_paths` / :func:`detcheck_source`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.detcheck.callgraph import Program, build_program
+from repro.analysis.detcheck.catalog import DET_RULES, DetRuleInfo
+from repro.analysis.detcheck.interp import compute_summaries, module_findings
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.linter import (
+    LintResult,
+    is_suppressed,
+    iter_python_files,
+    package_rel,
+    parse_pragmas,
+)
+
+__all__ = ["detcheck_paths", "detcheck_source", "DET_RULES"]
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[DetRuleInfo]:
+    if select is None:
+        return list(DET_RULES.values())
+    rules: List[DetRuleInfo] = []
+    for name in select:
+        matches = [
+            rule
+            for rule in DET_RULES.values()
+            if name in (rule.name, rule.id)
+        ]
+        if not matches:
+            raise KeyError(
+                f"unknown detcheck rule {name!r}; known: "
+                f"{sorted(DET_RULES)}"
+            )
+        rules.extend(matches)
+    return rules
+
+
+def _analyze(
+    files: List[Tuple[Path, str, str]],
+    select: Optional[Sequence[str]],
+    result: LintResult,
+) -> None:
+    """Whole-program pass over pre-parsed files, appending to result."""
+    if not files:
+        return
+    program: Program = build_program(files)
+    summaries, module_envs = compute_summaries(program)
+    selected = {rule.name for rule in _select_rules(select)}
+    sources = {str(path): source for path, _, source in files}
+    for modname, module in program.modules.items():
+        source = sources.get(module.ctx.path, "")
+        per_line, file_wide = parse_pragmas(source)
+        for finding in module_findings(program, modname, summaries, module_envs):
+            if finding.rule not in selected:
+                continue
+            line_names = per_line.get(finding.line, set())
+            if is_suppressed(finding, line_names | file_wide):
+                result.suppressed += 1
+                continue
+            result.findings.append(finding)
+
+
+def detcheck_source(
+    source: str,
+    path: str = "<string>",
+    rel: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Detcheck one in-memory module (unit-test entry point).
+
+    The program is just this module, so interprocedural facts resolve
+    against its own helpers only.
+    """
+    result = LintResult(files_scanned=1)
+    resolved_rel = rel if rel is not None else package_rel(Path(path))
+    _analyze([(Path(path), resolved_rel, source)], select, result)
+    result.findings.sort(key=lambda f: f.sort_key)
+    return result
+
+
+def detcheck_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Detcheck every ``.py`` file under ``paths`` as one program."""
+    result = LintResult()
+    files: List[Tuple[Path, str, str]] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        result.files_scanned += 1
+        try:
+            compile(source, str(file_path), "exec", dont_inherit=True)
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    rule="syntax-error",
+                    rule_id="DET000",
+                    severity=Severity.ERROR,
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        files.append((file_path, package_rel(file_path), source))
+    _analyze(files, select, result)
+    result.findings.sort(key=lambda f: f.sort_key)
+    return result

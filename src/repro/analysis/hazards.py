@@ -29,13 +29,18 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.analysis.findings import Finding, Severity
+
 __all__ = [
     "EventKind",
     "RowEvent",
     "TraceRecorder",
     "Hazard",
     "HazardReport",
+    "HazardRuleInfo",
+    "HAZARD_RULES",
     "analyze_trace",
+    "hazard_findings",
 ]
 
 
@@ -323,3 +328,70 @@ def analyze_trace(events: Sequence[RowEvent]) -> HazardReport:
     report.hazards.sort(key=_order)
     report.repaired.sort(key=_order)
     return report
+
+
+# ---------------------------------------------------------------------------
+# Finding/SARIF bridge
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HazardRuleInfo:
+    """SARIF rule descriptor for one hazard class."""
+
+    id: str
+    name: str
+    severity: Severity
+    description: str
+
+
+HAZARD_RULES: Dict[str, HazardRuleInfo] = {
+    rule.name: rule
+    for rule in (
+        HazardRuleInfo(
+            "HAZ001",
+            "raw-hazard",
+            Severity.ERROR,
+            "a batch gathered an embedding row before an earlier "
+            "batch's gradient landed (paper Fig. 10a), and the LC "
+            "cache did not repair the stale read",
+        ),
+        HazardRuleInfo(
+            "HAZ002",
+            "war-hazard",
+            Severity.ERROR,
+            "a later batch's write landed before an earlier batch's "
+            "gather — the reader observed its future",
+        ),
+    )
+}
+
+
+def hazard_findings(
+    report: HazardReport, trace_path: str = "trace://pipeline"
+) -> List[Finding]:
+    """Render unrepaired hazards as :class:`Finding` records.
+
+    Hazards live in a logical-clock trace, not a file, so ``path`` is
+    the synthetic trace URI and ``line`` is the reader's gather
+    timestamp — the instant the stale value was observed.
+    """
+    findings: List[Finding] = []
+    for hazard in report.hazards:
+        rule = HAZARD_RULES[
+            "raw-hazard" if hazard.kind == "RAW" else "war-hazard"
+        ]
+        findings.append(
+            Finding(
+                rule=rule.name,
+                rule_id=rule.id,
+                severity=rule.severity,
+                path=trace_path,
+                line=hazard.read_time,
+                col=0,
+                message=hazard.describe(),
+                hint="enable LC cache management so prefetched rows "
+                "are synced before consumption",
+            )
+        )
+    return findings

@@ -476,6 +476,21 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
         for finding in shape_result.errors:
             print(f"  {finding.format()}")
 
+    from repro.analysis import detcheck_paths
+
+    det_result = detcheck_paths([Path(__file__).resolve().parent])
+    det_ok = det_result.ok
+    ok = ok and det_ok
+    status = "ok" if det_ok else "FAILED (error-level findings)"
+    print(
+        f"det      {det_result.files_scanned} files, "
+        f"{len(det_result.errors)} errors, "
+        f"{len(det_result.warnings)} warnings  [{status}]"
+    )
+    if not det_ok:
+        for finding in det_result.errors:
+            print(f"  {finding.format()}")
+
     mypy_status = _run_mypy_step()
     if mypy_status is None:
         print("mypy     skipped (mypy not installed)")
@@ -555,6 +570,8 @@ _MYPY_STRICT_TARGETS = (
     "repro/backend/protocol.py",
     "repro/backend/plan_cache.py",
     "repro/backend/numpy_backend.py",
+    "repro/sharding",
+    "repro/resilience/checkpoint.py",
 )
 
 
@@ -723,8 +740,95 @@ def _cmd_shapecheck(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_detcheck(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        DET_RULES,
+        detcheck_paths,
+        format_findings,
+        result_to_sarif,
+    )
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(__file__).resolve().parent]
+    try:
+        result = detcheck_paths(paths, select=args.select or None)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"detcheck: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(result.to_json())
+    elif args.format == "sarif":
+        print(result_to_sarif(result, "detcheck", DET_RULES.values()))
+    else:
+        print(format_findings(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Umbrella gate: lint + shapecheck + detcheck + hazards."""
+    from pathlib import Path
+
+    from repro.analysis import (
+        detcheck_paths,
+        lint_paths,
+        run_hazard_experiment,
+        shapecheck_paths,
+    )
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(__file__).resolve().parent]
+    ok = True
+    for name, runner in (
+        ("lint", lint_paths),
+        ("shape", shapecheck_paths),
+        ("det", detcheck_paths),
+    ):
+        try:
+            result = runner(paths)
+        except FileNotFoundError as exc:
+            print(f"{name}: {exc}", file=sys.stderr)
+            return 2
+        gate_ok = result.ok
+        ok = ok and gate_ok
+        status = "ok" if gate_ok else "FAILED (error-level findings)"
+        print(
+            f"{name:8s} {result.files_scanned} files, "
+            f"{len(result.errors)} errors, "
+            f"{len(result.warnings)} warnings  [{status}]"
+        )
+        if not gate_ok:
+            for finding in result.errors:
+                print(f"  {finding.format()}")
+
+    hazard_result = run_hazard_experiment(inject_fault=False)
+    hazards_ok = hazard_result.report.clean
+    ok = ok and hazards_ok
+    status = "ok" if hazards_ok else "FAILED (unrepaired hazards)"
+    print(
+        f"hazards  {hazard_result.report.events_analyzed} events, "
+        f"{len(hazard_result.report.hazards)} unrepaired, "
+        f"{len(hazard_result.report.repaired)} repaired  [{status}]"
+    )
+    if not hazards_ok:
+        for hazard in hazard_result.report.hazards:
+            print(f"  {hazard.describe()}")
+    return 0 if ok else 1
+
+
 def _cmd_hazards(args: argparse.Namespace) -> int:
-    from repro.analysis import run_hazard_experiment
+    from repro.analysis import (
+        HAZARD_RULES,
+        LintResult,
+        hazard_findings,
+        result_to_sarif,
+        run_hazard_experiment,
+    )
 
     result = run_hazard_experiment(
         inject_fault=args.inject,
@@ -733,15 +837,29 @@ def _cmd_hazards(args: argparse.Namespace) -> int:
         grad_queue_depth=args.grad_queue_depth,
         seed=args.seed,
     )
-    print(result.summary())
+    if args.format in ("json", "sarif"):
+        findings = hazard_findings(result.report)
+        lint_result = LintResult(
+            findings=findings,
+            files_scanned=0,
+        )
+        if args.format == "json":
+            print(lint_result.to_json())
+        else:
+            print(
+                result_to_sarif(lint_result, "hazards", HAZARD_RULES.values())
+            )
+    else:
+        print(result.summary())
     if args.inject:
         # Fault injection *must* be caught; a silent detector is a bug.
         caught = len(result.report.raw_hazards) >= 1
-        print(
-            "detector caught the injected RAW conflict"
-            if caught
-            else "DETECTOR FAILED: injected conflict went unnoticed"
-        )
+        if args.format == "text":
+            print(
+                "detector caught the injected RAW conflict"
+                if caught
+                else "DETECTOR FAILED: injected conflict went unnoticed"
+            )
         return 0 if caught else 1
     return 0 if result.report.clean else 1
 
@@ -911,6 +1029,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     shapecheck.add_argument(
         "--format", choices=["text", "json", "sarif"], default="text",
     )
+    detcheck = sub.add_parser(
+        "detcheck",
+        help="run the interprocedural determinism-taint analyzer",
+    )
+    detcheck.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check as one program (default: "
+        "the installed repro package)",
+    )
+    detcheck.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="only run the named rule (symbolic name or DETnnn id); "
+        "repeatable",
+    )
+    detcheck.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+    )
+    analyze = sub.add_parser(
+        "analyze",
+        help="umbrella gate: lint + shapecheck + detcheck + hazards, "
+        "nonzero exit if any gate fails",
+    )
+    analyze.add_argument(
+        "paths", nargs="*",
+        help="files or directories for the static gates (default: the "
+        "installed repro package)",
+    )
     hazards = sub.add_parser(
         "hazards", help="trace a pipelined run and detect RAW/WAR hazards"
     )
@@ -923,6 +1068,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     hazards.add_argument("--prefetch-depth", type=int, default=3)
     hazards.add_argument("--grad-queue-depth", type=int, default=2)
     hazards.add_argument("--seed", type=int, default=0)
+    hazards.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="emit unrepaired hazards as findings (line = gather "
+        "timestamp in the logical-clock trace)",
+    )
     serve = sub.add_parser(
         "serve", help="simulate the online serving subsystem"
     )
@@ -999,6 +1149,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "lint": _cmd_lint,
         "shapecheck": _cmd_shapecheck,
+        "detcheck": _cmd_detcheck,
+        "analyze": _cmd_analyze,
         "hazards": _cmd_hazards,
         "chaos": _cmd_chaos,
     }

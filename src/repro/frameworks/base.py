@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -154,7 +155,9 @@ class TimeBreakdown:
 
     @property
     def total(self) -> float:
-        return sum(self.components.values())
+        # fsum is order-insensitive (correctly rounded), so the total
+        # is bitwise-stable no matter how components were inserted.
+        return math.fsum(self.components.values())
 
     def throughput(self, batch_size: int) -> float:
         """Samples per second (0 when infeasible)."""

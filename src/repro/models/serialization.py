@@ -142,7 +142,9 @@ def save_checkpoint(model: DLRM, path: Union[str, "io.IOBase"]) -> None:
             arrays[f"bag{t}/ranks"] = np.asarray(spec.ranks)
             for k, core in enumerate(bag.tt.cores):
                 arrays[f"bag{t}/core{k}"] = core
-    crc_map = {name: entry_crc32(value) for name, value in arrays.items()}
+    crc_map = {
+        name: entry_crc32(value) for name, value in sorted(arrays.items())
+    }
     arrays["__crc__"] = np.array([json.dumps(crc_map)], dtype=object)
     np.savez_compressed(path, **arrays)
 

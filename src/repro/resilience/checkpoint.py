@@ -89,7 +89,7 @@ def capture_trainer_arrays(trainer: _PSTrainerBase) -> Dict[str, np.ndarray]:
         if acc is not None:
             for k, slot in enumerate(acc):
                 arrays[f"bag{t}/adagrad{k}"] = np.array(slot, copy=True)
-    for name, array in trainer.server.state_arrays().items():
+    for name, array in sorted(trainer.server.state_arrays().items()):
         arrays[f"server/{name}"] = np.array(array, copy=True)
     return arrays
 
@@ -208,9 +208,12 @@ class CheckpointStore:
         manifest = {
             "version": _STATE_VERSION,
             "step": int(step),
-            "crc": {name: entry_crc32(arr) for name, arr in arrays.items()},
+            "crc": {
+                name: entry_crc32(arr)
+                for name, arr in sorted(arrays.items())
+            },
         }
-        payload = dict(arrays)
+        payload = dict(sorted(arrays.items()))
         payload[_MANIFEST_KEY] = np.array([json.dumps(manifest)], dtype=object)
         with open(tmp, "wb") as fh:
             np.savez_compressed(fh, **payload)

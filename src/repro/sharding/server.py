@@ -31,7 +31,7 @@ Three invariants the tests pin:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -111,7 +111,7 @@ class _ShardedTableView:
         self._embedding_dim = embedding_dim
 
     @property
-    def shape(self):
+    def shape(self) -> Tuple[int, int]:
         return (self._num_rows, self._embedding_dim)
 
     @property
@@ -121,7 +121,7 @@ class _ShardedTableView:
     def __len__(self) -> int:
         return self._num_rows
 
-    def __getitem__(self, key) -> np.ndarray:
+    def __getitem__(self, key: Any) -> np.ndarray:
         idx = np.asarray(key, dtype=np.int64)
         scalar = idx.ndim == 0
         flat = idx.reshape(-1)
@@ -137,7 +137,9 @@ class _ShardedTableView:
             return out[0]
         return out.reshape(idx.shape + (self._embedding_dim,))
 
-    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+    def __array__(
+        self, dtype: Any = None, copy: Optional[bool] = None
+    ) -> np.ndarray:
         full = np.empty(
             (self._num_rows, self._embedding_dim), dtype=np.float64
         )
@@ -160,7 +162,7 @@ class _TableViewList:
     def __getitem__(self, table_idx: int) -> _ShardedTableView:
         return self._server.table_view(table_idx)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[_ShardedTableView]:
         for t in range(len(self)):
             yield self[t]
 
@@ -343,7 +345,7 @@ class ShardedParameterServer:
             for s, block in enumerate(shards):
                 arrays[f"table{t}/shard{s}"] = block
         if self._push is not None:
-            for key, residual in self._push.state_arrays().items():
+            for key, residual in sorted(self._push.state_arrays().items()):
                 arrays[key] = residual
         return arrays
 

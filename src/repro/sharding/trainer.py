@@ -28,7 +28,7 @@ from repro.sharding.placement import (
 from repro.sharding.server import ShardedParameterServer
 from repro.system.devices import TESLA_V100
 from repro.system.parameter_server import HostBackedEmbeddingBag
-from repro.system.pipeline import PipelinedPSTrainer
+from repro.system.pipeline import PipelinedPSTrainer, TraceProbe
 
 __all__ = [
     "ShardedTrainerSetup",
@@ -72,7 +72,7 @@ def build_sharded_ps_trainer(
     strategy: Optional[PlacementStrategy] = None,
     device_budget_bytes: Optional[int] = None,
     host_positions: Optional[Sequence[int]] = None,
-    probe=None,
+    probe: Optional[TraceProbe] = None,
     lr: float = 0.05,
     prefetch_depth: int = 3,
     grad_queue_depth: int = 2,

@@ -1,0 +1,12 @@
+"""DET001 clean twin: the payload generator is explicitly seeded."""
+
+from typing import Dict
+
+import numpy as np
+
+
+def state_arrays(dim: int) -> Dict[str, np.ndarray]:
+    rng = np.random.default_rng(7)
+    payload = {}
+    payload["residual"] = rng.standard_normal(dim)
+    return payload

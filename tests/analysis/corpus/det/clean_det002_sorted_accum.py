@@ -1,0 +1,10 @@
+"""DET002 clean twin: sorted iteration pins the accumulation order."""
+
+from typing import Dict
+
+
+def total_seconds(components: Dict[str, float]) -> float:
+    out = 0.0
+    for name in sorted(components):
+        out += components[name]
+    return out

@@ -1,0 +1,12 @@
+"""DET003 clean twin: payload entries emitted in sorted key order."""
+
+from typing import Dict
+
+import numpy as np
+
+
+def state_arrays(tables: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    payload = {}
+    for name in sorted(tables):
+        payload[name] = tables[name]
+    return payload

@@ -1,0 +1,11 @@
+"""DET006 clean twin: the consumer scales a private copy."""
+
+from queue import Queue
+
+import numpy as np
+
+
+def drain_one(grad_queue: Queue) -> np.ndarray:
+    grads = grad_queue.get().copy()
+    grads *= 0.5
+    return grads

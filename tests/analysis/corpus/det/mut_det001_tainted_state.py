@@ -1,0 +1,12 @@
+"""DET001 mutant: entropy-seeded values reach a checkpoint payload."""
+
+from typing import Dict
+
+import numpy as np
+
+
+def state_arrays(dim: int) -> Dict[str, np.ndarray]:
+    rng = np.random.default_rng()
+    payload = {}
+    payload["residual"] = rng.standard_normal(dim)  # DET001
+    return payload

@@ -1,0 +1,10 @@
+"""DET002 mutant: float accumulation ordered by dict iteration."""
+
+from typing import Dict
+
+
+def total_seconds(components: Dict[str, float]) -> float:
+    out = 0.0
+    for name in components:
+        out += components[name]  # DET002
+    return out

@@ -1,0 +1,12 @@
+"""DET003 mutant: payload entries keyed by raw dict iteration order."""
+
+from typing import Dict
+
+import numpy as np
+
+
+def state_arrays(tables: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    payload = {}
+    for name in tables:
+        payload[name] = tables[name]  # DET003
+    return payload

@@ -1,0 +1,11 @@
+"""DET006 mutant: a dequeued batch is mutated in place."""
+
+from queue import Queue
+
+import numpy as np
+
+
+def drain_one(grad_queue: Queue) -> np.ndarray:
+    grads = grad_queue.get()
+    grads *= 0.5  # DET006
+    return grads

@@ -1,0 +1,17 @@
+"""DET005 clean twin: the decision reads the simulated clock."""
+
+_DEADLINE_S = 0.002
+
+
+class SimClock:
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+
+def should_degrade(clock: SimClock, started_at: float) -> bool:
+    if clock.now() - started_at > _DEADLINE_S:
+        return True
+    return False

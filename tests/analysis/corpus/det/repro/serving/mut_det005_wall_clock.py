@@ -1,0 +1,11 @@
+"""DET005 mutant: a serving decision branches on the wall clock."""
+
+import time
+
+_DEADLINE_S = 0.002
+
+
+def should_degrade(started_at: float) -> bool:
+    if time.monotonic() - started_at > _DEADLINE_S:  # DET005
+        return True
+    return False

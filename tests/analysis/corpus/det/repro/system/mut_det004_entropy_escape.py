@@ -1,0 +1,12 @@
+"""DET004 mutant: an entropy-seeded generator escapes into a zone."""
+
+import numpy as np
+
+
+def _fresh_rng():
+    return np.random.default_rng()
+
+
+def shuffle_batch(batch: np.ndarray) -> np.ndarray:
+    rng = _fresh_rng()  # DET004
+    return rng.permutation(batch)

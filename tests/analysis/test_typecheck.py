@@ -28,6 +28,8 @@ STRICT_TARGETS = [
     PKG / "backend" / "protocol.py",
     PKG / "backend" / "plan_cache.py",
     PKG / "backend" / "numpy_backend.py",
+    PKG / "sharding",
+    PKG / "resilience" / "checkpoint.py",
 ]
 
 

@@ -30,6 +30,7 @@ class TestCli:
         assert "numpy == sanitizer" in out  # numsan equivalence gate
         assert "0 trap(s)" in out
         assert "shape" in out  # static shapecheck gate
+        assert "det" in out  # determinism-taint gate
         assert "FAILED" not in out
 
     def test_train(self, capsys):
@@ -224,6 +225,71 @@ class TestCli:
         out = capsys.readouterr().out
         assert "FAULT INJECTION" in out
         assert "detector caught the injected RAW conflict" in out
+
+    def test_detcheck_shipped_tree_clean(self, capsys):
+        assert main(["detcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_detcheck_flags_corpus(self, capsys):
+        corpus = (
+            Path(__file__).resolve().parent / "analysis" / "corpus" / "det"
+        )
+        assert main(["detcheck", str(corpus)]) == 1
+        out = capsys.readouterr().out
+        assert "DET" in out
+
+    def test_detcheck_sarif_format(self, capsys):
+        assert main(["detcheck", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "detcheck"
+        assert {r["id"] for r in driver["rules"]} >= {"DET001", "DET006"}
+
+    def test_detcheck_select_unknown_rule(self, capsys):
+        assert main(["detcheck", "--select", "bogus"]) == 2
+
+    def test_detcheck_missing_path_errors(self, capsys, tmp_path):
+        assert main(["detcheck", str(tmp_path / "nope")]) == 2
+
+    def test_hazards_sarif_format(self, capsys):
+        assert main(["hazards", "--batches", "6", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "hazards"
+        assert payload["runs"][0]["results"] == []
+
+    def test_hazards_inject_sarif_reports_conflicts(self, capsys):
+        assert (
+            main(
+                ["hazards", "--inject", "--batches", "6", "--format", "sarif"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        results = payload["runs"][0]["results"]
+        assert results and all(
+            r["ruleId"].startswith("HAZ") for r in results
+        )
+
+    def test_analyze_shipped_tree_clean(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        for gate in ("lint", "shape", "det", "hazard"):
+            assert gate in out
+
+    def test_analyze_flags_bad_tree(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "from typing import Dict\n"
+            "\n"
+            "def total(parts: Dict[str, float]) -> float:\n"
+            "    out = 0.0\n"
+            "    for name in parts:\n"
+            "        out += parts[name]\n"
+            "    return out\n"
+        )
+        assert main(["analyze", str(tmp_path)]) == 1
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
