@@ -84,3 +84,143 @@ def test_table3_compression(benchmark):
 
 if __name__ == "__main__":
     print(build_table3())
+
+
+# ---------------------------------------------------------------------------
+# Strategy x budget matrix (beyond the paper: the full compression zoo).
+#
+# For every strategy the auto-tuner supports and a sweep of byte
+# budgets (fractions of the dense fp64 footprint), plan the full-scale
+# Criteo-Kaggle schema and report planned bytes, compression ratio,
+# and feasibility; then train a scaled-down DLRM from each plan and
+# report the realized footprint and final loss against dense.  Run
+# with `pytest benchmarks -m compress_slow`.
+# ---------------------------------------------------------------------------
+
+import pytest
+
+MATRIX_STRATEGIES = ("tt", "hash", "robe", "pq", "auto")
+MATRIX_FRACTIONS = (0.5, 0.1, 0.02)
+
+
+def build_strategy_budget_matrix() -> str:
+    from repro.embeddings.autotune import plan_compression
+    from repro.sharding.trainer import analytic_table_stats
+
+    spec = criteo_kaggle_like()
+    stats = analytic_table_stats([t.num_rows for t in spec.tables])
+    dense_bytes = sum(s.num_rows for s in stats) * EMBEDDING_DIM * 8
+    rows = []
+    for strategy in MATRIX_STRATEGIES:
+        for fraction in MATRIX_FRACTIONS:
+            budget = int(dense_bytes * fraction)
+            plan = plan_compression(
+                stats, EMBEDDING_DIM, budget, strategy=strategy
+            )
+            counts = ", ".join(
+                f"{k}:{v}" for k, v in sorted(plan.strategy_counts().items())
+            )
+            rows.append(
+                [
+                    strategy,
+                    f"{fraction:.0%}",
+                    f"{plan.total_bytes / 1e9:.4f}",
+                    f"{plan.dense_total_bytes / max(1, plan.total_bytes):.1f}x",
+                    "yes" if plan.feasible else "NO",
+                    counts,
+                ]
+            )
+    return format_table(
+        ["Strategy", "Budget", "Planned GB", "Ratio", "Feasible", "Tables"],
+        rows,
+        title=(
+            f"Compression strategy x budget matrix, "
+            f"criteo-kaggle full schema, dim={EMBEDDING_DIM} (fp64)"
+        ),
+    )
+
+
+@pytest.mark.compress_slow
+def test_strategy_budget_matrix_plans():
+    from repro.embeddings.autotune import plan_compression
+    from repro.sharding.trainer import analytic_table_stats
+
+    spec = criteo_kaggle_like()
+    stats = analytic_table_stats([t.num_rows for t in spec.tables])
+    dense_bytes = sum(s.num_rows for s in stats) * EMBEDDING_DIM * 8
+    for strategy in MATRIX_STRATEGIES:
+        for fraction in MATRIX_FRACTIONS:
+            budget = int(dense_bytes * fraction)
+            plan = plan_compression(
+                stats, EMBEDDING_DIM, budget, strategy=strategy
+            )
+            if plan.feasible:
+                assert plan.total_bytes <= budget, (strategy, fraction)
+    emit("strategy_budget_matrix", build_strategy_budget_matrix())
+
+
+@pytest.mark.compress_slow
+def test_strategy_budget_matrix_training():
+    from repro.data.dataloader import SyntheticClickLog
+    from repro.embeddings.autotune import build_bag_from_plan, plan_compression
+    from repro.models.config import DLRMConfig, EmbeddingBackend
+    from repro.models.dlrm import DLRM
+    from repro.sharding.trainer import analytic_table_stats
+    from repro.utils.rng import spawn_rngs
+
+    spec = criteo_kaggle_like(scale=2e-4)
+    log = SyntheticClickLog(spec, batch_size=128, seed=0)
+    cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.DENSE,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    stats = analytic_table_stats(list(cfg.table_rows))
+    dense_bytes = sum(s.num_rows for s in stats) * cfg.embedding_dim * 8
+
+    def run(bags):
+        model = DLRM(cfg, seed=0, embedding_bags=bags)
+        loss = 0.0
+        for i in range(20):
+            loss = model.train_step(log.batch(i), lr=0.1).loss
+        return float(loss)
+
+    dense_loss = run(None)
+    rows = [["dense", "-", f"{dense_bytes / 1e6:.3f}", f"{dense_loss:.4f}"]]
+    for strategy in MATRIX_STRATEGIES:
+        for fraction in MATRIX_FRACTIONS:
+            budget = int(dense_bytes * fraction)
+            plan = plan_compression(
+                stats, cfg.embedding_dim, budget, strategy=strategy
+            )
+            if not plan.feasible:
+                rows.append(
+                    [strategy, f"{fraction:.0%}", "infeasible", "-"]
+                )
+                continue
+            rngs = spawn_rngs(0, len(plan.tables))
+            bags = [
+                build_bag_from_plan(entry, cfg.embedding_dim, seed=rng)
+                for entry, rng in zip(plan.tables, rngs)
+            ]
+            realized = sum(b.memory_bytes() for b in bags)
+            assert realized <= budget, (strategy, fraction)
+            loss = run(bags)
+            rows.append(
+                [
+                    strategy,
+                    f"{fraction:.0%}",
+                    f"{realized / 1e6:.3f}",
+                    f"{loss:.4f}",
+                ]
+            )
+    emit(
+        "strategy_budget_training",
+        format_table(
+            ["Strategy", "Budget", "Realized MB", "Final loss"],
+            rows,
+            title=(
+                "Training under compression: 20 steps, "
+                "criteo-kaggle scale=2e-4, dim=8"
+            ),
+        ),
+    )

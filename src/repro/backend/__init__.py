@@ -35,16 +35,20 @@ from .plan_cache import (
 from .sanitizer import NumericTrapError, SanitizerBackend, TrapRecord
 from .protocol import (
     KERNEL_ZONE_NAMES,
+    ZONE_COMPRESS_UPDATE,
     ZONE_EFFTT_BACKWARD,
     ZONE_EFFTT_FORWARD,
     ZONE_FUSED_UPDATE,
+    ZONE_HASH_LOOKUP,
     ZONE_INTERACTION,
     ZONE_LC_CACHE,
     ZONE_LINK_COMPRESS,
     ZONE_MLP,
     ZONE_OPTIMIZER,
+    ZONE_PQ_LOOKUP,
     ZONE_PS_APPLY,
     ZONE_PS_GATHER,
+    ZONE_ROBE_LOOKUP,
     ZONE_SERVING_LOOKUP,
     ZONE_SHARD_ROUTE,
     ZONE_TT_BACKWARD,
@@ -94,6 +98,10 @@ __all__ = [
     "ZONE_SERVING_LOOKUP",
     "ZONE_SHARD_ROUTE",
     "ZONE_LINK_COMPRESS",
+    "ZONE_HASH_LOOKUP",
+    "ZONE_ROBE_LOOKUP",
+    "ZONE_PQ_LOOKUP",
+    "ZONE_COMPRESS_UPDATE",
 ]
 
 BACKEND_NAMES: Tuple[str, ...] = ("numpy", "instrumented", "sanitizer", "torch")

@@ -64,6 +64,10 @@ __all__ = [
     "ZONE_SERVING_LOOKUP",
     "ZONE_SHARD_ROUTE",
     "ZONE_LINK_COMPRESS",
+    "ZONE_HASH_LOOKUP",
+    "ZONE_ROBE_LOOKUP",
+    "ZONE_PQ_LOOKUP",
+    "ZONE_COMPRESS_UPDATE",
     "KERNEL_ZONE_NAMES",
 ]
 
@@ -89,6 +93,10 @@ ZONE_PS_APPLY = "ps_apply"              # server-side sparse update
 ZONE_SERVING_LOOKUP = "serving_lookup"  # hot-row-cached inference arms
 ZONE_SHARD_ROUTE = "shard_route"        # row -> shard routing index math
 ZONE_LINK_COMPRESS = "link_compress"    # PS-link compression / quantization
+ZONE_HASH_LOOKUP = "hash_lookup"        # mod-hash bucket gather
+ZONE_ROBE_LOOKUP = "robe_lookup"        # ROBE shared-array chunk gather
+ZONE_PQ_LOOKUP = "pq_lookup"            # PQ codebook gather + concat
+ZONE_COMPRESS_UPDATE = "compress_update"  # hash/ROBE/PQ sparse updates
 
 KERNEL_ZONE_NAMES: Tuple[str, ...] = (
     ZONE_TT_FORWARD,
@@ -106,6 +114,10 @@ KERNEL_ZONE_NAMES: Tuple[str, ...] = (
     ZONE_SERVING_LOOKUP,
     ZONE_SHARD_ROUTE,
     ZONE_LINK_COMPRESS,
+    ZONE_HASH_LOOKUP,
+    ZONE_ROBE_LOOKUP,
+    ZONE_PQ_LOOKUP,
+    ZONE_COMPRESS_UPDATE,
 )
 
 

@@ -88,6 +88,24 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_compression_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compress-strategy",
+        choices=["none", "dense", "tt", "hash", "robe", "pq", "auto"],
+        default="none",
+        help="size the embedding tables with the memory-budget "
+        "compression planner: one fixed strategy for every table, or "
+        "'auto' to pick per table from the measured statistics; "
+        "requires --memory-budget-mb",
+    )
+    parser.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="global embedding byte budget the compression planner "
+        "bisects against (realized memory never exceeds it when a "
+        "feasible plan exists)",
+    )
+
+
 def _cmd_info(_: argparse.Namespace) -> int:
     from repro.system.devices import (
         TESLA_T4,
@@ -172,6 +190,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     if args.shards >= 1:
         return _train_sharded(args, spec, log, cfg)
+    if args.compress_strategy != "none":
+        return _train_compressed(args, spec, log, cfg)
     model = DLRM(cfg, seed=args.seed)
     plan_cache = get_plan_cache()
     losses = [
@@ -208,7 +228,22 @@ def _train_sharded(args: argparse.Namespace, spec, log, cfg) -> int:
     from repro.backend import InstrumentedBackend, SanitizerBackend, get_backend
     from repro.reorder import table_stats_from_log
     from repro.sharding import LinkCompressionConfig, build_sharded_ps_trainer
+    from repro.sharding.placement import StatsDrivenStrategy
 
+    strategy = None
+    if args.compress_strategy not in ("none", "tt"):
+        if args.compress_strategy in ("auto", "dense"):
+            print(
+                f"--compress-strategy {args.compress_strategy} is not "
+                "supported with --shards (the placement planner picks "
+                "one compressed on-device form); pick hash, robe, or pq",
+                file=sys.stderr,
+            )
+            return 2
+        strategy = StatsDrivenStrategy(
+            compress_strategy=args.compress_strategy,
+            compress_rate=cfg.compress_rate,
+        )
     profile_batches = max(1, min(args.steps, 8))
     stats = [
         table_stats_from_log(log, t, num_batches=profile_batches)
@@ -222,6 +257,7 @@ def _train_sharded(args: argparse.Namespace, spec, log, cfg) -> int:
         num_shards=args.shards,
         compression=compression,
         stats=stats,
+        strategy=strategy,
         device_budget_bytes=args.device_budget_mb * 1_000_000,
         lr=args.lr,
     )
@@ -256,6 +292,80 @@ def _train_sharded(args: argparse.Namespace, spec, log, cfg) -> int:
     return 0 if losses[-1] < losses[0] else 1
 
 
+def _train_compressed(args: argparse.Namespace, spec, log, cfg) -> int:
+    """``repro train --compress-strategy S --memory-budget-mb B``.
+
+    Profiles a training-data prefix into measured per-table stats, runs
+    the memory-budget auto-tuner
+    (:func:`~repro.embeddings.autotune.plan_compression`), builds the
+    planned bags, and trains the DLRM on them end-to-end, reporting the
+    realized embedding footprint against the budget.
+    """
+    from repro.backend import InstrumentedBackend, SanitizerBackend, get_backend
+    from repro.embeddings import build_bag_from_plan, plan_compression
+    from repro.models.dlrm import DLRM
+    from repro.reorder import table_stats_from_log
+    from repro.utils.rng import spawn_rngs
+
+    if args.memory_budget_mb is None:
+        print(
+            "--compress-strategy requires --memory-budget-mb (the "
+            "planner sizes every table against that byte budget)",
+            file=sys.stderr,
+        )
+        return 2
+    profile_batches = max(1, min(args.steps, 8))
+    stats = [
+        table_stats_from_log(log, t, num_batches=profile_batches)
+        for t in range(spec.num_sparse)
+    ]
+    budget = int(args.memory_budget_mb * 1_000_000)
+    plan = plan_compression(
+        stats, cfg.embedding_dim, budget, strategy=args.compress_strategy
+    )
+    print(
+        f"compression plan ('{args.compress_strategy}', "
+        f"budget {args.memory_budget_mb:g} MB):"
+    )
+    print(plan.format_table())
+    # Same child-RNG convention as DLRM's own construction (table t at
+    # rngs[2 + t]), so a plan that picks the config's backend for every
+    # table reproduces the uncompressed model exactly.
+    rngs = spawn_rngs(args.seed, 2 + cfg.num_tables)
+    bags = [
+        build_bag_from_plan(entry, cfg.embedding_dim, seed=rngs[2 + t])
+        for t, entry in enumerate(plan.tables)
+    ]
+    model = DLRM(cfg, seed=args.seed, embedding_bags=bags)
+    losses = [
+        model.train_step(log.batch(i), lr=args.lr).loss
+        for i in range(args.steps)
+    ]
+    realized = sum(bag.memory_bytes() for bag in bags)
+    print(
+        f"trained {args.steps} steps on {args.dataset} "
+        f"({get_backend().name} backend, '{args.compress_strategy}' "
+        f"embeddings): loss {losses[0]:.4f} -> {losses[-1]:.4f}"
+    )
+    within = realized <= budget
+    print(
+        f"embedding memory: {realized / 1e6:.2f} MB realized of "
+        f"{budget / 1e6:.2f} MB budget "
+        f"({'within' if within else 'OVER'}; dense would be "
+        f"{plan.dense_total_bytes / 1e6:.2f} MB)"
+    )
+    if not plan.feasible:
+        print(
+            "warning: no parameterization fits the budget — the plan "
+            "is the minimal configuration per table",
+        )
+    backend = get_backend()
+    if isinstance(backend, (InstrumentedBackend, SanitizerBackend)):
+        print()
+        print(backend.report())
+    return 0 if losses[-1] < losses[0] and (within or not plan.feasible) else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.backend import InstrumentedBackend, SanitizerBackend, get_backend, get_plan_cache
     from repro.data.dataloader import SyntheticClickLog
@@ -272,7 +382,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         backend=EmbeddingBackend.EFF_TT, tt_rank=args.tt_rank,
         bottom_mlp=(16,), top_mlp=(16,),
     )
-    model = DLRM(cfg, seed=args.seed)
+    if args.compress_strategy != "none":
+        from repro.embeddings import build_bag_from_plan, plan_compression
+        from repro.reorder import table_stats_from_log
+        from repro.utils.rng import spawn_rngs
+
+        if args.memory_budget_mb is None:
+            print(
+                "--compress-strategy requires --memory-budget-mb",
+                file=sys.stderr,
+            )
+            return 2
+        stats = [
+            table_stats_from_log(log, t, num_batches=4)
+            for t in range(spec.num_sparse)
+        ]
+        comp_plan = plan_compression(
+            stats,
+            cfg.embedding_dim,
+            int(args.memory_budget_mb * 1_000_000),
+            strategy=args.compress_strategy,
+        )
+        rngs = spawn_rngs(args.seed, 2 + cfg.num_tables)
+        bags = [
+            build_bag_from_plan(entry, cfg.embedding_dim, seed=rngs[2 + t])
+            for t, entry in enumerate(comp_plan.tables)
+        ]
+        model = DLRM(cfg, seed=args.seed, embedding_bags=bags)
+        print(
+            f"embeddings: '{args.compress_strategy}' plan, "
+            f"{comp_plan.total_bytes / 1e6:.2f} MB of "
+            f"{comp_plan.budget_bytes / 1e6:.2f} MB budget"
+        )
+    else:
+        model = DLRM(cfg, seed=args.seed)
     plan_cache = get_plan_cache()
     hits0, misses0 = plan_cache.hits, plan_cache.misses
     for i in range(args.steps):
@@ -442,6 +585,15 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
     status = "ok" if sharded_ok else "FAILED (sharding changed the math)"
     print(f"sharded  {sharded_detail}  [{status}]")
 
+    # Compression-equivalence gate: every compression strategy must
+    # train run-to-run bitwise-deterministically, and an auto-tuned
+    # model under a halved budget must stay within the documented loss
+    # tolerance of the dense reference while respecting the budget.
+    comp_ok, comp_detail = _compression_equivalence_gate()
+    ok = ok and comp_ok
+    status = "ok" if comp_ok else "FAILED (compression broke training)"
+    print(f"compress {comp_detail}  [{status}]")
+
     # Static checks: reprolint over the installed package, then mypy
     # on the strict modules when the tool is available.
     from pathlib import Path
@@ -562,10 +714,92 @@ def _sharded_equivalence_gate() -> tuple:
     return bitwise and bounded and shrunk, detail
 
 
+# Loss tolerance for the compression-equivalence quickcheck gate: an
+# auto-tuned model under half the dense budget may move the final loss
+# of the short gate run by at most this relative amount vs the dense
+# reference (DESIGN.md §13 documents the bound).
+_AUTO_TUNED_LOSS_RTOL = 0.15
+
+
+def _compression_equivalence_gate() -> tuple:
+    """(ok, detail) for the quickcheck compressed-embedding gate."""
+    from repro.data.dataloader import SyntheticClickLog
+    from repro.data.datasets import criteo_kaggle_like
+    from repro.embeddings import build_bag_from_plan, plan_compression
+    from repro.models.config import DLRMConfig, EmbeddingBackend
+    from repro.models.dlrm import DLRM
+    from repro.reorder import table_stats_from_log
+    from repro.utils.rng import spawn_rngs
+
+    steps = 8
+    spec = criteo_kaggle_like(scale=2e-5)
+    log = SyntheticClickLog(spec, batch_size=32, seed=0)
+
+    def run(backend):
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=backend, tt_rank=8,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        model = DLRM(cfg, seed=0)
+        return [
+            model.train_step(log.batch(i), lr=0.1).loss
+            for i in range(steps)
+        ]
+
+    deterministic = all(
+        run(backend) == run(backend)
+        for backend in (
+            EmbeddingBackend.HASH,
+            EmbeddingBackend.ROBE,
+            EmbeddingBackend.PQ,
+        )
+    )
+
+    dense_losses = run(EmbeddingBackend.DENSE)
+    cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.DENSE, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    stats = [
+        table_stats_from_log(log, t, num_batches=4)
+        for t in range(spec.num_sparse)
+    ]
+    dense_total = sum(st.num_rows for st in stats) * cfg.embedding_dim * 8
+    budget = max(1, dense_total // 2)
+    plan = plan_compression(
+        stats, cfg.embedding_dim, budget, strategy="auto"
+    )
+    rngs = spawn_rngs(0, 2 + cfg.num_tables)
+    bags = [
+        build_bag_from_plan(entry, cfg.embedding_dim, seed=rngs[2 + t])
+        for t, entry in enumerate(plan.tables)
+    ]
+    model = DLRM(cfg, seed=0, embedding_bags=bags)
+    auto_losses = [
+        model.train_step(log.batch(i), lr=0.1).loss for i in range(steps)
+    ]
+    realized = sum(bag.memory_bytes() for bag in bags)
+    within = realized <= budget
+    drift = abs(auto_losses[-1] - dense_losses[-1]) / abs(dense_losses[-1])
+    bounded = drift <= _AUTO_TUNED_LOSS_RTOL and auto_losses[-1] < auto_losses[0]
+    detail = (
+        f"strategies deterministic: {deterministic}; auto at half "
+        f"budget: {realized:,}/{budget:,} B, final-loss drift "
+        f"{drift:.2e} (bound {_AUTO_TUNED_LOSS_RTOL:g})"
+    )
+    return deterministic and within and bounded, detail
+
+
 # Modules held to `mypy --strict` (see [tool.mypy] in pyproject.toml).
 _MYPY_STRICT_TARGETS = (
     "repro/system/queues.py",
     "repro/embeddings/cache.py",
+    "repro/embeddings/protocol.py",
+    "repro/embeddings/hash_embedding.py",
+    "repro/embeddings/robe_embedding.py",
+    "repro/embeddings/pq_embedding.py",
+    "repro/embeddings/autotune.py",
+    "repro/utils/factorize.py",
     "repro/analysis",
     "repro/backend/protocol.py",
     "repro/backend/plan_cache.py",
@@ -606,8 +840,15 @@ def _run_serving(
     hot_coverage: float,
     train_steps: int,
     seed: int,
+    compress_strategy: str = "none",
+    memory_budget_mb: Optional[float] = None,
 ):
-    """Build a model + traffic and run one serving simulation."""
+    """Build a model + traffic and run one serving simulation.
+
+    With ``compress_strategy`` set, the served embedding tables are
+    built from an auto-tuner plan over analytic table statistics (hot
+    caches then sit on top of whatever strategy each table got).
+    """
     from repro.data.dataloader import SyntheticClickLog
     from repro.models.config import DLRMConfig, EmbeddingBackend
     from repro.models.dlrm import DLRM
@@ -625,7 +866,29 @@ def _run_serving(
         spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
         bottom_mlp=(16,), top_mlp=(16,),
     )
-    model = DLRM(config, seed=seed)
+    if compress_strategy != "none":
+        from repro.embeddings import build_bag_from_plan, plan_compression
+        from repro.sharding.trainer import analytic_table_stats
+        from repro.utils.rng import spawn_rngs
+
+        if memory_budget_mb is None:
+            raise ValueError(
+                "--compress-strategy requires --memory-budget-mb"
+            )
+        comp_plan = plan_compression(
+            analytic_table_stats(list(config.table_rows)),
+            config.embedding_dim,
+            int(memory_budget_mb * 1_000_000),
+            strategy=compress_strategy,
+        )
+        rngs = spawn_rngs(seed, 2 + config.num_tables)
+        bags = [
+            build_bag_from_plan(entry, config.embedding_dim, seed=rngs[2 + t])
+            for t, entry in enumerate(comp_plan.tables)
+        ]
+        model = DLRM(config, seed=seed, embedding_bags=bags)
+    else:
+        model = DLRM(config, seed=seed)
     snapshot_v0 = ModelSnapshot.from_model(model, version=0)
     hot_rows = {
         t: generator.hot_rows(t, hot_coverage)
@@ -659,6 +922,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if not _install_backend(args.backend):
         return 2
+    if args.compress_strategy != "none" and args.memory_budget_mb is None:
+        print(
+            "--compress-strategy requires --memory-budget-mb",
+            file=sys.stderr,
+        )
+        return 2
     factory = DATASET_FACTORIES[args.dataset]
     spec = factory(scale=args.scale)
     outcome = _run_serving(
@@ -671,6 +940,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hot_coverage=args.hot_coverage,
         train_steps=args.train_steps,
         seed=args.seed,
+        compress_strategy=args.compress_strategy,
+        memory_budget_mb=args.memory_budget_mb,
     )
     print(outcome.report.format())
     if outcome.swap_times:
@@ -949,7 +1220,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     train.add_argument("--tt-rank", type=int, default=8)
     train.add_argument(
         "--embedding-backend",
-        choices=["dense", "tt", "eff_tt"],
+        choices=["dense", "tt", "eff_tt", "hash", "robe", "pq"],
         default="eff_tt",
         help="embedding-table representation (distinct from --backend, "
         "which picks the kernel execution layer)",
@@ -979,6 +1250,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="per-device memory budget for the placement planner "
         "(sharded path only)",
     )
+    _add_compression_flags(train)
     _add_backend_flag(train)
     bench = sub.add_parser(
         "bench", help="per-kernel-zone cost report for a fixed workload"
@@ -994,6 +1266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--tt-rank", type=int, default=8)
     bench.add_argument("--requests", type=int, default=200)
     bench.add_argument("--seed", type=int, default=0)
+    _add_compression_flags(bench)
     _add_backend_flag(bench)
     sub.add_parser("figures", help="regenerate every paper table/figure")
     lint = sub.add_parser(
@@ -1106,6 +1379,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace", type=str, default=None,
         help="write a Chrome trace of the serving timeline here",
     )
+    _add_compression_flags(serve)
     _add_backend_flag(serve)
     chaos = sub.add_parser(
         "chaos",

@@ -10,17 +10,29 @@ This package contains the paper's central artifact and its baselines:
 * :class:`EffTTEmbeddingBag` — the paper's Eff-TT table (§III): batch
   reuse buffer over shared TT-index prefixes, in-advance gradient
   aggregation over unique indices, and a fused core update.
+* :class:`HashEmbeddingBag` / :class:`RobeEmbeddingBag` /
+  :class:`PQEmbeddingBag` — the compressed-embedding zoo: mod-hash
+  bucketing, ROBE shared-array chunks, and DPQ-style product
+  quantization.
 * :class:`EmbeddingCache` — the LC-managed GPU-side cache that resolves
   the read-after-write conflict in pipelined training (§V-B).
 
 All bags share one contract (see :class:`EmbeddingBagBase`):
 ``forward(indices, offsets) -> (B, dim)`` with sum pooling,
 ``backward(grad_output)`` capturing sparse gradient state, and
-``step(lr)`` applying the update.
+``step(lr)`` applying the update — plus the structural
+:class:`CompressedEmbedding` protocol (footprint, state arrays, spec,
+version counter, pure row reconstruction) that serialization, serving,
+resilience and placement program against.  The memory-budget
+auto-tuner lives in :mod:`repro.embeddings.autotune`.
 """
 
 from repro.embeddings.base import EmbeddingBagBase, normalize_offsets, segment_sum
+from repro.embeddings.protocol import CompressedEmbedding, CompressionSpec
 from repro.embeddings.dense import DenseEmbeddingBag
+from repro.embeddings.hash_embedding import HashEmbeddingBag
+from repro.embeddings.robe_embedding import RobeEmbeddingBag
+from repro.embeddings.pq_embedding import PQEmbeddingBag
 from repro.embeddings.tt_indices import (
     prefix_keys,
     row_index_to_tt,
@@ -33,12 +45,29 @@ from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
 from repro.embeddings.cache import EmbeddingCache
 from repro.embeddings.collection import EmbeddingCollection
 from repro.embeddings.inference import HotRowCachedLookup, StaleCacheError
+from repro.embeddings.autotune import (
+    CompressionPlan,
+    TablePlan,
+    build_bag_from_plan,
+    build_bag_from_spec,
+    plan_compression,
+)
 
 __all__ = [
     "EmbeddingBagBase",
     "normalize_offsets",
     "segment_sum",
+    "CompressedEmbedding",
+    "CompressionSpec",
     "DenseEmbeddingBag",
+    "HashEmbeddingBag",
+    "RobeEmbeddingBag",
+    "PQEmbeddingBag",
+    "CompressionPlan",
+    "TablePlan",
+    "plan_compression",
+    "build_bag_from_plan",
+    "build_bag_from_spec",
     "row_index_to_tt",
     "tt_to_row_index",
     "prefix_keys",

@@ -20,9 +20,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.data.dataloader import Batch
+from repro.embeddings.autotune import CompressionPlan, build_bag_from_plan
 from repro.embeddings.base import EmbeddingBagBase
 from repro.embeddings.dense import DenseEmbeddingBag
 from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.hash_embedding import HashEmbeddingBag
+from repro.embeddings.pq_embedding import PQEmbeddingBag
+from repro.embeddings.robe_embedding import RobeEmbeddingBag
+from repro.embeddings.tt_embedding import TTEmbeddingBag
 from repro.reorder.bijection import IndexBijection
 from repro.system.memory import PlacementDecision, PlacementPlan
 from repro.system.parameter_server import HostBackedEmbeddingBag
@@ -121,6 +126,30 @@ class EmbeddingCollection:
         return cls(bags, host_map, bijections)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_compression_plan(
+        cls,
+        plan: CompressionPlan,
+        seed: RngLike = 0,
+        bijections: Optional[Sequence[Optional[IndexBijection]]] = None,
+    ) -> "EmbeddingCollection":
+        """Build bags from an auto-tuner :class:`CompressionPlan`.
+
+        Every table is worker-resident (the memory budget already made
+        it fit); each entry's strategy and searched parameters become
+        the concrete bag via
+        :func:`~repro.embeddings.autotune.build_bag_from_plan`, with
+        one child RNG per table so the result is deterministic in the
+        plan and the seed.
+        """
+        rngs = spawn_rngs(seed, len(plan.tables))
+        bags: List[EmbeddingBagBase] = [
+            build_bag_from_plan(entry, plan.embedding_dim, seed=rng)
+            for entry, rng in zip(plan.tables, rngs)
+        ]
+        return cls(bags, host_table_map=None, bijections=bijections)
+
+    # ------------------------------------------------------------------
     @property
     def num_tables(self) -> int:
         return len(self.bags)
@@ -145,12 +174,23 @@ class EmbeddingCollection:
         )
 
     def summary(self) -> Dict[str, int]:
+        """Per-strategy table counts; values sum to :attr:`num_tables`."""
         return {
             "tt_tables": sum(
-                isinstance(b, EffTTEmbeddingBag) for b in self.bags
+                isinstance(b, (TTEmbeddingBag, EffTTEmbeddingBag))
+                for b in self.bags
             ),
             "dense_tables": sum(
                 isinstance(b, DenseEmbeddingBag) for b in self.bags
+            ),
+            "hash_tables": sum(
+                isinstance(b, HashEmbeddingBag) for b in self.bags
+            ),
+            "robe_tables": sum(
+                isinstance(b, RobeEmbeddingBag) for b in self.bags
+            ),
+            "pq_tables": sum(
+                isinstance(b, PQEmbeddingBag) for b in self.bags
             ),
             "host_tables": len(self.host_table_map),
         }

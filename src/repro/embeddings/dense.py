@@ -6,7 +6,7 @@ memory-footprint reference for Table III's compression ratios.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -15,6 +15,7 @@ from repro.embeddings.base import (
     expand_bag_ids,
     segment_sum,
 )
+from repro.embeddings.protocol import CompressionSpec
 from repro.nn.optim import SparseSGD
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -52,6 +53,8 @@ class DenseEmbeddingBag(EmbeddingBagBase):
         self.weight = rng.uniform(
             -bound, bound, size=(num_embeddings, embedding_dim)
         ).astype(dtype)
+        #: update counter for hot-row cache staleness detection
+        self.version = 0
         self._saved_indices: Optional[np.ndarray] = None
         self._saved_boundaries: Optional[np.ndarray] = None
         self._saved_row_grads: Optional[np.ndarray] = None
@@ -85,6 +88,7 @@ class DenseEmbeddingBag(EmbeddingBagBase):
         SparseSGD(lr).step_rows(
             self.weight, self._saved_indices, self._saved_row_grads
         )
+        self.version += 1
         self._saved_indices = None
         self._saved_boundaries = None
         self._saved_row_grads = None
@@ -104,6 +108,33 @@ class DenseEmbeddingBag(EmbeddingBagBase):
         self._saved_boundaries = None
         self._saved_row_grads = None
         return out
+
+    # -- CompressedEmbedding protocol ---------------------------------
+    def reconstruct_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Pure row lookup (no training state touched)."""
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        return np.asarray(self.weight[idx])
+
+    def memory_bytes(self) -> int:
+        return int(self.weight.nbytes)
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Live parameter arrays (callers copy before persisting)."""
+        return {"weight": self.weight}
+
+    def load_state_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        weight = np.asarray(arrays["weight"], dtype=self.weight.dtype)
+        if weight.shape != self.weight.shape:
+            raise ValueError(
+                f"weight shape {weight.shape} != {self.weight.shape}"
+            )
+        self.weight[...] = weight
+        self.version += 1
+
+    def compression_spec(self) -> CompressionSpec:
+        return CompressionSpec.create(
+            "dense", self.num_embeddings, self.embedding_dim
+        )
 
     @property
     def nbytes(self) -> int:

@@ -26,7 +26,7 @@ toggleable for the ablation studies (Figures 14, 17, 18):
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +43,7 @@ from repro.embeddings.base import (
     expand_bag_ids,
     segment_sum,
 )
+from repro.embeddings.protocol import CompressionSpec
 from repro.embeddings.reuse_buffer import ReusePlan, build_reuse_plan
 from repro.embeddings.tt_core import TTCores, TTSpec
 from repro.embeddings.tt_embedding import tt_chain_backward, tt_chain_forward
@@ -439,6 +440,60 @@ class EffTTEmbeddingBag(EmbeddingBagBase):
         """Fused backward + update in one call (the paper's fused kernel)."""
         self.backward(grad_output)
         self.step(lr)
+
+    # ------------------------------------------------------------------
+    # CompressedEmbedding protocol
+    # ------------------------------------------------------------------
+    def reconstruct_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Pure row materialization (no training state touched)."""
+        return self.tt.reconstruct_rows(indices)
+
+    def memory_bytes(self) -> int:
+        total = int(self.tt.nbytes)
+        if self._adagrad_acc is not None:
+            total += sum(int(acc.nbytes) for acc in self._adagrad_acc)
+        return total
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Live cores (+ adagrad accumulators) — callers copy to persist.
+
+        Key names (``core{k}``, ``adagrad{k}``) match the resilience
+        checkpoint layout so recovery stays bitwise across the refactor.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            f"core{k}": core for k, core in enumerate(self.tt.cores)
+        }
+        if self._adagrad_acc is not None:
+            for k, acc in enumerate(self._adagrad_acc):
+                arrays[f"adagrad{k}"] = acc
+        return arrays
+
+    def load_state_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        live = self.state_arrays()
+        staged = {}
+        for name in sorted(live):
+            stored = np.asarray(arrays[name], dtype=live[name].dtype)
+            if stored.shape != live[name].shape:
+                raise ValueError(
+                    f"{name} shape {stored.shape} != {live[name].shape}"
+                )
+            staged[name] = stored
+        for name in sorted(staged):
+            live[name][...] = staged[name]
+        self.version += 1
+
+    def compression_spec(self) -> CompressionSpec:
+        return CompressionSpec.create(
+            "eff_tt",
+            self.num_embeddings,
+            self.embedding_dim,
+            {
+                "row_shape": tuple(self.spec.row_shape),
+                "col_shape": tuple(self.spec.col_shape),
+                "ranks": tuple(self.spec.ranks),
+                "optimizer": self.optimizer,
+            },
+        )
 
     # ------------------------------------------------------------------
     # introspection

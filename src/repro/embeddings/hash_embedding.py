@@ -1,0 +1,204 @@
+"""Mod-hash compressed embedding bag (the "hashing trick").
+
+The simplest compression strategy in the zoo: logical row ``i`` maps to
+physical bucket ``i % num_buckets`` of a dense ``(num_buckets, dim)``
+table.  Rows that collide share (and co-train) one vector.  This is
+the baseline every compressed-embedding paper (Hetu's compression
+suite, ROBE, DPQ) compares against: zero per-lookup arithmetic beyond
+the modulo, footprint exactly ``num_buckets * dim`` floats, accuracy
+degrading smoothly as buckets shrink.
+
+Addressing is parameter-free (no hash constants), so a checkpoint
+needs only ``num_buckets`` (in the spec) plus the weight array.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.backend import (
+    ZONE_COMPRESS_UPDATE,
+    ZONE_HASH_LOOKUP,
+    get_backend,
+)
+from repro.embeddings.base import (
+    EmbeddingBagBase,
+    expand_bag_ids,
+    segment_sum,
+)
+from repro.embeddings.protocol import CompressionSpec
+from repro.utils.factorize import ceil_balanced_factors
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["HashEmbeddingBag", "default_hash_buckets"]
+
+
+def default_hash_buckets(num_embeddings: int, compress_rate: float) -> int:
+    """Default bucket count for a target compression rate.
+
+    The raw target ``num_embeddings * compress_rate`` is rounded *up*
+    to a near-balanced two-factor tile via
+    :func:`~repro.utils.factorize.ceil_balanced_factors` — the same
+    ceil-cube rule TT shape selection uses — so bucket tables stay
+    rectangular-tileable, then clamped to ``[1, num_embeddings]``.
+    """
+    if not 0.0 < compress_rate <= 1.0:
+        raise ValueError(
+            f"compress_rate must be in (0, 1], got {compress_rate}"
+        )
+    target = max(1, math.ceil(num_embeddings * compress_rate))
+    tiled = math.prod(ceil_balanced_factors(target, 2))
+    return max(1, min(num_embeddings, tiled))
+
+
+class HashEmbeddingBag(EmbeddingBagBase):
+    """``(num_buckets, embedding_dim)`` table addressed by ``i % B``.
+
+    Parameters
+    ----------
+    num_embeddings, embedding_dim:
+        Logical table shape.
+    num_buckets:
+        Physical bucket count; defaults from ``compress_rate``.
+    compress_rate:
+        Target physical/logical row ratio when ``num_buckets`` is not
+        given (Hetu-style global knob).
+    seed:
+        RNG for initialization.
+    dtype:
+        Storage dtype (float64 default, matching the NN substrate).
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        num_buckets: Optional[int] = None,
+        compress_rate: float = 0.25,
+        seed: RngLike = 0,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        super().__init__(num_embeddings, embedding_dim)
+        if num_buckets is None:
+            num_buckets = default_hash_buckets(num_embeddings, compress_rate)
+        num_buckets = int(num_buckets)
+        if not 1 <= num_buckets <= num_embeddings:
+            raise ValueError(
+                f"num_buckets must be in [1, {num_embeddings}], "
+                f"got {num_buckets}"
+            )
+        self.num_buckets = num_buckets
+        self.dtype = np.dtype(dtype)
+        rng = ensure_rng(seed)
+        bound = 1.0 / np.sqrt(num_buckets)
+        self.weight = rng.uniform(
+            -bound, bound, size=(num_buckets, embedding_dim)
+        ).astype(self.dtype)
+        #: update counter for hot-row cache staleness detection
+        self.version = 0
+        self._saved_buckets: Optional[np.ndarray] = None
+        self._saved_boundaries: Optional[np.ndarray] = None
+        self._saved_row_grads: Optional[np.ndarray] = None
+
+    def _bucketize(self, idx: np.ndarray) -> np.ndarray:
+        return idx % np.int64(self.num_buckets)
+
+    def forward(
+        self, indices: np.ndarray, offsets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        idx, boundaries = self._validate_inputs(indices, offsets)
+        bk = get_backend()
+        buckets = self._bucketize(idx)
+        with bk.zone(ZONE_HASH_LOOKUP):
+            rows = bk.gather_rows(self.weight, buckets)
+        self._saved_buckets = buckets
+        self._saved_boundaries = boundaries
+        return segment_sum(rows, boundaries)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        if self._saved_buckets is None or self._saved_boundaries is None:
+            raise RuntimeError("backward called before forward")
+        bk = get_backend()
+        grad_output = bk.asarray(grad_output, dtype=self.dtype)
+        num_bags = self._saved_boundaries.size - 1
+        if grad_output.shape != (num_bags, self.embedding_dim):
+            raise ValueError(
+                f"expected grad_output shape "
+                f"{(num_bags, self.embedding_dim)}, got {grad_output.shape}"
+            )
+        bag_ids = expand_bag_ids(self._saved_boundaries)
+        with bk.zone(ZONE_HASH_LOOKUP):
+            # Sum pooling: every member of a bag gets the bag's grad.
+            self._saved_row_grads = bk.gather_rows(grad_output, bag_ids)
+
+    def step(self, lr: float) -> None:
+        if self._saved_row_grads is None:
+            raise RuntimeError("step called before backward")
+        bk = get_backend()
+        with bk.zone(ZONE_COMPRESS_UPDATE):
+            bk.scatter_add_rows(
+                self.weight,
+                self._saved_buckets,
+                self._saved_row_grads,
+                scale=-lr,
+            )
+        self.version += 1
+        self._saved_buckets = None
+        self._saved_boundaries = None
+        self._saved_row_grads = None
+
+    # -- CompressedEmbedding protocol ---------------------------------
+    def reconstruct_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Pure row lookup (no training state touched)."""
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError("row index out of range")
+        bk = get_backend()
+        with bk.zone(ZONE_HASH_LOOKUP):
+            rows = bk.gather_rows(self.weight, self._bucketize(idx))
+        return np.asarray(rows)
+
+    def memory_bytes(self) -> int:
+        return int(self.weight.nbytes)
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Live parameter arrays (callers copy before persisting)."""
+        return {"weight": self.weight}
+
+    def load_state_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        weight = np.asarray(arrays["weight"], dtype=self.dtype)
+        if weight.shape != self.weight.shape:
+            raise ValueError(
+                f"weight shape {weight.shape} != {self.weight.shape}"
+            )
+        self.weight[...] = weight
+        self.version += 1
+
+    def compression_spec(self) -> CompressionSpec:
+        return CompressionSpec.create(
+            "hash",
+            self.num_embeddings,
+            self.embedding_dim,
+            {"num_buckets": self.num_buckets},
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.weight.nbytes
+
+    def nbytes_as(self, dtype: np.dtype = np.float32) -> int:
+        """Footprint if stored at ``dtype``."""
+        return self.weight.size * np.dtype(dtype).itemsize
+
+    def compression_ratio(self) -> float:
+        return self.num_embeddings / self.num_buckets
+
+    @staticmethod
+    def estimate_bytes(
+        num_buckets: int, embedding_dim: int, dtype_bytes: int = 8
+    ) -> int:
+        """Planner-side footprint formula (matches ``memory_bytes``)."""
+        return int(num_buckets) * int(embedding_dim) * int(dtype_bytes)

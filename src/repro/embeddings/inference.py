@@ -1,20 +1,26 @@
-"""Serving-time hot-row cache over a TT table.
+"""Serving-time hot-row cache over a compressed table.
 
 Training wants the compressed representation (small, updatable);
 serving wants latency.  Because the access distribution is power-law
 (paper Figure 4a), materializing a small set of *hot* rows captures
 most lookups: hot indices are served by a plain gather while the long
-tail falls back to the TT contraction.  This combines the paper's two
-observations — FAE-style hot caching and TT compression — on the
-inference path.
+tail falls back to the strategy's row reconstruction (TT contraction,
+ROBE chunk gather, PQ centroid concat, ...).  This combines the
+paper's two observations — FAE-style hot caching and TT compression —
+on the inference path.
+
+The cache works over any
+:class:`~repro.embeddings.protocol.CompressedEmbedding` except a plain
+dense table, where a "cache" would just duplicate rows a single gather
+already serves — constructing one over a dense bag raises.
 
 The view is read-only, and staleness is *detected*, not trusted to the
-caller: every TT bag carries a monotonic ``version`` counter that
-increments on any core update, and the view snapshots it when the hot
-rows are materialized.  A lookup against a bag that has trained since
-then either raises :class:`StaleCacheError` (``on_stale="raise"``, the
-default), transparently re-materializes (``on_stale="refresh"``), or
-knowingly serves stale rows (``on_stale="ignore"``, for staleness
+caller: every bag carries a monotonic ``version`` counter that
+increments on any parameter update, and the view snapshots it when the
+hot rows are materialized.  A lookup against a bag that has trained
+since then either raises :class:`StaleCacheError` (``on_stale="raise"``,
+the default), transparently re-materializes (``on_stale="refresh"``),
+or knowingly serves stale rows (``on_stale="ignore"``, for staleness
 experiments).
 """
 
@@ -26,19 +32,23 @@ import numpy as np
 
 from repro.backend import ZONE_SERVING_LOOKUP, get_backend
 from repro.embeddings.base import normalize_offsets, segment_sum
+from repro.embeddings.dense import DenseEmbeddingBag
 from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.protocol import CompressedEmbedding
 from repro.embeddings.tt_embedding import TTEmbeddingBag
 from repro.utils.validation import check_1d_int_array
 
 __all__ = ["HotRowCachedLookup", "StaleCacheError"]
 
+#: Backwards-compatible alias — the cache now accepts any non-dense
+#: :class:`CompressedEmbedding`, not just the TT pair.
 TTBag = Union[TTEmbeddingBag, EffTTEmbeddingBag]
 
 _STALE_POLICIES = ("raise", "refresh", "ignore")
 
 
 class StaleCacheError(RuntimeError):
-    """The underlying TT cores changed since the hot rows were built."""
+    """The underlying parameters changed since the hot rows were built."""
 
 
 class HotRowCachedLookup:
@@ -47,7 +57,8 @@ class HotRowCachedLookup:
     Parameters
     ----------
     bag:
-        The TT-compressed table to serve from.
+        The compressed table to serve from — any
+        :class:`CompressedEmbedding` except a dense one.
     hot_rows:
         Row indices to materialize (e.g. the most frequent rows from a
         profiling pass, ``ZipfSampler.top_rows(n)``, or
@@ -72,13 +83,18 @@ class HotRowCachedLookup:
 
     def __init__(
         self,
-        bag: TTBag,
+        bag: CompressedEmbedding,
         hot_rows: np.ndarray,
         on_stale: str = "raise",
     ) -> None:
-        if not isinstance(bag, (TTEmbeddingBag, EffTTEmbeddingBag)):
+        if isinstance(bag, DenseEmbeddingBag):
             raise TypeError(
-                f"bag must be a TT-compressed table, got {type(bag).__name__}"
+                "dense tables need no hot-row cache — a lookup is already "
+                "one gather; serve the bag directly"
+            )
+        if not isinstance(bag, CompressedEmbedding):
+            raise TypeError(
+                f"bag must be a compressed table, got {type(bag).__name__}"
             )
         if on_stale not in _STALE_POLICIES:
             raise ValueError(
@@ -101,9 +117,9 @@ class HotRowCachedLookup:
         self.refresh()
 
     def refresh(self) -> None:
-        """Re-materialize the hot rows from the current TT cores."""
+        """Re-materialize the hot rows from the current parameters."""
         if self._hot_rows.size:
-            self._hot_values = self.bag.tt.reconstruct_rows(self._hot_rows)
+            self._hot_values = self.bag.reconstruct_rows(self._hot_rows)
         else:
             self._hot_values = np.zeros(
                 (0, self.bag.embedding_dim), dtype=np.float64
@@ -113,7 +129,7 @@ class HotRowCachedLookup:
 
     @property
     def is_stale(self) -> bool:
-        """Whether the bag's cores have updated since the last refresh."""
+        """Whether the bag has updated since the last refresh."""
         return self.bag.version != self._cached_version
 
     def _check_fresh(self) -> None:
@@ -123,7 +139,7 @@ class HotRowCachedLookup:
             self.refresh()
         elif self.on_stale == "raise":
             raise StaleCacheError(
-                f"TT cores at version {self.bag.version} but hot rows were "
+                f"bag at version {self.bag.version} but hot rows were "
                 f"materialized at version {self._cached_version}; call "
                 "refresh() after training, or construct with "
                 "on_stale='refresh'"
@@ -156,7 +172,7 @@ class HotRowCachedLookup:
                 rows[is_hot] = bk.gather_rows(self._hot_values, pos[is_hot])
             cold = ~is_hot
             if cold.any():
-                rows[cold] = self.bag.tt.reconstruct_rows(idx[cold])
+                rows[cold] = self.bag.reconstruct_rows(idx[cold])
         self.hits += int(is_hot.sum())
         self.misses += int(cold.sum())
         return rows

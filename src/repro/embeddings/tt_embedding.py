@@ -18,7 +18,7 @@ paper's claimed optimizations on a shared substrate.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.embeddings.base import (
     expand_bag_ids,
     segment_sum,
 )
+from repro.embeddings.protocol import CompressionSpec
 from repro.embeddings.tt_core import TTCores, TTSpec
 from repro.embeddings.tt_indices import row_index_to_tt
 from repro.utils.factorize import suggest_tt_shapes
@@ -283,6 +284,41 @@ class TTEmbeddingBag(EmbeddingBagBase):
                 bk.axpy(core, grad, -lr)
         self._core_grads = None
         self.version += 1
+
+    # -- CompressedEmbedding protocol -------------------------------------
+    def reconstruct_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Pure row materialization (no training state touched)."""
+        return self.tt.reconstruct_rows(indices)
+
+    def memory_bytes(self) -> int:
+        return int(self.tt.nbytes)
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Live TT cores keyed ``core{k}`` (callers copy to persist)."""
+        return {f"core{k}": core for k, core in enumerate(self.tt.cores)}
+
+    def load_state_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        for k, core in enumerate(self.tt.cores):
+            stored = np.asarray(arrays[f"core{k}"], dtype=core.dtype)
+            if stored.shape != core.shape:
+                raise ValueError(
+                    f"core{k} shape {stored.shape} != {core.shape}"
+                )
+        for k, core in enumerate(self.tt.cores):
+            core[...] = np.asarray(arrays[f"core{k}"], dtype=core.dtype)
+        self.version += 1
+
+    def compression_spec(self) -> CompressionSpec:
+        return CompressionSpec.create(
+            "tt",
+            self.num_embeddings,
+            self.embedding_dim,
+            {
+                "row_shape": tuple(self.spec.row_shape),
+                "col_shape": tuple(self.spec.col_shape),
+                "ranks": tuple(self.spec.ranks),
+            },
+        )
 
     # -- introspection ----------------------------------------------------
     @property

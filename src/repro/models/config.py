@@ -18,6 +18,9 @@ class EmbeddingBackend(str, enum.Enum):
     DENSE = "dense"
     TT = "tt"          # TT-Rec-style naive TT table
     EFF_TT = "eff_tt"  # the paper's Eff-TT table
+    HASH = "hash"      # mod-hash bucket table
+    ROBE = "robe"      # ROBE shared-array table
+    PQ = "pq"          # product-quantization table
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,12 @@ class DLRMConfig:
         Tables larger than this use the compressed backend, smaller
         ones stay dense (the paper compresses tables with more than 1M
         rows in the end-to-end comparison, §VI-A).
+    compress_rate:
+        Target physical/dense size ratio for the hash/ROBE backends'
+        default parameter sizing (Hetu-style global knob; explicit
+        per-table parameters from a
+        :class:`~repro.embeddings.autotune.CompressionPlan` override
+        it).
     """
 
     num_dense: int
@@ -52,6 +61,7 @@ class DLRMConfig:
     backend: EmbeddingBackend = EmbeddingBackend.EFF_TT
     tt_rank: int = 16
     tt_threshold_rows: int = 0
+    compress_rate: float = 0.25
 
     def __post_init__(self) -> None:
         if self.num_dense < 1:
@@ -63,6 +73,10 @@ class DLRMConfig:
         if self.embedding_dim < 1:
             raise ValueError(
                 f"embedding_dim must be >= 1, got {self.embedding_dim}"
+            )
+        if not 0.0 < self.compress_rate <= 1.0:
+            raise ValueError(
+                f"compress_rate must be in (0, 1], got {self.compress_rate}"
             )
         object.__setattr__(self, "table_rows", tuple(int(r) for r in self.table_rows))
         object.__setattr__(self, "bottom_mlp", tuple(int(w) for w in self.bottom_mlp))
@@ -105,6 +119,7 @@ class DLRMConfig:
         tt_threshold_rows: int = 0,
         bottom_mlp: Sequence[int] = (64, 32),
         top_mlp: Sequence[int] = (64, 32),
+        compress_rate: float = 0.25,
     ) -> "DLRMConfig":
         """Derive a config from a dataset schema."""
         return cls(
@@ -116,4 +131,5 @@ class DLRMConfig:
             backend=backend,
             tt_rank=tt_rank,
             tt_threshold_rows=tt_threshold_rows,
+            compress_rate=compress_rate,
         )

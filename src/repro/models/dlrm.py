@@ -22,6 +22,9 @@ from repro.data.dataloader import Batch
 from repro.embeddings.base import EmbeddingBagBase
 from repro.embeddings.dense import DenseEmbeddingBag
 from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.hash_embedding import HashEmbeddingBag
+from repro.embeddings.pq_embedding import PQEmbeddingBag
+from repro.embeddings.robe_embedding import RobeEmbeddingBag
 from repro.embeddings.tt_embedding import TTEmbeddingBag
 from repro.models.config import DLRMConfig, EmbeddingBackend
 from repro.nn.interaction import DotInteraction
@@ -40,9 +43,15 @@ def build_embedding_bag(
     embedding_dim: int,
     tt_rank: int,
     seed: RngLike = 0,
+    compress_rate: float = 0.25,
     **kwargs,
 ) -> EmbeddingBagBase:
-    """Construct one embedding bag of the requested backend."""
+    """Construct one embedding bag of the requested backend.
+
+    ``compress_rate`` sizes the hash/ROBE backends' default parameters
+    (ignored by dense/TT); explicit strategy kwargs (``num_buckets``,
+    ``array_size``, ``num_codes``, ...) pass through and override it.
+    """
     if backend is EmbeddingBackend.DENSE:
         return DenseEmbeddingBag(num_rows, embedding_dim, seed=seed)
     if backend is EmbeddingBackend.TT:
@@ -53,6 +62,24 @@ def build_embedding_bag(
         return EffTTEmbeddingBag(
             num_rows, embedding_dim, tt_rank=tt_rank, seed=seed, **kwargs
         )
+    if backend is EmbeddingBackend.HASH:
+        return HashEmbeddingBag(
+            num_rows,
+            embedding_dim,
+            compress_rate=compress_rate,
+            seed=seed,
+            **kwargs,
+        )
+    if backend is EmbeddingBackend.ROBE:
+        return RobeEmbeddingBag(
+            num_rows,
+            embedding_dim,
+            compress_rate=compress_rate,
+            seed=seed,
+            **kwargs,
+        )
+    if backend is EmbeddingBackend.PQ:
+        return PQEmbeddingBag(num_rows, embedding_dim, seed=seed, **kwargs)
     raise ValueError(f"unknown backend {backend!r}")
 
 
@@ -123,6 +150,7 @@ class DLRM(Module):
                     config.embedding_dim,
                     config.tt_rank,
                     seed=rngs[2 + t],
+                    compress_rate=config.compress_rate,
                 )
                 for t, rows in enumerate(config.table_rows)
             ]

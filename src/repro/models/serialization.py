@@ -21,6 +21,15 @@ truncated zip, a flipped byte, a missing member — into a
 surfacing a raw numpy/zipfile traceback.  Older versions (no CRC map)
 still load; they simply skip the per-array verification.
 
+Format version 4 extends the kind tags to the compressed-embedding
+zoo (``hash`` / ``robe`` / ``pq``): those bags store a ``bag{t}/spec``
+JSON entry (their :class:`~repro.embeddings.protocol.CompressionSpec`,
+including hash constants) plus their ``state_arrays()`` under
+``bag{t}/{name}``, and restore bitwise through
+:func:`~repro.embeddings.autotune.build_bag_from_spec`.  The dense/TT
+entry layout is unchanged from v3, so pre-existing checkpoints load
+byte-for-byte identically.
+
 Host-backed bags (parameter-server tables) own no local state; their
 weights live in the server and must be checkpointed there — attempting
 to save a model containing one raises.
@@ -36,8 +45,13 @@ from typing import Dict, Union
 
 import numpy as np
 
+from repro.embeddings.autotune import build_bag_from_spec
 from repro.embeddings.dense import DenseEmbeddingBag
 from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.hash_embedding import HashEmbeddingBag
+from repro.embeddings.pq_embedding import PQEmbeddingBag
+from repro.embeddings.protocol import CompressionSpec
+from repro.embeddings.robe_embedding import RobeEmbeddingBag
 from repro.embeddings.tt_embedding import TTEmbeddingBag
 from repro.models.config import DLRMConfig, EmbeddingBackend
 from repro.models.dlrm import DLRM
@@ -49,8 +63,8 @@ __all__ = [
     "entry_crc32",
 ]
 
-_FORMAT_VERSION = 3
-_READABLE_VERSIONS = (1, 2, 3)
+_FORMAT_VERSION = 4
+_READABLE_VERSIONS = (1, 2, 3, 4)
 #: Archive members excluded from the CRC map (the map itself).
 _UNCHECKED_ENTRIES = ("__crc__",)
 
@@ -83,7 +97,14 @@ _BAG_KINDS = {
     DenseEmbeddingBag: "dense",
     TTEmbeddingBag: "tt",
     EffTTEmbeddingBag: "eff_tt",
+    HashEmbeddingBag: "hash",
+    RobeEmbeddingBag: "robe",
+    PQEmbeddingBag: "pq",
 }
+
+#: Kinds serialized via spec JSON + ``state_arrays()`` (v4); dense/TT
+#: keep their explicit v2/v3 entry layout for byte-stable checkpoints.
+_SPEC_KINDS = ("hash", "robe", "pq")
 
 
 def _config_to_json(config: DLRMConfig) -> str:
@@ -97,6 +118,7 @@ def _config_to_json(config: DLRMConfig) -> str:
             "backend": config.backend.value,
             "tt_rank": config.tt_rank,
             "tt_threshold_rows": config.tt_threshold_rows,
+            "compress_rate": config.compress_rate,
         }
     )
 
@@ -112,6 +134,8 @@ def _config_from_json(payload: str) -> DLRMConfig:
         backend=EmbeddingBackend(raw["backend"]),
         tt_rank=raw["tt_rank"],
         tt_threshold_rows=raw["tt_threshold_rows"],
+        # Absent in checkpoints written before format v4.
+        compress_rate=raw.get("compress_rate", 0.25),
     )
 
 
@@ -135,6 +159,12 @@ def save_checkpoint(model: DLRM, path: Union[str, "io.IOBase"]) -> None:
         arrays[f"bag{t}/kind"] = np.array([kind], dtype=object)
         if isinstance(bag, DenseEmbeddingBag):
             arrays[f"bag{t}/weight"] = bag.weight
+        elif kind in _SPEC_KINDS:
+            arrays[f"bag{t}/spec"] = np.array(
+                [bag.compression_spec().to_json()], dtype=object
+            )
+            for name, value in sorted(bag.state_arrays().items()):
+                arrays[f"bag{t}/{name}"] = value
         else:
             spec = bag.spec
             arrays[f"bag{t}/row_shape"] = np.asarray(spec.row_shape)
@@ -160,6 +190,30 @@ def _restore_bag(archive, t: int, kind: str, rows: int, dim: int):
                 f"{bag.weight.shape}"
             )
         bag.weight = stored.astype(np.float64)
+        return bag
+    if kind in _SPEC_KINDS:
+        try:
+            spec = CompressionSpec.from_json(str(archive[f"bag{t}/spec"][0]))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise CheckpointCorruptError(
+                f"bag {t} spec entry is unreadable: {exc}"
+            ) from exc
+        if spec.kind != kind or (spec.num_embeddings, spec.embedding_dim) != (
+            rows,
+            dim,
+        ):
+            raise ValueError(
+                f"bag {t} spec {spec.kind!r} "
+                f"({spec.num_embeddings}, {spec.embedding_dim}) does not "
+                f"match kind {kind!r} ({rows}, {dim})"
+            )
+        bag = build_bag_from_spec(spec, seed=0)
+        bag.load_state_arrays(
+            {
+                name: archive[f"bag{t}/{name}"]
+                for name in sorted(bag.state_arrays())
+            }
+        )
         return bag
     cls = {"tt": TTEmbeddingBag, "eff_tt": EffTTEmbeddingBag}.get(kind)
     if cls is None:

@@ -32,7 +32,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.embeddings.dense import DenseEmbeddingBag
 from repro.models.serialization import CheckpointCorruptError, entry_crc32
 from repro.resilience.faults import FaultInjector, FaultKind
 from repro.system.parameter_server import HostBackedEmbeddingBag
@@ -66,13 +65,16 @@ def capture_trainer_arrays(trainer: _PSTrainerBase) -> Dict[str, np.ndarray]:
     """Copy every array that determines the trainer's future.
 
     Covers dense MLP parameters (``param/<name>``), local embedding
-    bags (``bag<t>/weight`` for dense, ``bag<t>/core<k>`` plus optional
-    ``bag<t>/adagrad<k>`` for TT), and the parameter server's state
-    under a ``server/`` prefix, as named by the server's own
-    ``state_arrays()`` — ``server/table<s>`` for the host server,
-    ``server/table<t>/shard<s>`` (plus error-feedback residuals) for
-    the sharded one.  Host-backed bags own nothing local — their rows
-    are a view into the server — so they are skipped.
+    bags (each bag's ``state_arrays()`` under ``bag<t>/<name>`` — the
+    :class:`~repro.embeddings.protocol.CompressedEmbedding` surface:
+    ``bag<t>/weight`` for dense/hash, ``bag<t>/core<k>`` plus optional
+    ``bag<t>/adagrad<k>`` for TT, codebooks + codes for PQ), and the
+    parameter server's state under a ``server/`` prefix, as named by
+    the server's own ``state_arrays()`` — ``server/table<s>`` for the
+    host server, ``server/table<t>/shard<s>`` (plus error-feedback
+    residuals) for the sharded one.  Host-backed bags own nothing
+    local — their rows are a view into the server — so they are
+    skipped.
     """
     arrays: Dict[str, np.ndarray] = {}
     for name, param in trainer.model.named_parameters():
@@ -80,15 +82,8 @@ def capture_trainer_arrays(trainer: _PSTrainerBase) -> Dict[str, np.ndarray]:
     for t, bag in enumerate(trainer.model.embedding_bags):
         if isinstance(bag, HostBackedEmbeddingBag):
             continue
-        if isinstance(bag, DenseEmbeddingBag):
-            arrays[f"bag{t}/weight"] = np.array(bag.weight, copy=True)
-            continue
-        for k, core in enumerate(bag.tt.cores):
-            arrays[f"bag{t}/core{k}"] = np.array(core, copy=True)
-        acc = getattr(bag, "_adagrad_acc", None)
-        if acc is not None:
-            for k, slot in enumerate(acc):
-                arrays[f"bag{t}/adagrad{k}"] = np.array(slot, copy=True)
+        for name, value in sorted(bag.state_arrays().items()):
+            arrays[f"bag{t}/{name}"] = np.array(value, copy=True)
     for name, array in sorted(trainer.server.state_arrays().items()):
         arrays[f"server/{name}"] = np.array(array, copy=True)
     return arrays
@@ -122,15 +117,10 @@ def restore_trainer_arrays(
     for t, bag in enumerate(trainer.model.embedding_bags):
         if isinstance(bag, HostBackedEmbeddingBag):
             continue
-        if isinstance(bag, DenseEmbeddingBag):
-            stage(f"bag{t}/weight", bag.weight)
-            continue
-        for k, core in enumerate(bag.tt.cores):
-            stage(f"bag{t}/core{k}", core)
-        acc = getattr(bag, "_adagrad_acc", None)
-        if acc is not None:
-            for k, slot in enumerate(acc):
-                stage(f"bag{t}/adagrad{k}", slot)
+        # state_arrays() returns the live arrays, so staging them
+        # writes the restored state in place.
+        for name, value in sorted(bag.state_arrays().items()):
+            stage(f"bag{t}/{name}", value)
     # The server validates its own arrays (shape-check before any
     # write), so staging model/bag arrays first then handing the
     # ``server/`` subset over keeps the all-or-nothing property.

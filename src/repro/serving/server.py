@@ -13,7 +13,8 @@ Latency is *simulated*: a :class:`ServiceTimeModel` charges each batch
 a fixed launch cost plus per-sample and per-row terms, with cold
 (TT-contraction) lookups costing more than hot (cached-gather) ones.
 The numerics, by contrast, are *real*: every batch runs through an
-actual :class:`~repro.models.dlrm.DLRM` whose TT arms are served by
+actual :class:`~repro.models.dlrm.DLRM` whose compressed arms (TT,
+hash, ROBE, PQ, ...) are served by
 :class:`~repro.embeddings.inference.HotRowCachedLookup` views, and the
 predictions returned to clients are the model's true outputs.
 """
@@ -28,9 +29,9 @@ import numpy as np
 
 from repro.backend import ZONE_SERVING_LOOKUP, get_backend
 from repro.data.dataloader import Batch
-from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.dense import DenseEmbeddingBag
 from repro.embeddings.inference import HotRowCachedLookup
-from repro.embeddings.tt_embedding import TTEmbeddingBag
+from repro.embeddings.protocol import CompressedEmbedding
 from repro.models.dlrm import DLRM
 from repro.nn.loss import BCEWithLogitsLoss
 from repro.serving.batcher import BatchingPolicy, MicroBatch, MicroBatcher
@@ -89,13 +90,13 @@ class ServiceTimeModel:
 
 
 class ServingModel:
-    """Read-only inference view of a DLRM with hot-row-cached TT arms.
+    """Read-only inference view of a DLRM with hot-row-cached arms.
 
-    Wraps a model so each TT-compressed embedding bag with configured
-    hot rows is served through a
+    Wraps a model so each compressed embedding bag (TT, hash, ROBE,
+    PQ, ...) with configured hot rows is served through a
     :class:`~repro.embeddings.inference.HotRowCachedLookup`; dense bags
-    and uncached TT bags are used directly.  The wrapped model is
-    treated as frozen — the view never trains it.
+    and uncached compressed bags are used directly.  The wrapped model
+    is treated as frozen — the view never trains it.
 
     Parameters
     ----------
@@ -137,7 +138,9 @@ class ServingModel:
             if rows is None:
                 self._views.append(bag)
                 continue
-            if not isinstance(bag, (TTEmbeddingBag, EffTTEmbeddingBag)):
+            if isinstance(bag, DenseEmbeddingBag) or not isinstance(
+                bag, CompressedEmbedding
+            ):
                 self._views.append(bag)
                 continue
             view = HotRowCachedLookup(bag, rows, on_stale=on_stale)

@@ -9,6 +9,9 @@ kind            meaning
 ==============  =====================================================
 DENSE_DEVICE    small table, dense copy in device HBM
 TT_DEVICE       large table, TT-compressed cores in device HBM
+HASH_DEVICE     large table, mod-hash bucket array in device HBM
+ROBE_DEVICE     large table, shared ROBE weight array in device HBM
+PQ_DEVICE       large table, PQ codebooks + code table in device HBM
 HOT_COLD        skewed table: hot rows cached on device, cold rows
                 served from the (sharded) parameter server
 ROW_SHARDED     rows mod-N split across the PS shard devices
@@ -39,6 +42,19 @@ from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.embeddings.hash_embedding import (
+    HashEmbeddingBag,
+    default_hash_buckets,
+)
+from repro.embeddings.pq_embedding import (
+    PQEmbeddingBag,
+    default_pq_codes,
+    default_pq_subspaces,
+)
+from repro.embeddings.robe_embedding import (
+    RobeEmbeddingBag,
+    default_robe_size,
+)
 from repro.reorder.stats import TableStats
 from repro.utils.factorize import suggest_tt_shapes
 from repro.utils.validation import check_positive
@@ -58,6 +74,9 @@ __all__ = [
 class PlacementKind(enum.Enum):
     DENSE_DEVICE = "dense_device"
     TT_DEVICE = "tt_device"
+    HASH_DEVICE = "hash_device"
+    ROBE_DEVICE = "robe_device"
+    PQ_DEVICE = "pq_device"
     HOT_COLD = "hot_cold"
     ROW_SHARDED = "row_sharded"
     HOST = "host"
@@ -229,18 +248,37 @@ class StatsDrivenStrategy:
         A table whose dense bytes fit within this fraction of the
         budget is simply replicated on-device.
     tt_fraction:
-        A TT-compressible table whose cores fit within this fraction
-        of the budget keeps its compressed form on-device.
+        A compressible table whose compressed form fits within this
+        fraction of the budget keeps that form on-device (the fraction
+        applies to whichever ``compress_strategy`` is configured).
     shard_fraction:
         A server table is row-sharded if its dense bytes fit within
         this fraction of the budget *per device*; beyond that it
         overflows to plain host memory.
     tt_threshold_rows:
-        Minimum cardinality for TT to be worth the decompression
+        Minimum cardinality for compression to be worth the lookup
         compute (small tables are cheaper dense).
+    compress_strategy:
+        Which compressed on-device form large tables take: ``"tt"``
+        (default — cores, bitwise-identical to the pre-zoo planner),
+        ``"hash"`` (mod-hash bucket array), ``"robe"`` (shared weight
+        array), or ``"pq"`` (codebooks + code table).  All four are
+        worker-resident, so swapping the strategy never moves a table
+        between the worker and the server tier.
+    compress_rate:
+        Target compressed/dense ratio used to size the hash and ROBE
+        defaults (ignored by ``"tt"``/``"pq"``).
     """
 
     name = "stats_driven"
+
+    #: compress_strategy -> on-device placement kind.
+    _COMPRESS_KINDS = {
+        "tt": PlacementKind.TT_DEVICE,
+        "hash": PlacementKind.HASH_DEVICE,
+        "robe": PlacementKind.ROBE_DEVICE,
+        "pq": PlacementKind.PQ_DEVICE,
+    }
 
     def __init__(
         self,
@@ -248,6 +286,8 @@ class StatsDrivenStrategy:
         tt_fraction: float = 0.10,
         shard_fraction: float = 0.50,
         tt_threshold_rows: int = 4096,
+        compress_strategy: str = "tt",
+        compress_rate: float = 0.25,
     ) -> None:
         for val, label in (
             (dense_fraction, "dense_fraction"),
@@ -257,10 +297,21 @@ class StatsDrivenStrategy:
             if not 0.0 < val <= 1.0:
                 raise ValueError(f"{label} must be in (0, 1], got {val}")
         check_positive(tt_threshold_rows, "tt_threshold_rows")
+        if compress_strategy not in self._COMPRESS_KINDS:
+            raise ValueError(
+                f"compress_strategy must be one of "
+                f"{sorted(self._COMPRESS_KINDS)}, got {compress_strategy!r}"
+            )
+        if not 0.0 < compress_rate <= 1.0:
+            raise ValueError(
+                f"compress_rate must be in (0, 1], got {compress_rate}"
+            )
         self.dense_fraction = float(dense_fraction)
         self.tt_fraction = float(tt_fraction)
         self.shard_fraction = float(shard_fraction)
         self.tt_threshold_rows = int(tt_threshold_rows)
+        self.compress_strategy = compress_strategy
+        self.compress_rate = float(compress_rate)
 
     def plan(
         self,
@@ -315,22 +366,20 @@ class StatsDrivenStrategy:
                 ),
             )
         if st.num_rows >= self.tt_threshold_rows:
-            tt_bytes = tt_core_bytes(
-                st.num_rows, embedding_dim, tt_rank, dtype_bytes
+            compressed = self._compressed_bytes(
+                st.num_rows, embedding_dim, dtype_bytes, tt_rank, dense_bytes
             )
-            if tt_bytes is not None and tt_bytes <= self.tt_fraction * budget:
-                return PlacementDecision(
-                    table_idx=st.table_idx,
-                    kind=PlacementKind.TT_DEVICE,
-                    num_rows=st.num_rows,
-                    device_bytes=tt_bytes,
-                    server_bytes=0,
-                    reason=(
-                        f"TT rank {tt_rank} compresses "
-                        f"{dense_bytes / 1e6:.2f} MB to "
-                        f"{tt_bytes / 1e6:.2f} MB"
-                    ),
-                )
+            if compressed is not None:
+                comp_bytes, reason = compressed
+                if comp_bytes <= self.tt_fraction * budget:
+                    return PlacementDecision(
+                        table_idx=st.table_idx,
+                        kind=self._COMPRESS_KINDS[self.compress_strategy],
+                        num_rows=st.num_rows,
+                        device_bytes=comp_bytes,
+                        server_bytes=0,
+                        reason=reason,
+                    )
         if st.skewed:
             hot_bytes = st.hot_rows * embedding_dim * dtype_bytes
             if hot_bytes <= self.dense_fraction * budget:
@@ -370,6 +419,59 @@ class StatsDrivenStrategy:
             reason=(
                 f"dense {dense_bytes / 1e9:.2f} GB overflows to host"
             ),
+        )
+
+    def _compressed_bytes(
+        self,
+        num_rows: int,
+        embedding_dim: int,
+        dtype_bytes: int,
+        tt_rank: int,
+        dense_bytes: int,
+    ) -> Optional[tuple]:
+        """On-device bytes of the configured compressed form, with reason.
+
+        Returns ``None`` when the strategy cannot represent the table
+        (TT with no balanced factorization), in which case the decision
+        cascade falls through to the server-resident kinds.
+        """
+        if self.compress_strategy == "tt":
+            tt_bytes = tt_core_bytes(
+                num_rows, embedding_dim, tt_rank, dtype_bytes
+            )
+            if tt_bytes is None:
+                return None
+            return tt_bytes, (
+                f"TT rank {tt_rank} compresses "
+                f"{dense_bytes / 1e6:.2f} MB to "
+                f"{tt_bytes / 1e6:.2f} MB"
+            )
+        if self.compress_strategy == "hash":
+            buckets = default_hash_buckets(num_rows, self.compress_rate)
+            nbytes = HashEmbeddingBag.estimate_bytes(
+                buckets, embedding_dim, dtype_bytes
+            )
+            return nbytes, (
+                f"hash to {buckets} buckets "
+                f"({nbytes / 1e6:.2f} MB of {dense_bytes / 1e6:.2f} MB)"
+            )
+        if self.compress_strategy == "robe":
+            size = default_robe_size(
+                num_rows, embedding_dim, self.compress_rate
+            )
+            nbytes = RobeEmbeddingBag.estimate_bytes(size, dtype_bytes)
+            return nbytes, (
+                f"ROBE array of {size} weights "
+                f"({nbytes / 1e6:.2f} MB of {dense_bytes / 1e6:.2f} MB)"
+            )
+        num_subspaces = default_pq_subspaces(embedding_dim)
+        num_codes = default_pq_codes(num_rows, num_subspaces)
+        nbytes = PQEmbeddingBag.estimate_bytes(
+            num_rows, embedding_dim, num_subspaces, num_codes, dtype_bytes
+        )
+        return nbytes, (
+            f"PQ {num_subspaces}x{num_codes} codebooks "
+            f"({nbytes / 1e6:.2f} MB of {dense_bytes / 1e6:.2f} MB)"
         )
 
 

@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.models.config import DLRMConfig
+from repro.models.config import DLRMConfig, EmbeddingBackend
 from repro.models.dlrm import DLRM, build_embedding_bag
 from repro.reorder.stats import TableStats
 from repro.sharding.compression import LinkCompressionConfig
 from repro.sharding.placement import (
+    PlacementKind,
     PlacementPlan,
     PlacementStrategy,
     StatsDrivenStrategy,
@@ -39,6 +40,16 @@ __all__ = [
 #: Default skew for analytic stats when no index stream was profiled
 #: (matches the synthetic data generators' default).
 _DEFAULT_ALPHA = 1.05
+
+#: Worker-resident compressed placement kinds -> the embedding backend
+#: that realizes them.  Kinds outside this map (dense / TT / the
+#: server-resident ones) keep the model config's per-table backend,
+#: which preserves the pre-zoo construction bit for bit.
+_KIND_BACKENDS = {
+    PlacementKind.HASH_DEVICE: EmbeddingBackend.HASH,
+    PlacementKind.ROBE_DEVICE: EmbeddingBackend.ROBE,
+    PlacementKind.PQ_DEVICE: EmbeddingBackend.PQ,
+}
 
 
 def analytic_table_stats(
@@ -129,13 +140,17 @@ def build_sharded_ps_trainer(
         if t in host_map:
             bags.append(HostBackedEmbeddingBag(r, model_cfg.embedding_dim))
         else:
+            backend = _KIND_BACKENDS.get(
+                plan.kind_of(t), model_cfg.backend_for_table(t)
+            )
             bags.append(
                 build_embedding_bag(
-                    model_cfg.backend_for_table(t),
+                    backend,
                     r,
                     model_cfg.embedding_dim,
                     model_cfg.tt_rank,
                     seed=(bag_seed_base + t),
+                    compress_rate=model_cfg.compress_rate,
                 )
             )
     model = DLRM(model_cfg, seed=model_seed, embedding_bags=bags)

@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple
 __all__ = [
     "prime_factors",
     "balanced_factorization",
+    "ceil_balanced_factors",
     "factorize_pair",
     "suggest_tt_shapes",
 ]
@@ -84,6 +85,42 @@ def balanced_factorization(value: int, num_factors: int) -> List[int]:
         smallest = min(range(num_factors), key=buckets.__getitem__)
         buckets[smallest] *= prime
     return sorted(buckets, reverse=True)
+
+
+def ceil_balanced_factors(value: int, num_factors: int) -> List[int]:
+    """Near-balanced factors whose product is >= ``value`` (ceil-cube).
+
+    Unlike :func:`balanced_factorization` the product may exceed
+    ``value``: each factor starts at the rounded ``num_factors``-th root
+    and the smallest factor is bumped until the product covers the
+    cardinality.  This is the rounding rule TT-Rec/Hetu use to pad a
+    table's row count before factoring it (``_get_decomp_emb``), and the
+    same rule sizes hash-bucket tiles and PQ codebook capacity.
+
+    Guarantees (property-tested):
+
+    - ``prod(result) >= value``
+    - ``max(result) - min(result) <= 1`` (near-balanced)
+    - ``len(result) == num_factors``, every factor >= 1
+    - result sorted in descending order
+
+    Examples
+    --------
+    >>> ceil_balanced_factors(1000000, 3)
+    [100, 100, 100]
+    >>> ceil_balanced_factors(10131227, 3)
+    [217, 217, 216]
+    """
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    if num_factors < 1:
+        raise ValueError(f"num_factors must be >= 1, got {num_factors}")
+    ideal = int(round(value ** (1.0 / num_factors)))
+    factors = [max(1, ideal)] * num_factors
+    while math.prod(factors) < value:
+        smallest = min(range(num_factors), key=factors.__getitem__)
+        factors[smallest] += 1
+    return sorted(factors, reverse=True)
 
 
 def factorize_pair(
@@ -159,15 +196,11 @@ def suggest_tt_shapes(
     # balanced.  Scan padded row counts and keep the best-balanced one.
     best: Tuple[float, int, List[int]] | None = None
     limit = max(num_rows + 1, int(num_rows * (1.0 + max_padding_ratio)) + 1)
-    ideal = int(round(num_rows ** (1.0 / num_cores)))
     # Fast path: build a candidate directly from ceil-balanced factors.
-    direct = [max(1, ideal)] * num_cores
-    while math.prod(direct) < num_rows:
-        smallest = min(range(num_cores), key=direct.__getitem__)
-        direct[smallest] += 1
+    direct = ceil_balanced_factors(num_rows, num_cores)
     direct_rows = math.prod(direct)
     if direct_rows <= limit:
-        best = (_balance_score(direct), direct_rows, sorted(direct, reverse=True))
+        best = (_balance_score(direct), direct_rows, direct)
 
     step = max(1, num_rows // 4096)
     for padded in range(num_rows, limit, step):

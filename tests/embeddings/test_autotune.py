@@ -1,0 +1,143 @@
+"""The memory-budget compression planner (embeddings/autotune.py)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.autotune import (
+    COMPRESS_STRATEGIES,
+    binary_search_max,
+    build_bag_from_plan,
+    build_bag_from_spec,
+    plan_compression,
+)
+from repro.embeddings.protocol import CompressedEmbedding
+from repro.reorder.stats import TableStats
+
+DIM = 8
+
+
+def make_stats(rows=(1000, 50000, 300, 120000), alpha=1.05):
+    return [
+        TableStats.from_spec(t, r, alpha) for t, r in enumerate(rows)
+    ]
+
+
+def dense_bytes(stats):
+    return sum(st.num_rows for st in stats) * DIM * 8
+
+
+class TestBinarySearchMax:
+    def test_finds_largest_passing(self):
+        assert binary_search_max(1, 100, lambda x: x <= 37) == 37
+        assert binary_search_max(1, 100, lambda x: True) == 100
+
+    def test_none_when_nothing_fits(self):
+        assert binary_search_max(1, 100, lambda x: False) is None
+
+
+class TestBudgetCompliance:
+    @pytest.mark.parametrize("strategy", COMPRESS_STRATEGIES + ("auto",))
+    @pytest.mark.parametrize("fraction", [0.5, 0.1, 0.02])
+    def test_total_within_budget(self, strategy, fraction):
+        stats = make_stats()
+        budget = int(dense_bytes(stats) * fraction)
+        plan = plan_compression(stats, DIM, budget, strategy=strategy)
+        if not plan.feasible:
+            # Only honest infeasibility is allowed: dense cannot shrink
+            # at all, and PQ's int32 code table (rows x M x 4 bytes at
+            # M=1) is an irreducible floor.  The emitted plan must be
+            # the strategy's minimal configuration.
+            assert strategy in ("dense", "pq")
+            floor = plan_compression(stats, DIM, 1, strategy=strategy)
+            assert plan.total_bytes == floor.total_bytes
+            assert plan.total_bytes > budget
+            return
+        assert plan.total_bytes <= budget
+
+    @pytest.mark.parametrize("strategy", ("auto", "hash", "robe", "pq", "tt"))
+    def test_realized_equals_planned(self, strategy):
+        stats = make_stats()
+        budget = int(dense_bytes(stats) * 0.1)
+        plan = plan_compression(stats, DIM, budget, strategy=strategy)
+        for entry in plan.tables:
+            bag = build_bag_from_plan(entry, DIM, seed=3)
+            assert isinstance(bag, CompressedEmbedding)
+            assert bag.memory_bytes() == entry.memory_bytes
+            assert bag.num_embeddings == entry.num_rows
+
+    def test_infeasible_budget_flagged(self):
+        stats = make_stats()
+        plan = plan_compression(stats, DIM, 16, strategy="auto")
+        assert not plan.feasible
+        # minimal plan still materializes
+        for entry in plan.tables:
+            build_bag_from_plan(entry, DIM, seed=0)
+
+
+class TestDeterminism:
+    def test_permutation_invariant(self):
+        stats = make_stats()
+        budget = int(dense_bytes(stats) * 0.2)
+        forward = plan_compression(stats, DIM, budget, strategy="auto")
+        reverse = plan_compression(
+            list(reversed(stats)), DIM, budget, strategy="auto"
+        )
+        assert forward == reverse
+
+    def test_repeat_identical(self):
+        stats = make_stats()
+        budget = int(dense_bytes(stats) * 0.2)
+        a = plan_compression(stats, DIM, budget)
+        b = plan_compression(stats, DIM, budget)
+        assert a == b
+
+    def test_duplicate_table_idx_rejected(self):
+        stats = make_stats()
+        stats.append(stats[0])
+        with pytest.raises(ValueError):
+            plan_compression(stats, DIM, 10_000)
+
+
+class TestAutoStrategy:
+    def test_generous_budget_stays_dense(self):
+        stats = make_stats()
+        plan = plan_compression(
+            stats, DIM, dense_bytes(stats) * 2, strategy="auto"
+        )
+        assert all(t.strategy == "dense" for t in plan.tables)
+        assert plan.total_bytes == dense_bytes(stats)
+
+    def test_tight_budget_compresses_large_tables(self):
+        stats = make_stats()
+        budget = int(dense_bytes(stats) * 0.05)
+        plan = plan_compression(stats, DIM, budget, strategy="auto")
+        strategies = {t.num_rows: t.strategy for t in plan.tables}
+        # the big tables cannot stay dense at 5% of dense bytes
+        assert strategies[120000] != "dense"
+        assert strategies[50000] != "dense"
+
+    def test_format_table_renders(self):
+        stats = make_stats()
+        plan = plan_compression(
+            stats, DIM, int(dense_bytes(stats) * 0.2)
+        )
+        text = plan.format_table()
+        assert "budget" in text
+        assert str(len(stats)) not in ("",)  # smoke: non-empty
+        assert len(text.splitlines()) >= len(stats) + 2
+
+
+class TestBuildFromSpec:
+    @pytest.mark.parametrize("strategy", ("hash", "robe", "pq", "tt"))
+    def test_spec_rebuild_matches_shape(self, strategy):
+        stats = make_stats()
+        plan = plan_compression(
+            stats, DIM, int(dense_bytes(stats) * 0.1), strategy=strategy
+        )
+        bag = build_bag_from_plan(plan.tables[-1], DIM, seed=5)
+        clone = build_bag_from_spec(bag.compression_spec(), seed=5)
+        assert type(clone) is type(bag)
+        state, cstate = bag.state_arrays(), clone.state_arrays()
+        assert state.keys() == cstate.keys()
+        for name in state:
+            assert state[name].shape == cstate[name].shape

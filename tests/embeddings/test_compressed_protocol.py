@@ -1,0 +1,137 @@
+"""The CompressedEmbedding protocol surface across all six bag types."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.dense import DenseEmbeddingBag
+from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+from repro.embeddings.hash_embedding import HashEmbeddingBag
+from repro.embeddings.pq_embedding import PQEmbeddingBag
+from repro.embeddings.protocol import CompressedEmbedding, CompressionSpec
+from repro.embeddings.robe_embedding import RobeEmbeddingBag
+from repro.embeddings.tt_embedding import TTEmbeddingBag
+
+ROWS, DIM = 300, 8
+
+
+def make_bags():
+    return [
+        DenseEmbeddingBag(ROWS, DIM, seed=0),
+        TTEmbeddingBag(ROWS, DIM, tt_rank=4, seed=1),
+        EffTTEmbeddingBag(ROWS, DIM, tt_rank=4, seed=2),
+        HashEmbeddingBag(ROWS, DIM, seed=3),
+        RobeEmbeddingBag(ROWS, DIM, seed=4),
+        PQEmbeddingBag(ROWS, DIM, seed=5),
+    ]
+
+
+def train_once(bag, seed=0):
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, ROWS, size=32).astype(np.int64)
+    off = np.arange(0, 33, 4, dtype=np.int64)
+    out = bag.forward(idx, off)
+    bag.backward(np.ones_like(out))
+    bag.step(lr=0.05)
+    return out
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_isinstance(self, bag):
+        # Structural (runtime_checkable Protocol): no bag class
+        # inherits from CompressedEmbedding, yet all satisfy it.
+        assert isinstance(bag, CompressedEmbedding)
+
+    def test_non_bag_rejected(self):
+        assert not isinstance(object(), CompressedEmbedding)
+
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_version_counts_updates(self, bag):
+        assert bag.version == 0
+        train_once(bag)
+        assert bag.version == 1
+        train_once(bag)
+        assert bag.version == 2
+
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_memory_bytes_matches_state(self, bag):
+        state = bag.state_arrays()
+        assert bag.memory_bytes() >= sum(a.nbytes for a in state.values())
+        assert bag.memory_bytes() > 0
+
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_state_arrays_are_live(self, bag):
+        # The contract: state_arrays() returns the trainable arrays
+        # themselves, so training changes what a caller sees.
+        before = {k: v.copy() for k, v in bag.state_arrays().items()}
+        train_once(bag)
+        after = bag.state_arrays()
+        assert before.keys() == after.keys()
+        assert any(
+            not np.array_equal(before[k], after[k]) for k in before
+        )
+
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_state_roundtrip_bitwise(self, bag):
+        train_once(bag)
+        saved = {k: v.copy() for k, v in bag.state_arrays().items()}
+        train_once(bag, seed=9)  # diverge
+        bag.load_state_arrays(saved)
+        for name, value in bag.state_arrays().items():
+            np.testing.assert_array_equal(value, saved[name])
+
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_load_bumps_version(self, bag):
+        saved = {k: v.copy() for k, v in bag.state_arrays().items()}
+        v0 = bag.version
+        bag.load_state_arrays(saved)
+        assert bag.version > v0
+
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_reconstruct_rows_pure(self, bag):
+        idx = np.array([0, 5, ROWS - 1], dtype=np.int64)
+        first = bag.reconstruct_rows(idx)
+        assert first.shape == (3, DIM)
+        np.testing.assert_array_equal(first, bag.reconstruct_rows(idx))
+        assert bag.version == 0  # reading reconstructs, never updates
+
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_forward_pools_reconstructed_rows(self, bag):
+        idx = np.array([1, 7, 2, 2], dtype=np.int64)
+        off = np.array([0, 2], dtype=np.int64)
+        pooled = bag.forward(idx, off)
+        rows = bag.reconstruct_rows(idx)
+        np.testing.assert_allclose(pooled[0], rows[0] + rows[1], atol=1e-12)
+        np.testing.assert_allclose(pooled[1], rows[2] + rows[3], atol=1e-12)
+
+
+class TestCompressionSpec:
+    def test_kinds(self):
+        kinds = {
+            type(b).__name__: b.compression_spec().kind for b in make_bags()
+        }
+        assert kinds == {
+            "DenseEmbeddingBag": "dense",
+            "TTEmbeddingBag": "tt",
+            "EffTTEmbeddingBag": "eff_tt",
+            "HashEmbeddingBag": "hash",
+            "RobeEmbeddingBag": "robe",
+            "PQEmbeddingBag": "pq",
+        }
+
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_spec_shape_metadata(self, bag):
+        spec = bag.compression_spec()
+        assert spec.num_embeddings == ROWS
+        assert spec.embedding_dim == DIM
+
+    @pytest.mark.parametrize("bag", make_bags(), ids=lambda b: type(b).__name__)
+    def test_json_roundtrip(self, bag):
+        spec = bag.compression_spec()
+        assert CompressionSpec.from_json(spec.to_json()) == spec
+
+    def test_params_canonical_order(self):
+        a = CompressionSpec.create("hash", 10, 4, {"b": 1, "a": 2})
+        b = CompressionSpec.create("hash", 10, 4, {"a": 2, "b": 1})
+        assert a == b
+        assert a.to_json() == b.to_json()

@@ -166,3 +166,52 @@ class TestFromDenseTable:
     def test_rejects_bad_shape(self):
         with pytest.raises(ValueError):
             EffTTEmbeddingBag.from_dense_table(np.zeros(5))
+
+
+def _compressed_factories():
+    from repro.embeddings.hash_embedding import HashEmbeddingBag
+    from repro.embeddings.pq_embedding import PQEmbeddingBag
+    from repro.embeddings.robe_embedding import RobeEmbeddingBag
+
+    return {
+        "hash": lambda: HashEmbeddingBag(500, 8, seed=0),
+        "robe": lambda: RobeEmbeddingBag(500, 8, seed=0),
+        "pq": lambda: PQEmbeddingBag(500, 8, seed=0),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_compressed_factories()))
+class TestCacheOverCompressedStrategies:
+    """HotRowCachedLookup is generic over CompressedEmbedding."""
+
+    def test_matches_uncached_lookup(self, name, rng):
+        bag = _compressed_factories()[name]()
+        view = HotRowCachedLookup(bag, hot_rows=np.arange(50))
+        idx = rng.integers(0, 500, size=64)
+        np.testing.assert_allclose(
+            view.lookup_rows(idx), bag.reconstruct_rows(idx), atol=1e-12
+        )
+
+    def test_hit_miss_accounting(self, name):
+        bag = _compressed_factories()[name]()
+        view = HotRowCachedLookup(bag, hot_rows=np.array([1, 2, 3]))
+        view.lookup_rows(np.array([1, 2, 400]))
+        assert view.hits == 2
+        assert view.misses == 1
+
+    def test_stale_detection_and_refresh(self, name, rng):
+        bag = _compressed_factories()[name]()
+        view = HotRowCachedLookup(bag, hot_rows=np.arange(500))
+        assert not view.is_stale
+        out = bag.forward(np.array([5, 5, 9]))
+        bag.backward(np.ones_like(out))
+        bag.step(lr=0.5)
+        assert view.is_stale
+        with pytest.raises(StaleCacheError):
+            view.lookup_rows(np.array([5]))
+        view.refresh()
+        np.testing.assert_allclose(
+            view.lookup_rows(np.array([5])),
+            bag.reconstruct_rows(np.array([5])),
+            atol=1e-12,
+        )

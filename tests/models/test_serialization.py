@@ -34,7 +34,14 @@ def _roundtrip(model: DLRM) -> DLRM:
 
 @pytest.mark.parametrize(
     "backend",
-    [EmbeddingBackend.DENSE, EmbeddingBackend.TT, EmbeddingBackend.EFF_TT],
+    [
+        EmbeddingBackend.DENSE,
+        EmbeddingBackend.TT,
+        EmbeddingBackend.EFF_TT,
+        EmbeddingBackend.HASH,
+        EmbeddingBackend.ROBE,
+        EmbeddingBackend.PQ,
+    ],
 )
 class TestRoundtrip:
     def test_parameters_identical(self, setup, backend):
@@ -117,6 +124,50 @@ class TestErrors:
         )
         restored = _roundtrip(DLRM(cfg, seed=0))
         assert restored.config == cfg
+
+
+class TestMixedStrategyRoundtrip:
+    """Per-bag kind tags: a model mixing every strategy round-trips."""
+
+    def test_mixed_bags_bitwise(self, setup):
+        from repro.embeddings.dense import DenseEmbeddingBag
+        from repro.embeddings.eff_tt_embedding import EffTTEmbeddingBag
+        from repro.embeddings.hash_embedding import HashEmbeddingBag
+        from repro.embeddings.pq_embedding import PQEmbeddingBag
+        from repro.embeddings.robe_embedding import RobeEmbeddingBag
+        from repro.embeddings.tt_embedding import TTEmbeddingBag
+
+        spec, log = setup
+        cfg = DLRMConfig.from_dataset(
+            spec, embedding_dim=8, backend=EmbeddingBackend.DENSE,
+            bottom_mlp=(16,), top_mlp=(16,),
+        )
+        kinds = [
+            DenseEmbeddingBag,
+            TTEmbeddingBag,
+            EffTTEmbeddingBag,
+            HashEmbeddingBag,
+            RobeEmbeddingBag,
+            PQEmbeddingBag,
+        ]
+        bags = [
+            kinds[t % len(kinds)](rows, cfg.embedding_dim, seed=200 + t)
+            for t, rows in enumerate(cfg.table_rows)
+        ]
+        model = DLRM(cfg, seed=4, embedding_bags=bags)
+        model.train_step(log.batch(0), lr=0.1)
+        restored = _roundtrip(model)
+        for orig, back in zip(
+            model.embedding_bags, restored.embedding_bags
+        ):
+            assert type(back) is type(orig)
+            for name, arr in orig.state_arrays().items():
+                np.testing.assert_array_equal(
+                    back.state_arrays()[name], arr
+                )
+        a = model.train_step(log.batch(1), lr=0.1).loss
+        b = restored.train_step(log.batch(1), lr=0.1).loss
+        assert a == b
 
 
 def _saved_bytes(setup) -> bytes:

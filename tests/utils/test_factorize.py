@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.utils.factorize import (
     balanced_factorization,
+    ceil_balanced_factors,
     factorize_pair,
     prime_factors,
     suggest_tt_shapes,
@@ -133,3 +134,50 @@ class TestSuggestTTShapes:
         assert padded >= num_rows
         assert math.prod(rows) == padded
         assert math.prod(cols) == 32
+
+
+class TestCeilBalancedFactors:
+    """Properties of the shared hash/PQ/TT ceil-cube sizing rule."""
+
+    def test_exact_cube(self):
+        assert ceil_balanced_factors(1000, 3) == [10, 10, 10]
+
+    def test_known_values(self):
+        assert ceil_balanced_factors(1, 3) == [1, 1, 1]
+        assert ceil_balanced_factors(7, 1) == [7]
+        assert ceil_balanced_factors(10_131_227, 3) == [217, 217, 216]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ceil_balanced_factors(0, 3)
+        with pytest.raises(ValueError):
+            ceil_balanced_factors(10, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=5_000_000),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_capacity_and_balance(self, value, num_factors):
+        factors = ceil_balanced_factors(value, num_factors)
+        # capacity: the factor grid always covers the cardinality
+        assert math.prod(factors) >= value
+        # near-balanced: no factor more than one above the smallest
+        assert max(factors) - min(factors) <= 1
+        # canonical descending order, fixed length
+        assert factors == sorted(factors, reverse=True)
+        assert len(factors) == num_factors
+        # deterministic
+        assert ceil_balanced_factors(value, num_factors) == factors
+
+    @given(st.integers(min_value=10, max_value=2_000_000))
+    @settings(max_examples=50, deadline=None)
+    def test_tt_fast_path_agrees(self, num_rows):
+        # suggest_tt_shapes' generous-padding fast path must be exactly
+        # the shared helper (the extraction is behavior-preserving).
+        rows, _cols, padded = suggest_tt_shapes(
+            num_rows, 32, max_padding_ratio=10.0
+        )
+        direct = ceil_balanced_factors(num_rows, 3)
+        if math.prod(direct) == padded:
+            assert rows == direct
