@@ -40,8 +40,15 @@ from repro.analysis.linter import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.perfcheck import (
+    PERF_RULES,
+    build_fusion_plan,
+    perfcheck_paths,
+    perfcheck_source,
+    run_calibration,
+)
 from repro.analysis.rules import RULE_REGISTRY, Rule, RuleContext, register
-from repro.analysis.sarif import result_to_sarif
+from repro.analysis.sarif import result_to_sarif, results_to_sarif_bundle
 from repro.analysis.shapecheck import (
     SHAPE_RULES,
     shapecheck_paths,
@@ -80,4 +87,10 @@ __all__ = [
     "HAZARD_RULES",
     "hazard_findings",
     "result_to_sarif",
+    "results_to_sarif_bundle",
+    "PERF_RULES",
+    "perfcheck_paths",
+    "perfcheck_source",
+    "build_fusion_plan",
+    "run_calibration",
 ]

@@ -1,0 +1,28 @@
+"""perfcheck: static kernel-zone cost & fusion analyzer.
+
+Reconstructs the per-zone dataflow graph of ``ArrayBackend`` call sites,
+prices each node with the same formulas ``InstrumentedBackend`` uses at
+runtime, reports one-sided PERF findings, and emits the FusionPlan
+contract consumed by the fused backend.  See DESIGN.md §14.
+"""
+
+from .calibrate import (
+    CalibrationBackend,
+    CalibrationReport,
+    ZoneComparison,
+    run_calibration,
+)
+from .checker import build_fusion_plan, perfcheck_paths, perfcheck_source
+from .interp import PERF_RULES, PerfRuleInfo
+
+__all__ = [
+    "PERF_RULES",
+    "PerfRuleInfo",
+    "perfcheck_paths",
+    "perfcheck_source",
+    "build_fusion_plan",
+    "CalibrationBackend",
+    "CalibrationReport",
+    "ZoneComparison",
+    "run_calibration",
+]

@@ -1,0 +1,227 @@
+"""Kernel-zone dataflow graph and FusionPlan extraction.
+
+The perfcheck interpreter records one :class:`OpNode` per ``ArrayBackend``
+call site (plus the layout/tensor-method sites between them) while it
+abstractly executes a module.  Each node carries its zone, loop depth,
+symbolic output shape and a static :class:`~.costmodel.OpCost`.  Dead
+single-consumer producer→consumer edges — an intermediate array that is
+provably consumed exactly once and never escapes — are the *fusable
+links*; maximal paths through them are the FusionPlan chains the future
+fused backend consumes.
+
+FusionPlan schema (version 1, documented in DESIGN.md §14)::
+
+    {
+      "version": 1,
+      "zones": {
+        "<zone>": {
+          "nodes": <int>,
+          "chains": [
+            {
+              "path": "repro/embeddings/tt_embedding.py",
+              "in_loop": true,
+              "ops": [
+                {"op": "matmul", "line": 158,
+                 "out_shape": "(batch, r_prev * n_k, suffix_cols)",
+                 "out_dtype": "float32" | null,
+                 "flops": {"expr": ..., "value": ...},
+                 "bytes": {"expr": ..., "value": ...}},
+                ...
+              ],
+              "flops": {"expr": ..., "value": ...},
+              "bytes": {"expr": ..., "value": ...},
+              "intermediate_bytes": [
+                {"line": 158, "size": {"expr": ..., "value": ...}}
+              ]
+            }
+          ]
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..shapecheck.domain import Dim, format_shape
+from .costmodel import Cost, cost_add, cost_to_json, nbytes_cost
+
+__all__ = ["OpNode", "ValueRec", "Chain", "extract_chains", "fusion_plan_json"]
+
+# Ops that may participate in a fused chain.  Allocations and in-place
+# scatter/axpy sinks are excluded: the former are buffer creation, the
+# latter have no output value to chain through.
+CHAINABLE_OPS = frozenset(
+    {
+        "matmul",
+        "einsum",
+        "dot",
+        "gather_rows",
+        "reshape",
+        "transpose",
+        "astype",
+        "asarray",
+        "exp",
+        "maximum",
+        "minimum",
+        "where",
+        "sum",
+        "mean",
+        "max",
+        "min",
+        "prod",
+        "sqrt",
+    }
+)
+
+CONTRACTION_OPS = frozenset({"matmul", "einsum", "dot"})
+LAYOUT_OPS = frozenset({"reshape", "transpose", "astype", "asarray"})
+ALLOC_OPS = frozenset({"zeros", "ones", "empty", "full", "zeros_like", "ones_like", "empty_like", "full_like"})
+
+
+@dataclass
+class OpNode:
+    """One recorded backend/tensor-method call site."""
+
+    index: int
+    op: str
+    rel: str
+    line: int
+    col: int
+    zone: Optional[str]
+    loop_depth: int
+    branch: Tuple[int, ...]
+    out_shape: Optional[Tuple[Dim, ...]]
+    out_dtype: Optional[str]
+    flops: Optional[Cost]
+    bytes: Optional[Cost]
+    # Free-form per-op annotations (e.g. gather operand texts for PERF006).
+    texts: Tuple[str, ...] = ()
+
+
+@dataclass
+class ValueRec:
+    """Liveness accounting for one tracked abstract array value."""
+
+    value: Any  # strong ref: keeps id() stable for the module run
+    node: OpNode
+    reads: int = 0
+    claims: int = 0
+    escaped: bool = False
+    consumers: List[OpNode] = field(default_factory=list)
+
+    @property
+    def dead(self) -> bool:
+        """Provably consumed only by recorded ops: fusable intermediate."""
+        return not self.escaped and self.reads <= self.claims
+
+
+@dataclass
+class Chain:
+    """Maximal fusable producer→consumer path within one zone."""
+
+    zone: str
+    rel: str
+    nodes: Tuple[OpNode, ...]
+
+    @property
+    def in_loop(self) -> bool:
+        return any(node.loop_depth > 0 for node in self.nodes)
+
+    def signature(self) -> Tuple[Any, ...]:
+        return (self.zone, self.rel, tuple((n.op, n.line, n.col) for n in self.nodes))
+
+
+def extract_chains(
+    nodes: List[OpNode], recs_by_node: Dict[int, ValueRec]
+) -> List[Chain]:
+    """Maximal paths through dead single-consumer links between chainable ops.
+
+    ``recs_by_node`` maps node index -> the ValueRec of that node's
+    output (absent for sink ops).  A link p→c exists when p's output is
+    dead, has exactly one recorded consumer c, and both ends are
+    chainable ops in the same named zone.
+    """
+    links: Dict[int, int] = {}
+    for node in nodes:
+        if node.zone is None or node.op not in CHAINABLE_OPS:
+            continue
+        rec = recs_by_node.get(node.index)
+        if rec is None or not rec.dead or len(rec.consumers) != 1:
+            continue
+        consumer = rec.consumers[0]
+        if consumer.zone != node.zone or consumer.op not in CHAINABLE_OPS:
+            continue
+        links[node.index] = consumer.index
+
+    by_index = {node.index: node for node in nodes}
+    targets = set(links.values())
+    chains: List[Chain] = []
+    for start in sorted(links):
+        if start in targets:
+            continue
+        path = [start]
+        cursor = start
+        while cursor in links:
+            cursor = links[cursor]
+            path.append(cursor)
+        if len(path) < 2:
+            continue
+        chain_nodes = tuple(by_index[i] for i in path)
+        zone = chain_nodes[0].zone
+        assert zone is not None
+        chains.append(Chain(zone=zone, rel=chain_nodes[0].rel, nodes=chain_nodes))
+    return chains
+
+
+def _node_json(node: OpNode) -> Dict[str, Any]:
+    return {
+        "op": node.op,
+        "line": node.line,
+        "out_shape": format_shape(node.out_shape),
+        "out_dtype": node.out_dtype,
+        "flops": cost_to_json(node.flops),
+        "bytes": cost_to_json(node.bytes),
+    }
+
+
+def _chain_json(chain: Chain) -> Dict[str, Any]:
+    intermediates = []
+    for node in chain.nodes[:-1]:
+        intermediates.append(
+            {
+                "line": node.line,
+                "size": cost_to_json(nbytes_cost(node.out_shape, node.out_dtype)),
+            }
+        )
+    return {
+        "path": chain.rel,
+        "in_loop": chain.in_loop,
+        "ops": [_node_json(node) for node in chain.nodes],
+        "flops": cost_to_json(cost_add(*(n.flops for n in chain.nodes))),
+        "bytes": cost_to_json(cost_add(*(n.bytes for n in chain.nodes))),
+        "intermediate_bytes": intermediates,
+    }
+
+
+def fusion_plan_json(nodes: List[OpNode], chains: List[Chain]) -> Dict[str, Any]:
+    """Assemble the FusionPlan document from all modules' graphs."""
+    zones: Dict[str, Dict[str, Any]] = {}
+    for node in nodes:
+        if node.zone is None or node.zone == "<unknown>":
+            continue
+        zones.setdefault(node.zone, {"nodes": 0, "chains": []})["nodes"] += 1
+    seen = set()
+    for chain in sorted(chains, key=lambda c: (c.zone, c.rel, c.nodes[0].line)):
+        if chain.zone == "<unknown>":
+            continue
+        sig = chain.signature()
+        if sig in seen:
+            continue
+        seen.add(sig)
+        zones.setdefault(chain.zone, {"nodes": 0, "chains": []})["chains"].append(
+            _chain_json(chain)
+        )
+    return {"version": 1, "zones": dict(sorted(zones.items()))}

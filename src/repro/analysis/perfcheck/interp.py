@@ -1,0 +1,1029 @@
+"""The perfcheck abstract interpreter and PERF rule catalog.
+
+Subclasses the shapecheck interpreter (same abstract domain, same
+soundness posture) but repurposes the walk: instead of shape findings it
+records one dataflow :class:`~.graph.OpNode` per ``ArrayBackend``/tensor
+call site — with zone, loop context, symbolic output shape and a static
+:class:`~.costmodel.OpCost` — and runs one-sided performance rules over
+the resulting per-zone graph.  SHP findings are dropped (shapecheck owns
+them); perfcheck emits only PERF findings.
+
+Rules (the PERF catalog)
+------------------------
+``PERF001 hot-loop-alloc``       loop-invariant allocation inside a kernel-zone loop
+``PERF002 unfused-contraction``  dead intermediate between two contractions (fusable)
+``PERF003 layout-churn``         copy-forcing transpose/reshape chains in kernel files
+``PERF004 plan-cache-bypass``    kernel-zone einsum whose subscripts are provably dynamic
+``PERF005 batch-python-loop``    Python for-loop over an abstract tensor's leading dim in a zone
+``PERF006 redundant-gather``     provably duplicate gather_rows with no intervening write
+``PERF007 dtype-churn``          redundant or immediately-overwritten astype in a zone
+
+Liveness accounting
+-------------------
+Every recorded op's output value is *tracked*: syntactic ``Name`` reads
+are counted against *claims* made by recorded consumers (including
+metadata reads of ``.shape``/``.dtype``/``.ndim``/``.size``).  A value
+whose reads are all claimed and that never escapes (returned, stored
+into an attribute/subscript, aliased by ``copy()``, read outside its
+binding loop, or read by an opaque construct) is a *dead intermediate* —
+the fusable links that PERF002 and the FusionPlan chains are built from.
+Everything uncertain escapes, so the analysis stays one-sided.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..findings import Finding, Severity
+from ..rules import KERNEL_ZONES, RuleContext
+from ..shapecheck.domain import (
+    TOP,
+    Dim,
+    DottedVal,
+    SymDim,
+    TensorVal,
+    TupleVal,
+    format_shape,
+)
+from ..shapecheck.interp import _ZONE_CONSTANTS, _STARRED, _Interpreter
+from . import costmodel
+from .costmodel import OpCost
+from .graph import (
+    CONTRACTION_OPS,
+    LAYOUT_OPS,
+    Chain,
+    OpNode,
+    ValueRec,
+    extract_chains,
+)
+
+__all__ = ["PERF_RULES", "PerfRuleInfo", "PerfModuleResult", "interpret_module_perf"]
+
+
+@dataclass(frozen=True)
+class PerfRuleInfo:
+    """Catalog entry for one perfcheck rule."""
+
+    id: str
+    name: str
+    severity: Severity
+    description: str
+
+
+PERF_RULES: Dict[str, PerfRuleInfo] = {
+    rule.name: rule
+    for rule in (
+        PerfRuleInfo(
+            "PERF000",
+            "syntax-error",
+            Severity.ERROR,
+            "file could not be parsed; perfcheck analyzed nothing",
+        ),
+        PerfRuleInfo(
+            "PERF001",
+            "hot-loop-alloc",
+            Severity.ERROR,
+            "loop-invariant array allocation inside a kernel-zone loop: "
+            "the same buffer is re-allocated every iteration",
+        ),
+        PerfRuleInfo(
+            "PERF002",
+            "unfused-contraction",
+            Severity.WARNING,
+            "a contraction's result is a dead intermediate consumed only "
+            "by an adjacent contraction: the pair is fusable",
+        ),
+        PerfRuleInfo(
+            "PERF003",
+            "layout-churn",
+            Severity.ERROR,
+            "chained transpose/reshape in a kernel file forces an "
+            "intermediate copy (layout churn)",
+        ),
+        PerfRuleInfo(
+            "PERF004",
+            "plan-cache-bypass",
+            Severity.ERROR,
+            "kernel-zone einsum with provably dynamic subscripts: the "
+            "signature can never hit the ContractionPlanCache",
+        ),
+        PerfRuleInfo(
+            "PERF005",
+            "batch-python-loop",
+            Severity.ERROR,
+            "Python for-loop over an array's leading dimension inside a "
+            "kernel zone (shape-evidenced row-at-a-time execution)",
+        ),
+        PerfRuleInfo(
+            "PERF006",
+            "redundant-gather",
+            Severity.ERROR,
+            "two identical gather_rows calls in one kernel zone with no "
+            "intervening write: the second re-reads the same rows",
+        ),
+        PerfRuleInfo(
+            "PERF007",
+            "dtype-churn",
+            Severity.ERROR,
+            "redundant astype in a kernel zone (cast to the dtype the "
+            "array already has, or a cast immediately re-cast)",
+        ),
+    )
+}
+
+_ALLOC_METHODS = ("zeros", "ones", "empty", "full")
+_NP_ALLOCS = _ALLOC_METHODS + ("zeros_like", "ones_like", "empty_like", "full_like")
+_REDUCTION_METHODS = ("sum", "mean", "max", "min", "prod", "std", "var")
+_NDARRAY_ANNOTATIONS = ("np.ndarray", "numpy.ndarray", "ndarray")
+_META_ATTRS = ("shape", "dtype", "ndim", "size")
+# Opaque constructs whose inner Name reads the base interpreter skips;
+# perfcheck scans them so tracked values read inside conservatively
+# escape instead of looking dead.
+_OPAQUE_EXPRS = (
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.Lambda,
+    ast.JoinedStr,
+    ast.Dict,
+    ast.Set,
+)
+
+
+@dataclass
+class _LoopFrame:
+    stmt: ast.stmt
+    assigned: Set[str]
+
+
+@dataclass
+class _GatherSite:
+    node: OpNode
+    arg_nodes: Tuple[ast.expr, ...]
+    loop_key: Tuple[int, ...]
+    loop_assigned: Set[str]
+
+
+@dataclass
+class PerfModuleResult:
+    """Findings + dataflow graph of one module's perfcheck run."""
+
+    findings: List[Finding]
+    nodes: List[OpNode]
+    recs_by_node: Dict[int, ValueRec]
+    chains: List[Chain]
+
+
+class _PerfInterpreter(_Interpreter):
+    def __init__(
+        self,
+        ctx: RuleContext,
+        zone_overrides: Optional[Dict[str, str]] = None,
+        collect_findings: bool = True,
+    ) -> None:
+        super().__init__(ctx)
+        self.perf_findings: List[Finding] = []
+        self._collect = collect_findings
+        self._zone_overrides = zone_overrides or {}
+        self._nodes: List[OpNode] = []
+        self._tracked: Dict[int, ValueRec] = {}
+        self._recs_by_node: Dict[int, ValueRec] = {}
+        self._loops: List[_LoopFrame] = []
+        self._branches: List[int] = []
+        self._branch_counter = 0
+        self._fn_stack: List[ast.AST] = []
+        self._bind_events: List[Tuple[int, str]] = []
+        self._gathers: List[_GatherSite] = []
+        # name -> sorted Load linenos, cached per enclosing function node.
+        self._load_lines: Dict[int, Dict[str, List[int]]] = {}
+
+    # -- findings ------------------------------------------------------
+    def _emit(self, rule_name: str, node: ast.AST, message: str, hint: str) -> None:
+        # Shape findings belong to shapecheck; perfcheck stays silent on
+        # them (same walk, different rule catalog).
+        return
+
+    def _emit_perf(
+        self, rule_name: str, node: ast.AST, message: str, hint: str
+    ) -> None:
+        if not self._collect:
+            return
+        rule = PERF_RULES[rule_name]
+        self.perf_findings.append(
+            Finding(
+                rule=rule.name,
+                rule_id=rule.id,
+                severity=rule.severity,
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                hint=hint,
+            )
+        )
+
+    def _emit_perf_at(
+        self, rule_name: str, line: int, col: int, message: str, hint: str
+    ) -> None:
+        if not self._collect:
+            return
+        rule = PERF_RULES[rule_name]
+        self.perf_findings.append(
+            Finding(
+                rule=rule.name,
+                rule_id=rule.id,
+                severity=rule.severity,
+                path=self.ctx.path,
+                line=line,
+                col=col,
+                message=message,
+                hint=hint,
+            )
+        )
+
+    # -- liveness accounting -------------------------------------------
+    def _rec_of(self, value: Any) -> Optional[ValueRec]:
+        rec = self._tracked.get(id(value))
+        if rec is not None and rec.value is value:
+            return rec
+        return None
+
+    def _escape(self, value: Any) -> None:
+        if isinstance(value, TupleVal):
+            for item in value.items:
+                self._escape(item)
+            return
+        rec = self._rec_of(value)
+        if rec is not None:
+            rec.escaped = True
+
+    def _claim(self, value: Any, consumer: Optional[OpNode]) -> None:
+        rec = self._rec_of(value)
+        if rec is not None:
+            rec.claims += 1
+            if consumer is not None:
+                rec.consumers.append(consumer)
+
+    def _record(
+        self,
+        node: ast.AST,
+        op: str,
+        inputs: Sequence[Any],
+        out: Any,
+        cost: OpCost,
+        texts: Tuple[str, ...] = (),
+    ) -> OpNode:
+        zone = self._zone.name if self._zone is not None else None
+        op_node = OpNode(
+            index=len(self._nodes),
+            op=op,
+            rel=self.ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            zone=zone,
+            loop_depth=len(self._loops),
+            branch=tuple(self._branches),
+            out_shape=out.shape if isinstance(out, TensorVal) else None,
+            out_dtype=out.dtype if isinstance(out, TensorVal) else None,
+            flops=cost.flops,
+            bytes=cost.bytes,
+            texts=texts,
+        )
+        self._nodes.append(op_node)
+        for value in inputs:
+            self._claim(value, op_node)
+        if isinstance(out, TensorVal):
+            self._tracked[id(out)] = ValueRec(value=out, node=op_node)
+            self._recs_by_node[op_node.index] = self._tracked[id(out)]
+        return op_node
+
+    # -- loop-positional escape ----------------------------------------
+    def _scope_node(self) -> ast.AST:
+        return self._fn_stack[-1] if self._fn_stack else self.ctx.tree
+
+    def _name_load_lines(self, name: str) -> List[int]:
+        scope = self._scope_node()
+        cache = self._load_lines.get(id(scope))
+        if cache is None:
+            cache = {}
+            for child in ast.walk(scope):
+                if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                    cache.setdefault(child.id, []).append(child.lineno)
+            self._load_lines[id(scope)] = cache
+        return cache.get(name, [])
+
+    def _name_read_outside_loops(self, name: str) -> bool:
+        outer = self._loops[0].stmt
+        start = outer.lineno
+        end = getattr(outer, "end_lineno", None) or start
+        return any(line < start or line > end for line in self._name_load_lines(name))
+
+    # ==================================================================
+    # statements
+    # ==================================================================
+    def _exec_stmt(self, stmt: ast.stmt, env: Dict[str, Any]) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_val = self._eval(stmt.iter, env)
+            self._check_batch_loop(stmt, iter_val, env)
+            self._havoc(stmt, env)
+            self._bind(stmt.target, TOP, env)
+            self._loops.append(_LoopFrame(stmt, self._assigned_names(stmt)))
+            try:
+                self._exec_block(stmt.body, env)
+            finally:
+                self._loops.pop()
+            self._exec_block(stmt.orelse, env)
+            self._havoc(stmt, env)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            self._havoc(stmt, env)
+            self._loops.append(_LoopFrame(stmt, self._assigned_names(stmt)))
+            try:
+                self._exec_block(stmt.body, env)
+            finally:
+                self._loops.pop()
+            self._exec_block(stmt.orelse, env)
+            self._havoc(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._escape(self._eval(stmt.value, env))
+        else:
+            super()._exec_stmt(stmt, env)
+
+    def _exec_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, env: Dict[str, Any]
+    ) -> None:
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        default_vals: Dict[str, Any] = {}
+        if args.defaults:
+            for arg, default in zip(positional[-len(args.defaults):], args.defaults):
+                default_vals[arg.arg] = self._eval(default, env)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                default_vals[arg.arg] = self._eval(default, env)
+        fn_env: Dict[str, Any] = {}
+        override_zone = self._zone_overrides.get(node.name)
+        for arg in [
+            *positional,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]:
+            value: Any = TOP
+            if override_zone is not None and arg.arg == "zone":
+                value = override_zone
+            else:
+                default = default_vals.get(arg.arg)
+                if isinstance(default, DottedVal) and default.tail in _ZONE_CONSTANTS:
+                    # zone=ZONE_TT_BACKWARD-style defaults: analyze the
+                    # body under the zone it declares.
+                    value = default
+                elif isinstance(default, str) and default in _ZONE_CONSTANTS.values():
+                    value = default
+                elif arg.annotation is not None and ast.unparse(
+                    arg.annotation
+                ) in _NDARRAY_ANNOTATIONS:
+                    value = TensorVal(None, None)
+            fn_env[arg.arg] = value
+        # A nested def's body does not run where it is defined: suspend
+        # the loop/zone/branch context for the duration.
+        saved = (self._loops, self._zones, self._branches)
+        self._loops, self._zones, self._branches = [], [], []
+        self._fn_stack.append(node)
+        try:
+            self._exec_block(node.body, fn_env)
+        finally:
+            self._fn_stack.pop()
+            self._loops, self._zones, self._branches = saved
+
+    def _exec_branches(
+        self, env: Dict[str, Any], *branches: Sequence[ast.stmt]
+    ) -> None:
+        snapshots: List[Dict[str, Any]] = []
+        for branch in branches:
+            branch_env = dict(env)
+            self._branch_counter += 1
+            self._branches.append(self._branch_counter)
+            try:
+                self._exec_block(branch, branch_env)
+            finally:
+                self._branches.pop()
+            snapshots.append(branch_env)
+        if not snapshots:
+            return
+        keys: Set[str] = set()
+        for snap in snapshots:
+            keys.update(snap)
+        for key in keys:
+            values = [snap.get(key, TOP) for snap in snapshots]
+            first = values[0]
+            if all(v == first for v in values[1:]):
+                env[key] = first
+            else:
+                env[key] = TOP
+
+    def _bind(self, target: ast.expr, value: Any, env: Dict[str, Any]) -> None:
+        if isinstance(target, ast.Name):
+            self._bind_events.append((len(self._nodes), target.id))
+            rec = self._rec_of(value)
+            if rec is not None and self._loops and self._name_read_outside_loops(
+                target.id
+            ):
+                rec.escaped = True
+        elif isinstance(target, ast.Attribute):
+            self._escape(value)
+            if isinstance(target.value, ast.Name):
+                self._bind_events.append((len(self._nodes), target.value.id))
+        elif isinstance(target, ast.Subscript):
+            self._escape(value)
+            if isinstance(target.value, ast.Name):
+                self._bind_events.append((len(self._nodes), target.value.id))
+        super()._bind(target, value, env)
+
+    # ==================================================================
+    # expressions
+    # ==================================================================
+    def _eval(self, node: ast.expr, env: Dict[str, Any]) -> Any:
+        if isinstance(node, _OPAQUE_EXPRS):
+            # The base interpreter treats these as opaque without reading
+            # their subexpressions; count the reads so tracked values
+            # used inside escape rather than looking dead.
+            for child in ast.walk(node):
+                if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                    rec = self._rec_of(env.get(child.id))
+                    if rec is not None:
+                        rec.reads += 1
+            return TOP
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+            if node.value is not None:
+                self._escape(self._eval(node.value, env))
+            return TOP
+        value = super()._eval(node, env)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            rec = self._rec_of(value)
+            if rec is not None:
+                rec.reads += 1
+        return value
+
+    def _attribute_value(self, node: ast.Attribute, base: Any) -> Any:
+        if isinstance(base, TensorVal) and node.attr in _META_ATTRS:
+            # Metadata reads don't keep the array's data alive.
+            self._claim(base, None)
+        return super()._attribute_value(node, base)
+
+    # ==================================================================
+    # recorded ops
+    # ==================================================================
+    def _backend_call(
+        self,
+        node: ast.Call,
+        method: str,
+        args: List[Any],
+        kwargs: Dict[str, Any],
+        starred: bool,
+    ) -> Any:
+        result = super()._backend_call(node, method, args, kwargs, starred)
+        return self._after_op_call(
+            node, f"backend.{method}", method, args, kwargs, result
+        )
+
+    def _numpy_call(
+        self,
+        node: ast.Call,
+        name: str,
+        args: List[Any],
+        kwargs: Dict[str, Any],
+        starred: bool,
+    ) -> Any:
+        result = super()._numpy_call(node, name, args, kwargs, starred)
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _NP_ALLOCS:
+            self._check_hot_alloc(node, f"np.{tail}")
+            if isinstance(result, TensorVal):
+                shaped = self._symbolized_alloc(node, tail, result)
+                self._record(node, tail.replace("_like", ""), [a for a in args if isinstance(a, TensorVal)], shaped, costmodel.alloc_cost(shaped.shape, shaped.dtype))
+                return shaped
+            return result
+        if tail in ("matmul", "dot", "einsum", "maximum", "minimum", "where"):
+            return self._after_op_call(node, f"np.{tail}", tail, args, kwargs, result)
+        if tail in ("asarray", "ascontiguousarray", "array"):
+            if isinstance(result, TensorVal):
+                fresh = TensorVal(result.shape, result.dtype, result.int_values)
+                self._record(
+                    node,
+                    "asarray",
+                    [a for a in args if isinstance(a, TensorVal)],
+                    fresh,
+                    costmodel.asarray_cost(),
+                )
+                return fresh
+            return result
+        return result
+
+    def _after_op_call(
+        self,
+        node: ast.Call,
+        display: str,
+        method: str,
+        args: List[Any],
+        kwargs: Dict[str, Any],
+        result: Any,
+    ) -> Any:
+        tensor_args = [a for a in args if isinstance(a, TensorVal)]
+        if method in _ALLOC_METHODS:
+            self._check_hot_alloc(node, display)
+            if isinstance(result, TensorVal):
+                shaped = self._symbolized_alloc(node, method, result)
+                self._record(
+                    node, method, [], shaped, costmodel.alloc_cost(shaped.shape, shaped.dtype)
+                )
+                return shaped
+            return result
+        if method == "asarray":
+            if isinstance(result, TensorVal):
+                fresh = TensorVal(result.shape, result.dtype, result.int_values)
+                self._record(node, "asarray", tensor_args, fresh, costmodel.asarray_cost())
+                return fresh
+            return result
+        if method in ("matmul", "dot") and len(args) == 2:
+            out = result if isinstance(result, TensorVal) else TensorVal(None, None)
+            a, b = args
+            cost = costmodel.matmul_cost(
+                a.shape if isinstance(a, TensorVal) else None,
+                a.dtype if isinstance(a, TensorVal) else None,
+                b.shape if isinstance(b, TensorVal) else None,
+                b.dtype if isinstance(b, TensorVal) else None,
+                out.shape,
+                out.dtype,
+            )
+            self._record(node, "matmul", tensor_args, out, cost)
+            return out
+        if method == "einsum" and args:
+            operands = [a for a in args[1:] if a is not _STARRED]
+            out = result if isinstance(result, TensorVal) else TensorVal(None, None)
+            subscripts = args[0] if isinstance(args[0], str) else None
+            cost = costmodel.einsum_cost(
+                subscripts,
+                [op.shape if isinstance(op, TensorVal) else None for op in operands],
+                [op.dtype if isinstance(op, TensorVal) else None for op in operands],
+                out.shape,
+                out.dtype,
+            )
+            self._record(
+                node,
+                "einsum",
+                [op for op in operands if isinstance(op, TensorVal)],
+                out,
+                cost,
+            )
+            return out
+        if method == "gather_rows" and len(args) == 2:
+            out = result if isinstance(result, TensorVal) else TensorVal(None, None)
+            op_node = self._record(
+                node,
+                "gather_rows",
+                tensor_args,
+                out,
+                costmodel.gather_cost(out.shape, out.dtype),
+                texts=tuple(ast.unparse(a) for a in node.args[:2]),
+            )
+            loop_assigned: Set[str] = set()
+            for frame in self._loops:
+                loop_assigned |= frame.assigned
+            self._gathers.append(
+                _GatherSite(
+                    node=op_node,
+                    arg_nodes=tuple(node.args[:2]),
+                    loop_key=tuple(id(f.stmt) for f in self._loops),
+                    loop_assigned=loop_assigned,
+                )
+            )
+            return out
+        if method == "scatter_add_rows" and len(args) >= 3:
+            values = args[2]
+            scale = kwargs.get("scale", args[3] if len(args) > 3 else None)
+            if scale is None:
+                scale_is_one: Optional[bool] = True
+            elif isinstance(scale, (int, float)):
+                scale_is_one = scale == 1.0
+            else:
+                scale_is_one = None
+            cost = costmodel.scatter_cost(
+                values.shape if isinstance(values, TensorVal) else None,
+                values.dtype if isinstance(values, TensorVal) else None,
+                scale_is_one,
+            )
+            self._record(node, "scatter_add_rows", tensor_args, None, cost)
+            return result
+        if method == "exp" and args:
+            source = args[0]
+            out = result if isinstance(result, TensorVal) else TensorVal(None, None)
+            cost = costmodel.elementwise_cost(
+                "exp",
+                source.shape if isinstance(source, TensorVal) else None,
+                source.dtype if isinstance(source, TensorVal) else None,
+                out.shape,
+                out.dtype,
+            )
+            self._record(node, "exp", tensor_args, out, cost)
+            return out
+        if method in ("maximum", "minimum") and len(args) == 2:
+            out = result if isinstance(result, TensorVal) else TensorVal(None, None)
+            cost = costmodel.elementwise_cost(method, None, None, out.shape, out.dtype)
+            self._record(node, method, tensor_args, out, cost)
+            return out
+        if method == "where" and len(args) == 3:
+            out = result if isinstance(result, TensorVal) else TensorVal(None, None)
+            cost = costmodel.elementwise_cost("where", None, None, out.shape, out.dtype)
+            self._record(node, "where", tensor_args, out, cost)
+            return out
+        if method == "axpy" and len(args) >= 2:
+            values = args[1]
+            cost = costmodel.elementwise_cost(
+                "axpy",
+                values.shape if isinstance(values, TensorVal) else None,
+                values.dtype if isinstance(values, TensorVal) else None,
+                None,
+                None,
+            )
+            self._record(node, "axpy", tensor_args, None, cost)
+            return result
+        return result
+
+    def _tensor_method(
+        self,
+        node: ast.Call,
+        base: TensorVal,
+        method: str,
+        args: List[Any],
+        kwargs: Dict[str, Any],
+    ) -> Any:
+        result = super()._tensor_method(node, base, method, args, kwargs)
+        if method == "copy":
+            # copy() hands the data to an alias we do not track.
+            self._escape(base)
+            return TensorVal(base.shape, base.dtype, base.int_values)
+        if method not in ("reshape", "transpose", "astype") and method not in _REDUCTION_METHODS:
+            return result
+        if not isinstance(result, TensorVal):
+            return result
+        if result is base:
+            result = TensorVal(base.shape, base.dtype, base.int_values)
+        if method == "reshape":
+            result = self._symbolized_reshape(node, result)
+        if method == "astype" and self._zones:
+            target = result.dtype
+            if target is not None and base.dtype is not None and target == base.dtype:
+                self._emit_perf(
+                    "dtype-churn",
+                    node,
+                    f"astype({target!r}) on an array that already has dtype "
+                    f"{base.dtype!r} copies without converting",
+                    "drop the redundant cast (or cast once at the zone "
+                    "boundary)",
+                )
+        self._record(node, method, [base], result, OpCost(costmodel.ZERO, costmodel.ZERO))
+        return result
+
+    # -- symbolic shape refinement -------------------------------------
+    def _dim_symbols_from_ast(
+        self, elems: Sequence[ast.expr], shape: Optional[Tuple[Dim, ...]]
+    ) -> Optional[Tuple[Dim, ...]]:
+        if shape is None or len(elems) != len(shape):
+            return shape
+        out: List[Dim] = []
+        for elem, dim in zip(elems, shape):
+            if dim is None:
+                text = ast.unparse(elem)
+                if text != "-1":
+                    dim = SymDim(text)
+            out.append(dim)
+        return tuple(out)
+
+    def _shape_arg_elems(self, arg: ast.expr) -> Optional[List[ast.expr]]:
+        if isinstance(arg, (ast.Tuple, ast.List)):
+            return list(arg.elts)
+        return [arg]
+
+    def _symbolized_alloc(
+        self, node: ast.Call, method: str, result: TensorVal
+    ) -> TensorVal:
+        if not node.args or method.endswith("_like"):
+            return TensorVal(result.shape, result.dtype, result.int_values)
+        elems = self._shape_arg_elems(node.args[0])
+        shape = result.shape
+        if shape is None and elems is not None:
+            shape = tuple([None] * len(elems))
+        if elems is not None:
+            shape = self._dim_symbols_from_ast(elems, shape)
+        return TensorVal(shape, result.dtype, result.int_values)
+
+    def _symbolized_reshape(self, node: ast.Call, result: TensorVal) -> TensorVal:
+        elems: List[ast.expr] = list(node.args)
+        if len(elems) == 1 and isinstance(elems[0], (ast.Tuple, ast.List)):
+            elems = list(elems[0].elts)
+        shape = result.shape
+        if shape is None and elems:
+            shape = tuple([None] * len(elems))
+        shape = self._dim_symbols_from_ast(elems, shape)
+        return TensorVal(shape, result.dtype, result.int_values)
+
+    # ==================================================================
+    # rule checks
+    # ==================================================================
+    def _check_hot_alloc(self, node: ast.Call, display: str) -> None:
+        if not self._zones or not self._loops:
+            return
+        free = {
+            child.id
+            for child in ast.walk(node)
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)
+        }
+        assigned: Set[str] = set()
+        for frame in self._loops:
+            assigned |= frame.assigned
+        if free & assigned:
+            return  # loop-variant: a different buffer each iteration
+        zone = self._zone.name if self._zone is not None else "<unknown>"
+        self._emit_perf(
+            "hot-loop-alloc",
+            node,
+            f"{display} allocates a loop-invariant buffer on every "
+            f"iteration inside kernel zone {zone!r}",
+            "hoist the allocation out of the loop and reuse the buffer",
+        )
+
+    def _check_batch_loop(
+        self, stmt: ast.For | ast.AsyncFor, iter_val: Any, env: Dict[str, Any]
+    ) -> None:
+        if not self._zones:
+            return
+        evidence: Optional[str] = None
+        if isinstance(iter_val, TensorVal):
+            evidence = (
+                f"iterates an abstract array of shape {format_shape(iter_val.shape)} "
+                "row by row"
+            )
+        elif (
+            isinstance(stmt.iter, ast.Call)
+            and isinstance(stmt.iter.func, ast.Name)
+            and stmt.iter.func.id == "range"
+            and len(stmt.iter.args) == 1
+        ):
+            bound = stmt.iter.args[0]
+            target: Optional[ast.expr] = None
+            if (
+                isinstance(bound, ast.Call)
+                and isinstance(bound.func, ast.Name)
+                and bound.func.id == "len"
+                and len(bound.args) == 1
+            ):
+                target = bound.args[0]
+            elif (
+                isinstance(bound, ast.Subscript)
+                and isinstance(bound.value, ast.Attribute)
+                and bound.value.attr == "shape"
+                and isinstance(bound.slice, ast.Constant)
+                and bound.slice.value == 0
+            ):
+                target = bound.value.value
+            if target is not None and isinstance(self._eval(target, env), TensorVal):
+                evidence = f"loops range over {ast.unparse(target)}'s leading dimension"
+        if evidence is None:
+            return
+        zone = self._zone.name if self._zone is not None else "<unknown>"
+        self._emit_perf(
+            "batch-python-loop",
+            stmt,
+            f"Python for-loop in kernel zone {zone!r} {evidence}: the "
+            "batch dimension is executed one row per interpreter step",
+            "replace the loop with a batched backend op "
+            "(gather_rows/matmul/einsum over the whole batch)",
+        )
+
+    # -- post-run passes -----------------------------------------------
+    def _finalize_unfused(self) -> None:
+        for node in self._nodes:
+            if node.op not in CONTRACTION_OPS or node.zone is None:
+                continue
+            rec = self._recs_by_node.get(node.index)
+            if rec is None or not rec.dead or len(rec.consumers) != 1:
+                continue
+            cursor = rec.consumers[0]
+            hops = [cursor.op]
+            while cursor.op in LAYOUT_OPS and cursor.zone == node.zone:
+                next_rec = self._recs_by_node.get(cursor.index)
+                if next_rec is None or not next_rec.dead or len(next_rec.consumers) != 1:
+                    cursor = None  # type: ignore[assignment]
+                    break
+                cursor = next_rec.consumers[0]
+                hops.append(cursor.op)
+            if cursor is None or cursor.op not in CONTRACTION_OPS:
+                continue
+            if cursor.zone != node.zone:
+                continue
+            via = "directly" if len(hops) == 1 else f"via {'/'.join(hops[:-1])}"
+            self._emit_perf_at(
+                "unfused-contraction",
+                node.line,
+                node.col,
+                f"{node.op} result in zone {node.zone!r} is a dead "
+                f"intermediate feeding the {cursor.op} at line "
+                f"{cursor.line} {via}: the pair is fusable",
+                "a fused backend can contract the chain without "
+                "materializing the intermediate (see the FusionPlan for "
+                "this zone)",
+            )
+
+    def _finalize_redundant_gathers(self) -> None:
+        groups: Dict[Tuple[Any, ...], List[_GatherSite]] = {}
+        for site in self._gathers:
+            if site.node.zone is None:
+                continue
+            key = (site.node.zone, site.node.texts, site.loop_key)
+            groups.setdefault(key, []).append(site)
+        for sites in groups.values():
+            if len(sites) < 2:
+                continue
+            free: Set[str] = set()
+            for arg in sites[0].arg_nodes:
+                for child in ast.walk(arg):
+                    if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                        free.add(child.id)
+            if sites[0].loop_key and free & sites[0].loop_assigned:
+                continue  # operands change across iterations
+            for first, second in zip(sites, sites[1:]):
+                a, b = first.node, second.node
+                if not (
+                    a.branch == b.branch[: len(a.branch)]
+                    or b.branch == a.branch[: len(b.branch)]
+                ):
+                    continue  # mutually exclusive branches
+                if any(
+                    n.op == "scatter_add_rows" and a.index < n.index < b.index
+                    for n in self._nodes
+                ):
+                    continue
+                if any(
+                    a.index < seq <= b.index and name in free
+                    for seq, name in self._bind_events
+                ):
+                    continue  # an operand was rebound in between
+                self._emit_perf_at(
+                    "redundant-gather",
+                    b.line,
+                    b.col,
+                    f"gather_rows({', '.join(a.texts)}) in zone {a.zone!r} "
+                    f"repeats the gather at line {a.line} with no "
+                    "intervening write to the table or operands",
+                    "reuse the first gather's result (the Eff-TT reuse "
+                    "path exists for exactly this)",
+                )
+
+def _syntactic_findings(ctx: RuleContext) -> List[Finding]:
+    """AST-only PERF rules: layout churn, plan-cache bypass, cast chains."""
+    findings: List[Finding] = []
+    if not ctx.in_zone(KERNEL_ZONES):
+        return findings
+
+    def emit(rule_name: str, node: ast.AST, message: str, hint: str) -> None:
+        rule = PERF_RULES[rule_name]
+        findings.append(
+            Finding(
+                rule=rule.name,
+                rule_id=rule.id,
+                severity=rule.severity,
+                path=ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                hint=hint,
+            )
+        )
+
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        inner = node.func.value
+        inner_attr = (
+            inner.func.attr
+            if isinstance(inner, ast.Call) and isinstance(inner.func, ast.Attribute)
+            else None
+        )
+        if attr == "reshape" and inner_attr == "transpose":
+            emit(
+                "layout-churn",
+                node,
+                "transpose(...).reshape(...) forces a full copy of the "
+                "intermediate (non-contiguous view reshaped)",
+                "restructure the computation to reshape first, keep a "
+                "pre-transposed layout, or suppress with a pragma if the "
+                "relayout is the call's contract",
+            )
+        elif attr == "reshape" and inner_attr == "reshape":
+            emit(
+                "layout-churn",
+                node,
+                "reshape(...).reshape(...) — the first reshape is dead "
+                "layout churn",
+                "collapse the chain into a single reshape",
+            )
+        elif attr == "transpose" and inner_attr == "transpose":
+            emit(
+                "layout-churn",
+                node,
+                "transpose(...).transpose(...) — compose the two "
+                "permutations into one",
+                "merge the permutations (or drop them if they cancel)",
+            )
+        elif attr == "transpose" and node.args:
+            perm = [
+                a.value
+                for a in node.args
+                if isinstance(a, ast.Constant) and isinstance(a.value, int)
+            ]
+            if len(perm) == len(node.args) and perm == list(range(len(perm))):
+                emit(
+                    "layout-churn",
+                    node,
+                    f"transpose{tuple(perm)} is the identity permutation",
+                    "drop the no-op transpose",
+                )
+        elif attr == "astype" and inner_attr == "astype":
+            emit(
+                "dtype-churn",
+                node,
+                "astype(...).astype(...) converts twice; only the last "
+                "dtype survives",
+                "cast once to the final dtype",
+            )
+        elif attr == "einsum" and node.args:
+            sub = node.args[0]
+            dynamic = isinstance(sub, ast.JoinedStr)
+            if isinstance(sub, ast.BinOp) and isinstance(
+                sub.op, (ast.Add, ast.Mod)
+            ):
+                for side in (sub.left, sub.right):
+                    if isinstance(side, ast.JoinedStr) or (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, str)
+                    ):
+                        dynamic = True
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("format", "join")
+            ):
+                dynamic = True
+            if dynamic:
+                emit(
+                    "plan-cache-bypass",
+                    node,
+                    "einsum subscripts are built dynamically at the call "
+                    "site: every call computes a fresh signature and the "
+                    "ContractionPlanCache key never repeats",
+                    "precompute the subscript string once (module "
+                    "constant or per-spec cache) so the plan cache can "
+                    "hit",
+                )
+    return findings
+
+
+def interpret_module_perf(
+    ctx: RuleContext,
+    zone_overrides: Optional[Dict[str, str]] = None,
+    collect_findings: bool = True,
+) -> PerfModuleResult:
+    """Run the perf interpreter + syntactic rules over one module."""
+    interp = _PerfInterpreter(
+        ctx, zone_overrides=zone_overrides, collect_findings=collect_findings
+    )
+    interp.run()
+    interp._finalize_unfused()
+    interp._finalize_redundant_gathers()
+    findings = list(interp.perf_findings)
+    if collect_findings:
+        findings.extend(_syntactic_findings(ctx))
+    # Branch re-execution (Try bodies run once per handler) can duplicate
+    # findings at identical positions; keep one.
+    seen: Set[Tuple[str, int, int, str]] = set()
+    unique: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule_id, finding.line, finding.col, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(finding)
+    unique.sort(key=lambda f: f.sort_key)
+    chains = extract_chains(interp._nodes, interp._recs_by_node)
+    return PerfModuleResult(
+        findings=unique,
+        nodes=interp._nodes,
+        recs_by_node=interp._recs_by_node,
+        chains=chains,
+    )

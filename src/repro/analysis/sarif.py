@@ -3,17 +3,20 @@
 Emits the minimal static-analysis-results interchange format that CI
 systems (GitHub code scanning, Azure DevOps) ingest: one ``run`` with a
 tool descriptor, a rule catalog, and one ``result`` per finding.
+:func:`results_to_sarif_bundle` merges several tools into a single
+document with one run per tool — the ``repro analyze --format sarif``
+output.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Protocol
+from typing import Any, Dict, Iterable, List, Protocol, Sequence, Tuple
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.linter import LintResult
 
-__all__ = ["result_to_sarif"]
+__all__ = ["result_to_sarif", "results_to_sarif_bundle"]
 
 _SARIF_VERSION = "2.1.0"
 _SARIF_SCHEMA = (
@@ -70,30 +73,52 @@ def _result(finding: Finding, rule_ids: List[str]) -> Dict[str, Any]:
     return entry
 
 
+def _run(
+    result: LintResult,
+    tool_name: str,
+    rules: Iterable[_RuleMeta],
+) -> Dict[str, Any]:
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    rule_ids = [desc["id"] for desc in descriptors]
+    return {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "informationUri": "https://example.invalid/repro",
+                "rules": descriptors,
+            }
+        },
+        "results": [_result(finding, rule_ids) for finding in result.findings],
+    }
+
+
 def result_to_sarif(
     result: LintResult,
     tool_name: str,
     rules: Iterable[_RuleMeta],
 ) -> str:
     """Serialize one :class:`LintResult` as a SARIF 2.1.0 document."""
-    descriptors = [_rule_descriptor(rule) for rule in rules]
-    rule_ids = [desc["id"] for desc in descriptors]
     document = {
         "$schema": _SARIF_SCHEMA,
         "version": _SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": tool_name,
-                        "informationUri": "https://example.invalid/repro",
-                        "rules": descriptors,
-                    }
-                },
-                "results": [
-                    _result(finding, rule_ids) for finding in result.findings
-                ],
-            }
-        ],
+        "runs": [_run(result, tool_name, rules)],
+    }
+    return json.dumps(document, indent=2)
+
+
+def results_to_sarif_bundle(
+    runs: Sequence[Tuple[LintResult, str, Iterable[_RuleMeta]]],
+) -> str:
+    """Serialize several tools' results as one SARIF document.
+
+    Each ``(result, tool_name, rules)`` triple becomes its own ``run``
+    with its own tool descriptor and rule catalog, so a CI viewer can
+    attribute every finding to the analyzer that produced it while
+    ingesting a single artifact.
+    """
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [_run(result, name, rules) for result, name, rules in runs],
     }
     return json.dumps(document, indent=2)

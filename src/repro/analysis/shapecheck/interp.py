@@ -526,6 +526,10 @@ class _Interpreter:
             if dotted is not None:
                 return dotted
         base = self._eval(node.value, env)
+        return self._attribute_value(node, base)
+
+    def _attribute_value(self, node: ast.Attribute, base: Any) -> Any:
+        """Attribute lookup on an already-evaluated base (subclass seam)."""
         if isinstance(base, DottedVal):
             return DottedVal(f"{base.name}.{node.attr}")
         if isinstance(base, TensorVal):

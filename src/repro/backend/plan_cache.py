@@ -233,6 +233,37 @@ class ContractionPlanCache:
 
         return self._get_or_build(key, build)
 
+    def einsum_plan_for_shapes(
+        self, subscripts: str, shapes: Sequence[Tuple[int, ...]]
+    ) -> EinsumPlan:
+        """Plan for a signature given only operand *shapes*.
+
+        Shares the cache key with :meth:`einsum_plan` (``np.einsum_path``
+        output depends only on shapes), so a plan built here is the plan
+        a later real call hits — this is the introspection seam the
+        static perfcheck analyzer and its calibration backend use to
+        cost einsum sites without materialising operands.  The probe
+        operands are stride-0 broadcast views of a scalar: no
+        shape-sized allocation happens.
+        """
+        norm = tuple(tuple(int(d) for d in shape) for shape in shapes)
+        key = ("einsum", subscripts, norm)
+
+        def build() -> EinsumPlan:
+            operands = [
+                np.broadcast_to(np.zeros((), dtype=np.float32), shape)
+                for shape in norm
+            ]
+            path, report = np.einsum_path(subscripts, *operands, optimize="optimal")
+            return EinsumPlan(
+                subscripts=subscripts,
+                operand_shapes=norm,
+                path=tuple(path),
+                flop_count=_einsum_flops_from_report(report, norm),
+            )
+
+        return self._get_or_build(key, build)
+
 
 _PLAN_CACHE = ContractionPlanCache()
 

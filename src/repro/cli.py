@@ -643,6 +643,43 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
         for finding in det_result.errors:
             print(f"  {finding.format()}")
 
+    from repro.analysis import perfcheck_paths
+
+    perf_result = perfcheck_paths([Path(__file__).resolve().parent])
+    perf_ok = perf_result.ok
+    ok = ok and perf_ok
+    status = "ok" if perf_ok else "FAILED (error-level findings)"
+    print(
+        f"perf     {perf_result.files_scanned} files, "
+        f"{len(perf_result.errors)} errors, "
+        f"{len(perf_result.warnings)} warnings  [{status}]"
+    )
+    if not perf_ok:
+        for finding in perf_result.errors:
+            print(f"  {finding.format()}")
+
+    from repro.analysis import run_calibration
+
+    calib = run_calibration(steps=2)
+    calib_ok = calib.ok
+    ok = ok and calib_ok
+    status = "ok" if calib_ok else "FAILED (static cost model drifted)"
+    print(
+        f"calib    {len(calib.zones)} zones, max rel err "
+        f"{calib.max_rel_err:.2%} (tol {calib.tolerance:.0%})  [{status}]"
+    )
+    if not calib_ok:
+        for zone in calib.zones:
+            if (
+                zone.flops_rel_err > calib.tolerance
+                or zone.bytes_rel_err > calib.tolerance
+            ):
+                print(
+                    f"  {zone.zone}: flops {zone.static_flops} vs "
+                    f"{zone.measured_flops}, bytes {zone.static_bytes} vs "
+                    f"{zone.measured_bytes}"
+                )
+
     mypy_status = _run_mypy_step()
     if mypy_status is None:
         print("mypy     skipped (mypy not installed)")
@@ -805,6 +842,7 @@ _MYPY_STRICT_TARGETS = (
     "repro/backend/plan_cache.py",
     "repro/backend/numpy_backend.py",
     "repro/sharding",
+    "repro/serving",
     "repro/resilience/checkpoint.py",
 )
 
@@ -1039,26 +1077,74 @@ def _cmd_detcheck(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    """Umbrella gate: lint + shapecheck + detcheck + hazards."""
+def _cmd_perfcheck(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
     from repro.analysis import (
-        detcheck_paths,
-        lint_paths,
-        run_hazard_experiment,
-        shapecheck_paths,
+        PERF_RULES,
+        build_fusion_plan,
+        format_findings,
+        perfcheck_paths,
+        result_to_sarif,
     )
 
     if args.paths:
         paths = [Path(p) for p in args.paths]
     else:
         paths = [Path(__file__).resolve().parent]
+    try:
+        result = perfcheck_paths(paths, select=args.select or None)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"perfcheck: {exc}", file=sys.stderr)
+        return 2
+    if args.fusion_plan:
+        plan = build_fusion_plan(paths)
+        Path(args.fusion_plan).write_text(
+            json.dumps(plan, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"fusion plan written to {args.fusion_plan}", file=sys.stderr)
+    if args.format == "json":
+        print(result.to_json())
+    elif args.format == "sarif":
+        print(result_to_sarif(result, "perfcheck", PERF_RULES.values()))
+    else:
+        print(format_findings(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Umbrella gate: lint + shapecheck + detcheck + perfcheck + hazards."""
+    from pathlib import Path
+
+    from repro.analysis import (
+        DET_RULES,
+        HAZARD_RULES,
+        PERF_RULES,
+        SHAPE_RULES,
+        LintResult,
+        detcheck_paths,
+        hazard_findings,
+        lint_paths,
+        perfcheck_paths,
+        results_to_sarif_bundle,
+        run_hazard_experiment,
+        shapecheck_paths,
+    )
+    from repro.analysis.rules import RULE_REGISTRY
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(__file__).resolve().parent]
+    sarif = getattr(args, "format", "text") == "sarif"
     ok = True
-    for name, runner in (
-        ("lint", lint_paths),
-        ("shape", shapecheck_paths),
-        ("det", detcheck_paths),
+    sarif_runs = []
+    for name, tool_name, rules, runner in (
+        ("lint", "reprolint", RULE_REGISTRY.values(), lint_paths),
+        ("shape", "shapecheck", SHAPE_RULES.values(), shapecheck_paths),
+        ("det", "detcheck", DET_RULES.values(), detcheck_paths),
+        ("perf", "perfcheck", PERF_RULES.values(), perfcheck_paths),
     ):
         try:
             result = runner(paths)
@@ -1067,6 +1153,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             return 2
         gate_ok = result.ok
         ok = ok and gate_ok
+        if sarif:
+            sarif_runs.append((result, tool_name, rules))
+            continue
         status = "ok" if gate_ok else "FAILED (error-level findings)"
         print(
             f"{name:8s} {result.files_scanned} files, "
@@ -1080,6 +1169,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     hazard_result = run_hazard_experiment(inject_fault=False)
     hazards_ok = hazard_result.report.clean
     ok = ok and hazards_ok
+    if sarif:
+        hazard_lint = LintResult(
+            findings=hazard_findings(hazard_result.report), files_scanned=0
+        )
+        sarif_runs.append((hazard_lint, "hazards", HAZARD_RULES.values()))
+        print(results_to_sarif_bundle(sarif_runs))
+        return 0 if ok else 1
     status = "ok" if hazards_ok else "FAILED (unrepaired hazards)"
     print(
         f"hazards  {hazard_result.report.events_analyzed} events, "
@@ -1319,15 +1415,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     detcheck.add_argument(
         "--format", choices=["text", "json", "sarif"], default="text",
     )
+    perfcheck = sub.add_parser(
+        "perfcheck",
+        help="run the static kernel-zone cost & fusion analyzer",
+    )
+    perfcheck.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (default: the installed "
+        "repro package)",
+    )
+    perfcheck.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="only run the named rule (symbolic name or PERFnnn id); "
+        "repeatable",
+    )
+    perfcheck.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+    )
+    perfcheck.add_argument(
+        "--fusion-plan", metavar="OUT.json", default=None,
+        help="also build the interprocedural FusionPlan over the same "
+        "paths and write it here as JSON",
+    )
     analyze = sub.add_parser(
         "analyze",
-        help="umbrella gate: lint + shapecheck + detcheck + hazards, "
-        "nonzero exit if any gate fails",
+        help="umbrella gate: lint + shapecheck + detcheck + perfcheck "
+        "+ hazards, nonzero exit if any gate fails",
     )
     analyze.add_argument(
         "paths", nargs="*",
         help="files or directories for the static gates (default: the "
         "installed repro package)",
+    )
+    analyze.add_argument(
+        "--format", choices=["text", "sarif"], default="text",
+        help="sarif merges every gate's findings into one SARIF 2.1.0 "
+        "bundle with one run per tool",
     )
     hazards = sub.add_parser(
         "hazards", help="trace a pipelined run and detect RAW/WAR hazards"
@@ -1424,6 +1547,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "shapecheck": _cmd_shapecheck,
         "detcheck": _cmd_detcheck,
+        "perfcheck": _cmd_perfcheck,
         "analyze": _cmd_analyze,
         "hazards": _cmd_hazards,
         "chaos": _cmd_chaos,

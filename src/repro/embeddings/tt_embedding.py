@@ -124,7 +124,11 @@ def tt_chain_backward(
         # shape (L, R_k, prod_{l>k} n_l).  One batched GEMM per core.
         # Seeded at the row-gradient dtype so a float32-configured table
         # never silently upcasts the whole backward chain to float64.
-        right = bk.ones((batch, 1, 1), dtype=row_grads.dtype)
+        # One shared (L, 1, 1) identity seed: it is read-only on both the
+        # suffix chain and the k==0 left partial, so a single allocation
+        # serves every use.
+        ones_seed = bk.ones((batch, 1, 1), dtype=row_grads.dtype)
+        right = ones_seed
         rights: List[Optional[np.ndarray]] = [None] * d
         rights[d - 1] = right
         for k in range(d - 1, 0, -1):
@@ -142,11 +146,7 @@ def tt_chain_backward(
             n_k = col_shape[k]
             suffix_cols = row_grads.shape[1] // (prefix_cols * n_k)
             grad_tensor = row_grads.reshape(batch, prefix_cols, n_k * suffix_cols)
-            left = (
-                left_partials[k - 1]
-                if k > 0
-                else bk.ones((batch, 1, 1), dtype=row_grads.dtype)
-            )
+            left = left_partials[k - 1] if k > 0 else ones_seed
             right_k = rights[k]
             assert right_k is not None
             # dSlice[l, r, b, s] = sum_{a, c} left[l,a,r] G[l,a,b,c] right[l,s,c]

@@ -22,7 +22,7 @@ it with explicit timestamps, so runs are bit-reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional, Tuple
 
 from repro.serving.requests import InferenceRequest
 from repro.system.queues import BoundedQueue
@@ -69,7 +69,7 @@ class BatchingPolicy:
 class MicroBatch:
     """One coalesced dispatch unit."""
 
-    requests: tuple
+    requests: Tuple[InferenceRequest, ...]
     formed_time: float
 
     @property
@@ -130,7 +130,9 @@ class MicroBatcher:
             return False
         if len(self._pending) >= self.policy.max_batch_size:
             return True
-        return now + 1e-12 >= self.oldest_deadline()
+        deadline = self.oldest_deadline()
+        assert deadline is not None  # queue is non-empty here
+        return now + 1e-12 >= deadline
 
     # -- dispatch ------------------------------------------------------
     def pop_batch(self, now: float) -> Optional[MicroBatch]:

@@ -22,8 +22,8 @@ predictions returned to clients are the model's true outputs.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,14 @@ __all__ = [
 ]
 
 HotRowMap = Dict[int, np.ndarray]
+
+
+class _LookupView(Protocol):
+    """Anything servable as a pooled embedding lookup (bag or cache)."""
+
+    def forward(
+        self, indices: np.ndarray, offsets: Optional[np.ndarray] = None
+    ) -> np.ndarray: ...
 
 
 @dataclass(frozen=True)
@@ -131,7 +139,7 @@ class ServingModel:
         self.model = model
         self.version = int(version)
         self.hot_rows = dict(hot_rows or {})
-        self._views: List[object] = []
+        self._views: List[_LookupView] = []
         self.cached_views: List[HotRowCachedLookup] = []
         for t, bag in enumerate(model.embedding_bags):
             rows = self.hot_rows.get(t)
@@ -285,7 +293,9 @@ class InferenceServer:
 
         def try_dispatch() -> None:
             while free_workers and batcher.ready(sim.now):
-                dispatch(batcher.pop_batch(sim.now))
+                micro = batcher.pop_batch(sim.now)
+                assert micro is not None  # ready() just fired
+                dispatch(micro)
 
         def dispatch(micro: MicroBatch) -> None:
             worker_id = free_workers.pop(0)

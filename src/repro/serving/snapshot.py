@@ -20,10 +20,11 @@ needs no parameter server.
 from __future__ import annotations
 
 import io
-from typing import Dict, Optional
+from typing import Any, List
 
 import numpy as np
 
+from repro.embeddings.base import EmbeddingBagBase
 from repro.embeddings.dense import DenseEmbeddingBag
 from repro.models.dlrm import DLRM
 from repro.models.serialization import load_checkpoint, save_checkpoint
@@ -58,7 +59,7 @@ class ModelSnapshot:
         return cls(buffer.getvalue(), version=version)
 
     @classmethod
-    def from_trainer(cls, trainer, version: int = 0) -> "ModelSnapshot":
+    def from_trainer(cls, trainer: Any, version: int = 0) -> "ModelSnapshot":
         """Snapshot a PS trainer's current model for serving.
 
         Host-resident tables are materialized from the parameter
@@ -68,7 +69,7 @@ class ModelSnapshot:
         the host state is consistent there.
         """
         model = trainer.model
-        bags = []
+        bags: List[EmbeddingBagBase] = []
         for t, bag in enumerate(model.embedding_bags):
             server_idx = trainer.host_table_map.get(t)
             if server_idx is None:

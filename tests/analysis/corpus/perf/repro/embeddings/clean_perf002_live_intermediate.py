@@ -1,0 +1,14 @@
+"""PERF002 clean twin: the intermediate is live past the second matmul."""
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_TT_FORWARD
+
+
+def contract_and_keep(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> tuple:
+    bk = get_backend()
+    with bk.zone(ZONE_TT_FORWARD):
+        tmp = bk.matmul(a, b)  # also returned below: not a dead intermediate
+        out = bk.matmul(tmp, c)
+        return out, tmp

@@ -1,0 +1,7 @@
+"""PERF003 clean twin: reshape-then-transpose leaves a cheap view."""
+
+import numpy as np
+
+
+def relayout(x: np.ndarray) -> np.ndarray:
+    return x.reshape(4, 6).transpose(1, 0)  # view after contiguous reshape

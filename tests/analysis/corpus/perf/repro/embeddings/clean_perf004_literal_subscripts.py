@@ -1,0 +1,10 @@
+"""PERF004 clean twin: literal subscripts hit the plan cache."""
+
+import numpy as np
+
+from repro.backend import get_backend
+
+
+def cached_contract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    bk = get_backend()
+    return bk.einsum("ik,jk->ij", a, b)  # constant signature: cacheable

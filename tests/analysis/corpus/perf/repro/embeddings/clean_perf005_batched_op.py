@@ -1,0 +1,14 @@
+"""PERF005 clean twin: the whole batch goes through one backend op."""
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_MLP
+
+
+def batch_scores(batch: np.ndarray, cores: list) -> np.ndarray:
+    bk = get_backend()
+    with bk.zone(ZONE_MLP):
+        for k in range(len(cores)):  # loops a Python list, not an array
+            batch = bk.matmul(batch, cores[k])
+        return bk.exp(batch)

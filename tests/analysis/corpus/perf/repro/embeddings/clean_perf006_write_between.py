@@ -1,0 +1,17 @@
+"""PERF006 clean twin: a scatter_add_rows writes the table between gathers."""
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_EFFTT_FORWARD
+
+
+def gather_update_gather(
+    table: np.ndarray, idx: np.ndarray, grads: np.ndarray
+) -> np.ndarray:
+    bk = get_backend()
+    with bk.zone(ZONE_EFFTT_FORWARD):
+        before = bk.gather_rows(table, idx)
+        bk.scatter_add_rows(table, idx, grads)
+        after = bk.gather_rows(table, idx)  # rows changed: re-read is real
+        return bk.matmul(before, after.transpose(1, 0))

@@ -1,0 +1,13 @@
+"""PERF007 clean twin: the cast actually changes the dtype."""
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_OPTIMIZER
+
+
+def downcast() -> np.ndarray:
+    bk = get_backend()
+    with bk.zone(ZONE_OPTIMIZER):
+        acc = bk.zeros((4, 4), dtype="float64")
+        return acc.astype("float32")  # float64 -> float32: real conversion

@@ -1,0 +1,13 @@
+"""PERF002 mutant: a dead intermediate links two adjacent contractions."""
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_TT_FORWARD
+
+
+def double_contract(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    bk = get_backend()
+    with bk.zone(ZONE_TT_FORWARD):
+        tmp = bk.matmul(a, b)  # PERF002: consumed only by the next matmul
+        return bk.matmul(tmp, c)

@@ -1,0 +1,7 @@
+"""PERF003 mutant: transpose-then-reshape forces a copy of the view."""
+
+import numpy as np
+
+
+def churn(x: np.ndarray) -> np.ndarray:
+    return x.transpose(0, 2, 1).reshape(4, 6)  # PERF003

@@ -1,0 +1,10 @@
+"""PERF004 mutant: dynamically built einsum subscripts defeat the cache."""
+
+import numpy as np
+
+from repro.backend import get_backend
+
+
+def dynamic_contract(a: np.ndarray, b: np.ndarray, axis: str) -> np.ndarray:
+    bk = get_backend()
+    return bk.einsum(f"i{axis},j{axis}->ij", a, b)  # PERF004

@@ -1,0 +1,15 @@
+"""PERF005 mutant: a Python loop walks the batch dimension row by row."""
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_MLP
+
+
+def row_scores(batch: np.ndarray) -> list:
+    bk = get_backend()
+    scores = []
+    with bk.zone(ZONE_MLP):
+        for row in batch:  # PERF005
+            scores.append(bk.exp(row))
+    return scores

@@ -1,0 +1,14 @@
+"""PERF006 mutant: the same rows are gathered twice with no write between."""
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_EFFTT_FORWARD
+
+
+def gather_twice(table: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    bk = get_backend()
+    with bk.zone(ZONE_EFFTT_FORWARD):
+        first = bk.gather_rows(table, idx)
+        second = bk.gather_rows(table, idx)  # PERF006
+        return bk.matmul(first, second.transpose(1, 0))

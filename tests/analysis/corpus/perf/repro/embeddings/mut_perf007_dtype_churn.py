@@ -1,0 +1,13 @@
+"""PERF007 mutant: an array is cast to the dtype it already has."""
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_OPTIMIZER
+
+
+def pointless_cast() -> np.ndarray:
+    bk = get_backend()
+    with bk.zone(ZONE_OPTIMIZER):
+        acc = bk.zeros((4, 4), dtype="float32")
+        return acc.astype("float32")  # PERF007

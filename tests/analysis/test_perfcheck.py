@@ -1,0 +1,191 @@
+"""Unit tests for the perfcheck analyzer, cost model, and FusionPlan."""
+
+import pytest
+
+from repro.analysis.perfcheck import PERF_RULES, perfcheck_source
+from repro.analysis.perfcheck.costmodel import (
+    Cost,
+    cost_add,
+    cost_scale,
+    matmul_cost,
+    nbytes_cost,
+    tt_chain_flops_per_row,
+)
+from repro.analysis.perfcheck.interp import interpret_module_perf
+from repro.analysis.rules import build_context
+from repro.analysis.shapecheck.domain import SymDim
+from repro.backend.plan_cache import get_plan_cache
+
+ZONE_REL = "repro/embeddings/fake_kernel.py"
+
+
+def _findings(source, rel=ZONE_REL, select=None):
+    return perfcheck_source(source, path=rel, rel=rel, select=select).findings
+
+
+def _rules(source, **kwargs):
+    return [f.rule_id for f in _findings(source, **kwargs)]
+
+
+class TestCostModel:
+    def test_cost_algebra(self):
+        b = SymDim("batch")
+        c = Cost.product(2, (b, 8, 4))
+        assert c is not None and c.value is None
+        assert c.expr == "64*batch"
+        assert Cost.product(3, (5, 2)).value == 30
+        total = cost_add(c, Cost.concrete(10))
+        assert total.expr == "10 + 64*batch"
+        assert cost_scale(Cost.concrete(7), 3).value == 21
+        assert cost_add(c, None) is None
+        assert Cost.product(1, (None, 8)) is None
+
+    def test_nbytes_symbolic_itemsize(self):
+        # Unknown dtype contributes a symbolic itemsize factor.
+        sized = nbytes_cost((4, 4), "float32")
+        assert sized.value == 64
+        unsized = nbytes_cost((4, 4), None)
+        assert unsized.value is None and "itemsize" in unsized.expr
+
+    def test_matmul_cost_matches_instrumented_formula(self):
+        # (3, 4, 5) @ (3, 5, 6): 2 * batch * m * k * n.
+        cost = matmul_cost(
+            (3, 4, 5), "float32", (3, 5, 6), "float32", (3, 4, 6), "float32"
+        )
+        assert cost.flops.value == 2 * 3 * 4 * 5 * 6
+        assert cost.bytes.value == 4 * (3 * 4 * 5 + 3 * 5 * 6 + 3 * 4 * 6)
+
+    def test_tt_chain_flops_match_plan_cache(self):
+        core_shapes = ((4, 1, 5, 8), (4, 8, 5, 8), (4, 8, 5, 1))
+        plan = get_plan_cache().chain_plan("unit", core_shapes)
+        assert tt_chain_flops_per_row(core_shapes) == plan.flops_per_row
+
+
+class TestRuleCatalog:
+    def test_catalog_ids_are_unique_and_complete(self):
+        ids = [rule.id for rule in PERF_RULES.values()]
+        assert len(ids) == len(set(ids))
+        assert {f"PERF{n:03d}" for n in range(8)} == set(ids)
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError):
+            perfcheck_source("x = 1", select=["no-such-rule"])
+
+
+HOT_ALLOC = """
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_TT_BACKWARD
+
+def f(g):
+    bk = get_backend()
+    with bk.zone(ZONE_TT_BACKWARD):
+        for k in range(4):
+            seed = bk.ones((8, 1, 1), dtype="float32")
+    return seed
+"""
+
+
+class TestRules:
+    def test_hot_loop_alloc_fires(self):
+        assert "PERF001" in _rules(HOT_ALLOC)
+
+    def test_hot_loop_alloc_needs_zone_and_loop(self):
+        no_zone = HOT_ALLOC.replace(
+            "with bk.zone(ZONE_TT_BACKWARD):", "if True:"
+        )
+        assert "PERF001" not in _rules(no_zone)
+
+    def test_pragma_suppresses(self):
+        suppressed = HOT_ALLOC.replace(
+            'dtype="float32")',
+            'dtype="float32")  # reprolint: disable=hot-loop-alloc',
+        )
+        result = perfcheck_source(suppressed, path=ZONE_REL, rel=ZONE_REL)
+        assert result.findings == [] and result.suppressed == 1
+
+    def test_select_filters_rules(self):
+        assert _rules(HOT_ALLOC, select=["layout-churn"]) == []
+        assert "PERF001" in _rules(HOT_ALLOC, select=["PERF001"])
+
+    def test_unfused_contraction_is_warning(self):
+        src = """
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_TT_FORWARD
+
+def f(a, b, c):
+    bk = get_backend()
+    with bk.zone(ZONE_TT_FORWARD):
+        tmp = bk.matmul(a, b)
+        return bk.matmul(tmp, c)
+"""
+        result = perfcheck_source(src, path=ZONE_REL, rel=ZONE_REL)
+        assert [f.rule_id for f in result.findings] == ["PERF002"]
+        assert result.ok, "PERF002 is advisory and must not fail the gate"
+
+    def test_layout_churn_only_in_kernel_paths(self):
+        src = "def f(x):\n    return x.transpose(0, 2, 1).reshape(4, 6)\n"
+        assert "PERF003" in _rules(src)
+        assert _rules(src, rel="repro/bench/report.py") == []
+
+    def test_zone_param_default_binds_declared_zone(self):
+        # Chain kernels declare their zone as a default parameter; the
+        # body must be analyzed under it (the tt_chain_backward pattern).
+        src = """
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_TT_BACKWARD
+
+def kernel(g, zone=ZONE_TT_BACKWARD):
+    bk = get_backend()
+    with bk.zone(zone):
+        for k in range(4):
+            seed = bk.ones((8, 1, 1), dtype="float32")
+    return seed
+"""
+        assert "PERF001" in _rules(src)
+
+
+class TestFusionGraph:
+    def _result(self, source, rel=ZONE_REL):
+        ctx = build_context(rel, rel, source)
+        return interpret_module_perf(ctx)
+
+    def test_chain_extracted_with_symbolic_shapes(self):
+        src = """
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_EFFTT_FORWARD
+
+def forward(table, idx, core, batch, r):
+    bk = get_backend()
+    with bk.zone(ZONE_EFFTT_FORWARD):
+        rows = bk.gather_rows(table, idx)
+        flat = rows.reshape(batch, r)
+        return bk.matmul(flat, core)
+"""
+        result = self._result(src)
+        chains = [c for c in result.chains if c.zone == "efftt_forward"]
+        assert len(chains) == 1
+        ops = [node.op for node in chains[0].nodes]
+        assert ops == ["gather_rows", "reshape", "matmul"]
+        reshape_node = chains[0].nodes[1]
+        assert reshape_node.out_shape == (SymDim("batch"), SymDim("r"))
+
+    def test_escaped_value_breaks_chain(self):
+        src = """
+from repro.backend import get_backend
+from repro.backend.protocol import ZONE_EFFTT_FORWARD
+
+state = {}
+
+def forward(table, idx, core, batch, r):
+    bk = get_backend()
+    with bk.zone(ZONE_EFFTT_FORWARD):
+        rows = bk.gather_rows(table, idx)
+        state["rows"] = rows
+        flat = rows.reshape(batch, r)
+        return bk.matmul(flat, core)
+"""
+        result = self._result(src)
+        for chain in result.chains:
+            assert [n.op for n in chain.nodes] != [
+                "gather_rows", "reshape", "matmul"
+            ], "escaped gather result must not start a fusable chain"

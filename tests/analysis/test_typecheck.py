@@ -29,6 +29,7 @@ STRICT_TARGETS = [
     PKG / "backend" / "plan_cache.py",
     PKG / "backend" / "numpy_backend.py",
     PKG / "sharding",
+    PKG / "serving",
     PKG / "resilience" / "checkpoint.py",
 ]
 
