@@ -12,10 +12,19 @@ latency SLO.
 Marked ``serving_slow`` (thousands of real model forwards): excluded
 from default pytest runs; invoke with ``pytest benchmarks -m
 serving_slow`` or run the module directly.
+
+The second half is the replicated-fleet sweep (``fleet_slow``): p99
+across replica counts {1, 2, 4, 8} on a million-row Zipf workload,
+under steady load, a mid-stream arrival surge, and a surge with a
+rolling hot-swap landing in the middle of it — the capacity-planning
+table for the fleet tier.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
+import numpy as np
 import pytest
 
 from conftest import emit, run_once
@@ -27,6 +36,7 @@ from repro.serving import (
     BatchingPolicy,
     InferenceServer,
     RequestGenerator,
+    ServiceTimeModel,
     ServingModel,
 )
 
@@ -129,5 +139,157 @@ def test_batching_helps_under_load():
     assert p99(POLICIES["batch 16 / 2 ms"]) < p99(POLICIES["no batching"])
 
 
+# -- replicated-fleet sweep (fleet_slow) --------------------------------
+
+FLEET_SCALE = 0.03          # ~1M embedding rows across the 26 tables
+FLEET_REQUESTS = 400
+FLEET_RATE = 4_000.0
+FLEET_SURGE_FACTOR = 4.0
+FLEET_REPLICAS = (1, 2, 4, 8)
+FLEET_HOT_COVERAGE = 0.005  # Zipf skew: tiny row fraction, big hit rate
+#: One replica serves a 16-batch in ~2 ms (~8k req/s): the x4 surge
+#: (16k req/s) saturates one replica, is borderline at two, and has
+#: headroom at four — the regime where the replica column matters.
+FLEET_SERVICE = ServiceTimeModel(base=2e-3)
+
+
+def _with_surge(requests, factor):
+    """Compress the middle third's inter-arrival gaps by ``factor``.
+
+    Same request ids and content as the steady stream — only the
+    arrival clock changes — so scenario comparisons isolate load shape.
+    """
+    times = [r.arrival_time for r in requests]
+    gaps = np.diff([0.0] + times)
+    third = len(requests) // 3
+    gaps[third: 2 * third] /= factor
+    new_times = np.cumsum(gaps)
+    return [
+        dataclasses.replace(r, arrival_time=float(t))
+        for r, t in zip(requests, new_times)
+    ]
+
+
+def build_fleet_slo_table() -> str:
+    from repro.serving import FleetConfig, ModelSnapshot, ServingFleet
+
+    spec = criteo_kaggle_like(scale=FLEET_SCALE)
+    config = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    snap_v1 = ModelSnapshot.from_model(DLRM(config, seed=7), version=1)
+    snap_v2 = ModelSnapshot.from_model(DLRM(config, seed=9), version=2)
+    generator = RequestGenerator(spec, rate=FLEET_RATE, seed=0)
+    steady = generator.generate(FLEET_REQUESTS)
+    surged = _with_surge(steady, FLEET_SURGE_FACTOR)
+    hot_rows = {
+        t: generator.hot_rows(t, FLEET_HOT_COVERAGE)
+        for t in range(spec.num_sparse)
+    }
+    scenarios = (
+        ("steady", steady, False),
+        ("surge x4", surged, False),
+        ("surge + mid-swap", surged, True),
+    )
+    rows = []
+    for num_replicas in FLEET_REPLICAS:
+        for label, requests, swap in scenarios:
+            fleet = ServingFleet(
+                snap_v1,
+                hot_rows=hot_rows,
+                config=FleetConfig(
+                    num_replicas=num_replicas,
+                    batching=BatchingPolicy(
+                        max_batch_size=16, max_wait=2e-3,
+                    ),
+                ),
+                service_time=FLEET_SERVICE,
+            )
+            if swap:
+                # land the install churn inside the surge window
+                fleet.schedule_swap(
+                    requests[len(requests) // 2].arrival_time, snap_v2,
+                )
+            outcome = fleet.run(requests)
+            report = outcome.report
+            swaps = outcome.swaps[0] if outcome.swaps else None
+            rows.append(
+                [
+                    num_replicas,
+                    label,
+                    f"{report.throughput_rps:,.0f}",
+                    f"{report.latency_p50 * 1e3:.2f}",
+                    f"{report.latency_p99 * 1e3:.2f}",
+                    len(outcome.shed_ids) + len(outcome.rejected_ids),
+                    len(outcome.redirects),
+                    (
+                        f"{swaps.dropped_in_flight} dropped"
+                        if swaps is not None else "-"
+                    ),
+                ]
+            )
+    return format_table(
+        [
+            "replicas",
+            "scenario",
+            "served rps",
+            "p50 ms",
+            "p99 ms",
+            "lost",
+            "redirects",
+            "swap",
+        ],
+        rows,
+        title=(
+            "Fleet SLO sweep: replica count x load shape "
+            f"(criteo-kaggle @ {FLEET_SCALE:g} — ~1M embedding rows, "
+            f"{FLEET_REQUESTS} requests @ {FLEET_RATE:,.0f}/s, "
+            f"surge x{FLEET_SURGE_FACTOR:g} mid-stream)"
+        ),
+    )
+
+
+@pytest.mark.fleet_slow
+def test_fleet_slo_sweep(benchmark):
+    emit("fleet_slo", run_once(benchmark, build_fleet_slo_table))
+
+
+@pytest.mark.fleet_slow
+def test_replicas_absorb_the_surge():
+    """Under the surge, 4 replicas must beat 1 replica on p99."""
+    from repro.serving import FleetConfig, ModelSnapshot, ServingFleet
+
+    spec = criteo_kaggle_like(scale=FLEET_SCALE)
+    config = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    snapshot = ModelSnapshot.from_model(DLRM(config, seed=7), version=1)
+    generator = RequestGenerator(spec, rate=FLEET_RATE, seed=0)
+    requests = _with_surge(
+        generator.generate(FLEET_REQUESTS), FLEET_SURGE_FACTOR
+    )
+    hot_rows = {
+        t: generator.hot_rows(t, FLEET_HOT_COVERAGE)
+        for t in range(spec.num_sparse)
+    }
+
+    def p99(num_replicas: int) -> float:
+        fleet = ServingFleet(
+            snapshot,
+            hot_rows=hot_rows,
+            config=FleetConfig(
+                num_replicas=num_replicas,
+                batching=BatchingPolicy(max_batch_size=16, max_wait=2e-3),
+            ),
+            service_time=FLEET_SERVICE,
+        )
+        return fleet.run(requests).report.latency_p99
+
+    assert p99(4) < p99(1)
+
+
 if __name__ == "__main__":
     print(build_serving_slo_table())
+    print(build_fleet_slo_table())

@@ -565,6 +565,21 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
             if not check.ok:
                 print(f"  {check.name}: {check.detail}")
 
+    # Fleet gate: a 2-replica chaos smoke — killing one replica
+    # mid-traffic must deliver bitwise-identical predictions for every
+    # non-shed request versus the fault-free fleet run.
+    from repro.resilience import run_fleet_chaos
+
+    fleet_outcome = run_fleet_chaos("fleet-smoke")
+    fleet_ok = fleet_outcome.passed
+    ok = ok and fleet_ok
+    status = "ok" if fleet_ok else "FAILED (fleet invariant violated)"
+    print(f"fleet    2-replica kill-one chaos smoke is bitwise  [{status}]")
+    if not fleet_ok:
+        for check in fleet_outcome.checks:
+            if not check.ok:
+                print(f"  {check.name}: {check.detail}")
+
     # Resume-determinism gate: kill-free chunked training through the
     # snapshot store must be bitwise-identical to one uninterrupted
     # run — the invariant every crash recovery above relies on.
@@ -953,6 +968,95 @@ def _run_serving(
     return server.run(requests)
 
 
+def _run_fleet_serving(spec, args: argparse.Namespace):
+    """Build a model + traffic and run one replicated-fleet simulation."""
+    from repro.data.dataloader import SyntheticClickLog
+    from repro.models.config import DLRMConfig, EmbeddingBackend
+    from repro.models.dlrm import DLRM
+    from repro.serving import (
+        AutoscalePolicy,
+        BatchingPolicy,
+        FleetConfig,
+        ModelSnapshot,
+        RequestGenerator,
+        ServingFleet,
+    )
+
+    generator = RequestGenerator(spec, rate=args.rate, seed=args.seed)
+    requests = generator.generate(args.requests)
+    config = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    model = DLRM(config, seed=args.seed)
+    snapshot_v0 = ModelSnapshot.from_model(model, version=0)
+    hot_rows = {
+        t: generator.hot_rows(t, args.hot_coverage)
+        for t in range(spec.num_sparse)
+    }
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscalePolicy(
+            min_replicas=1, max_replicas=args.max_replicas,
+        )
+    fleet = ServingFleet(
+        snapshot_v0,
+        hot_rows=hot_rows,
+        config=FleetConfig(
+            num_replicas=args.replicas,
+            batching=BatchingPolicy(
+                max_batch_size=args.max_batch_size, max_wait=args.max_wait,
+                queue_capacity=max(512, args.max_batch_size),
+            ),
+            autoscale=autoscale,
+        ),
+    )
+    if args.train_steps > 0:
+        log = SyntheticClickLog(spec, batch_size=64, seed=args.seed)
+        for i in range(args.train_steps):
+            model.train_step(log.batch(i), lr=0.1)
+        snapshot_v1 = ModelSnapshot.from_model(model, version=1)
+        midpoint = requests[len(requests) // 2].arrival_time
+        fleet.schedule_swap(midpoint, snapshot_v1)
+    return fleet.run(requests)
+
+
+def _print_fleet_outcome(outcome) -> None:
+    print(outcome.report.format())
+    print()
+    print("fleet:")
+    for rep in outcome.replicas:
+        extras = []
+        if rep.crash_time is not None:
+            extras.append(f"crashed at {rep.crash_time * 1e3:.1f} ms")
+        if rep.fallback_batches:
+            extras.append(f"{rep.fallback_batches} fallback batches")
+        suffix = f"  ({', '.join(extras)})" if extras else ""
+        print(
+            f"  replica {rep.replica_id}: {rep.final_state.value:8s} "
+            f"v{rep.final_version}  {rep.batches_served} batches / "
+            f"{rep.requests_served} requests, breaker "
+            f"{rep.final_breaker_state.value}{suffix}"
+        )
+    for swap in outcome.swaps:
+        state = "complete" if swap.completed else "INCOMPLETE"
+        print(
+            f"  rolling swap -> v{swap.version}: {state}, "
+            f"{len(swap.replica_times)} installs, min live "
+            f"{swap.min_live_observed} (floor {swap.min_live_floor}), "
+            f"{swap.dropped_in_flight} dropped in flight"
+        )
+    for event in outcome.autoscale_events:
+        print(
+            f"  autoscale {event.action} replica {event.replica_id} at "
+            f"{event.time * 1e3:.1f} ms (signal "
+            f"{event.signal * 1e3:.2f} ms, {event.live_after} live)"
+        )
+    if outcome.redirects:
+        print(f"  {len(outcome.redirects)} redirects, "
+              f"{len(outcome.shed_ids)} requests shed")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.backend import InstrumentedBackend, SanitizerBackend, get_backend
     from repro.data.datasets import DATASET_FACTORIES
@@ -968,6 +1072,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     factory = DATASET_FACTORIES[args.dataset]
     spec = factory(scale=args.scale)
+    if args.replicas > 1 or args.autoscale:
+        _print_fleet_outcome(_run_fleet_serving(spec, args))
+        return 0
     outcome = _run_serving(
         spec,
         num_requests=args.requests,
@@ -1234,9 +1341,26 @@ def _cmd_hazards(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import tempfile
 
-    from repro.resilience import FAULT_PLANS, ChaosHarnessConfig, run_chaos
+    from repro.resilience import (
+        FAULT_PLANS,
+        FLEET_CHAOS_PLANS,
+        ChaosHarnessConfig,
+        FleetChaosConfig,
+        run_chaos,
+        run_fleet_chaos,
+    )
     from repro.resilience.faults import FaultPlan
 
+    if args.plan in FLEET_CHAOS_PLANS:
+        outcome = run_fleet_chaos(
+            args.plan,
+            FleetChaosConfig(
+                num_replicas=args.replicas,
+                num_requests=args.requests,
+            ),
+        )
+        print(outcome.format())
+        return 0 if outcome.passed else 1
     if args.plan == "random":
         plan = FaultPlan.random(
             f"random-{args.seed}", seed=args.seed,
@@ -1483,6 +1607,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="mean arrival rate, requests/second",
     )
     serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="run a replicated serving fleet with this many replicas "
+        "(each its own fault domain) instead of the single server",
+    )
+    serve.add_argument(
+        "--autoscale", action="store_true",
+        help="enable SLO-headroom autoscaling (implies the fleet path)",
+    )
+    serve.add_argument(
+        "--max-replicas", type=int, default=8,
+        help="autoscaling ceiling for --autoscale",
+    )
     serve.add_argument("--max-batch-size", type=int, default=32)
     serve.add_argument(
         "--max-wait", type=float, default=2e-3,
@@ -1512,9 +1649,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument(
         "--plan",
         choices=["none", "smoke", "stage-sweep", "torn-checkpoint",
-                 "serve-degrade", "random"],
+                 "serve-degrade", "random", "fleet-smoke",
+                 "fleet-replica-sweep"],
         default="smoke",
-        help="named fault plan ('random' derives one from --seed)",
+        help="named fault plan ('random' derives one from --seed; "
+        "'fleet-*' plans exercise the replicated serving fleet)",
+    )
+    chaos.add_argument(
+        "--replicas", type=int, default=2,
+        help="fleet size for the fleet-* plans",
     )
     chaos.add_argument("--batches", type=int, default=18)
     chaos.add_argument("--checkpoint-interval", type=int, default=4)

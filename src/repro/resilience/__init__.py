@@ -12,11 +12,14 @@ bounded-staleness degraded serving).  See DESIGN.md §10.
 
 from repro.resilience.chaos import (
     FAULT_PLANS,
+    FLEET_CHAOS_PLANS,
     ChaosCheck,
     ChaosHarnessConfig,
     ChaosOutcome,
+    FleetChaosConfig,
     resume_determinism_check,
     run_chaos,
+    run_fleet_chaos,
 )
 from repro.resilience.checkpoint import (
     CheckpointStore,
@@ -59,10 +62,13 @@ from repro.resilience.supervisor import (
 
 __all__ = [
     "FAULT_PLANS",
+    "FLEET_CHAOS_PLANS",
     "ChaosCheck",
     "ChaosHarnessConfig",
     "ChaosOutcome",
+    "FleetChaosConfig",
     "run_chaos",
+    "run_fleet_chaos",
     "resume_determinism_check",
     "CheckpointStore",
     "NoCheckpointError",

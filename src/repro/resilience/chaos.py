@@ -65,10 +65,13 @@ from repro.system.pipeline import PipelinedPSTrainer
 
 __all__ = [
     "FAULT_PLANS",
+    "FLEET_CHAOS_PLANS",
     "ChaosCheck",
     "ChaosOutcome",
     "ChaosHarnessConfig",
+    "FleetChaosConfig",
     "run_chaos",
+    "run_fleet_chaos",
     "resume_determinism_check",
 ]
 
@@ -494,3 +497,290 @@ def resume_determinism_check(
         np.array_equal(ref_state[k], second_state[k]) for k in ref_state
     )
     return losses == ref_losses and tables_equal
+
+
+# ---------------------------------------------------------------------------
+# Serving-fleet chaos
+# ---------------------------------------------------------------------------
+
+#: Fleet-side plan names the ``repro chaos`` CLI dispatches to
+#: :func:`run_fleet_chaos` instead of :func:`run_chaos`.  They are
+#: *meta*-plans: the harness derives the concrete
+#: :class:`~repro.resilience.faults.FaultSpec` schedule (which replica,
+#: which injection time) from the request stream at run time.
+FLEET_CHAOS_PLANS: Tuple[str, ...] = ("fleet-smoke", "fleet-replica-sweep")
+
+
+@dataclass(frozen=True)
+class FleetChaosConfig:
+    """Workload knobs for a serving-fleet chaos run (sized for CI).
+
+    The config is deliberately generous on queue capacity and SLO
+    target: front-door rejections and breaker trips are *load*
+    responses, and the bitwise invariant is about *faults*, so the
+    gate keeps the two concerns apart (load-shaping behaviour has its
+    own tests).
+    """
+
+    num_replicas: int = 2
+    num_requests: int = 400
+    request_rate: float = 2500.0
+    scale: float = 2e-5
+    max_batch_size: int = 8
+    max_wait: float = 1e-3
+    hot_coverage: float = 0.3
+    slo_target: float = 0.05
+    queue_capacity: int = 512
+    #: Fractions of the request stream at which the sweep injects a
+    #: crash (each fraction x each replica is one run).
+    injection_fractions: Tuple[float, ...] = (0.25, 0.5, 0.75)
+
+
+def _build_fleet_world(config: FleetChaosConfig):
+    """(spec, snapshot_v1, snapshot_v2, hot_rows, requests) for one gate."""
+    spec = criteo_kaggle_like(scale=config.scale)
+    model_cfg = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, backend=EmbeddingBackend.EFF_TT, tt_rank=8,
+        bottom_mlp=(16,), top_mlp=(16,),
+    )
+    snapshot_v1 = ModelSnapshot.from_model(DLRM(model_cfg, seed=7), version=1)
+    snapshot_v2 = ModelSnapshot.from_model(DLRM(model_cfg, seed=9), version=2)
+    generator = RequestGenerator(spec, rate=config.request_rate, seed=5)
+    requests = generator.generate(config.num_requests)
+    hot_rows = {
+        t: generator.hot_rows(t, config.hot_coverage)
+        for t in range(spec.num_sparse)
+    }
+    return spec, snapshot_v1, snapshot_v2, hot_rows, requests
+
+
+def _fleet_config(config: FleetChaosConfig):
+    from repro.serving.fleet import FleetConfig
+
+    return FleetConfig(
+        num_replicas=config.num_replicas,
+        batching=BatchingPolicy(
+            max_batch_size=config.max_batch_size,
+            max_wait=config.max_wait,
+            queue_capacity=config.queue_capacity,
+        ),
+        degradation=DegradationPolicy(slo_target=config.slo_target),
+        queue_capacity=config.queue_capacity,
+    )
+
+
+def _injection_time(requests, fraction: float) -> float:
+    index = min(
+        int(fraction * (len(requests) - 1)), len(requests) - 1
+    )
+    return requests[index].arrival_time
+
+
+def _delivered_bitwise(reference, faulted) -> Tuple[bool, str]:
+    """Are all delivered predictions bitwise-equal to the reference's?
+
+    Delivered = completed in the faulted run (everything the fleet
+    actually answered).  Also insists batch compositions agree for all
+    batch ids both runs formed — the stronger structural property the
+    prediction equality rests on.
+    """
+    ref_preds = reference.predictions_by_request()
+    got_preds = faulted.predictions_by_request()
+    mismatched = [
+        rid for rid in sorted(got_preds)
+        if rid not in ref_preds or ref_preds[rid] != got_preds[rid]
+    ]
+    ref_comp = reference.batch_compositions()
+    got_comp = faulted.batch_compositions()
+    comp_diff = sorted(
+        bid for bid in set(ref_comp) & set(got_comp)
+        if ref_comp[bid] != got_comp[bid]
+    )
+    ok = not mismatched and not comp_diff
+    detail = (
+        f"{len(got_preds)} delivered, {len(mismatched)} prediction "
+        f"mismatches, {len(comp_diff)} composition diffs"
+    )
+    return ok, detail
+
+
+def run_fleet_chaos(
+    plan_name: str,
+    config: Optional[FleetChaosConfig] = None,
+) -> ChaosOutcome:
+    """Run a serving-fleet chaos plan and check its invariant list.
+
+    ``fleet-smoke`` is the quickcheck gate: one crash of replica 0 at
+    the midpoint of a 2-replica run must deliver bitwise-identical
+    predictions for every answered request versus the fault-free run.
+
+    ``fleet-replica-sweep`` is the full acceptance sweep: a crash of
+    *every* replica at *every* injection fraction (each its own run,
+    each bitwise vs the shared reference), plus a stuck-replica run
+    (watchdog redirect, still bitwise), a slow-replica run (fault
+    isolation: sibling breakers never open, still bitwise), and a
+    rolling hot-swap under load (zero dropped in-flight batches, the
+    ⌈N/2⌉ live floor held, versions monotonic, a stale follow-up swap
+    rejected).
+    """
+    from repro.serving.fleet import ReplicaState, ServingFleet
+
+    if plan_name not in FLEET_CHAOS_PLANS:
+        raise KeyError(
+            f"unknown fleet chaos plan {plan_name!r}; "
+            f"expected one of {FLEET_CHAOS_PLANS}"
+        )
+    config = config or FleetChaosConfig()
+    outcome = ChaosOutcome(plan=FaultPlan(name=plan_name))
+    checks = outcome.checks
+    _, snapshot_v1, snapshot_v2, hot_rows, requests = _build_fleet_world(
+        config
+    )
+    fleet_cfg = _fleet_config(config)
+
+    def fleet(injector=None) -> "ServingFleet":
+        return ServingFleet(
+            snapshot_v1, hot_rows=hot_rows, config=fleet_cfg,
+            injector=injector,
+        )
+
+    reference = fleet().run(requests)
+    checks.append(ChaosCheck(
+        "reference fleet run clean",
+        not reference.rejected_ids
+        and not reference.shed_ids
+        and reference.unaccounted == 0
+        and len(reference.results) == config.num_requests,
+        f"{len(reference.results)}/{config.num_requests} completed",
+    ))
+
+    def crash_run(replica: int, fraction: float) -> Tuple[bool, str]:
+        time = _injection_time(requests, fraction)
+        plan = FaultPlan(
+            name=f"crash-r{replica}@{fraction:g}",
+            specs=(FaultSpec(
+                FaultKind.CRASH, FaultSite.REPLICA,
+                replica=replica, time=time,
+            ),),
+        )
+        injector = plan.injector()
+        run = fleet(injector).run(requests)
+        ok, detail = _delivered_bitwise(reference, run)
+        report = run.replicas[replica]
+        fired = not injector.fleet_pending
+        dead = report.final_state is ReplicaState.DEAD
+        accounted = run.unaccounted == 0 and (
+            len(run.results) + len(run.rejected_ids) + len(run.shed_ids)
+            == config.num_requests
+        )
+        ok = ok and fired and dead and accounted
+        return ok, (
+            f"r{replica}@{fraction:g}: {detail}, "
+            f"{len(run.redirects)} redirects"
+        )
+
+    if plan_name == "fleet-smoke":
+        ok, detail = crash_run(0, 0.5)
+        checks.append(ChaosCheck("kill-one-replica bitwise", ok, detail))
+        return outcome
+
+    # fleet-replica-sweep -------------------------------------------------
+    failures = []
+    runs = 0
+    for replica in range(config.num_replicas):
+        for fraction in config.injection_fractions:
+            runs += 1
+            ok, detail = crash_run(replica, fraction)
+            if not ok:
+                failures.append(detail)
+    checks.append(ChaosCheck(
+        "kill-any-replica bitwise at every injection point",
+        not failures,
+        f"{runs - len(failures)}/{runs} runs bitwise"
+        + (f"; first failure: {failures[0]}" if failures else ""),
+    ))
+
+    # Stuck replica: the watchdog must declare it dead and the fleet
+    # must re-serve its swallowed batches bitwise.
+    stuck_time = _injection_time(requests, 0.4)
+    stuck_plan = FaultPlan(
+        name="stuck-r0",
+        specs=(FaultSpec(
+            FaultKind.STUCK, FaultSite.REPLICA, replica=0,
+            time=stuck_time, duration=0.02,
+        ),),
+    )
+    stuck_run = fleet(stuck_plan.injector()).run(requests)
+    stuck_report = stuck_run.replicas[0]
+    stuck_bitwise, stuck_detail = _delivered_bitwise(reference, stuck_run)
+    checks.append(ChaosCheck(
+        "stuck replica declared dead, work re-served bitwise",
+        stuck_bitwise
+        and stuck_report.stuck_declared
+        and stuck_report.final_state is ReplicaState.DEAD
+        and stuck_run.unaccounted == 0,
+        f"{stuck_detail}; watchdog fired: {stuck_report.stuck_declared}",
+    ))
+
+    # Slow replica: latency faults stay inside their fault domain —
+    # sibling breakers never open — and predictions stay bitwise.
+    slow_time = _injection_time(requests, 0.3)
+    slow_plan = FaultPlan(
+        name="slow-r0",
+        specs=(FaultSpec(
+            FaultKind.SLOWDOWN, FaultSite.REPLICA, replica=0,
+            time=slow_time, duration=0.05, factor=30.0,
+        ),),
+    )
+    slow_run = fleet(slow_plan.injector()).run(requests)
+    sibling_opened = any(
+        any(tr.dst is BreakerState.OPEN for tr in rep.breaker_transitions)
+        for rep in slow_run.replicas if rep.replica_id != 0
+    )
+    slow_bitwise, slow_detail = _delivered_bitwise(reference, slow_run)
+    checks.append(ChaosCheck(
+        "slow replica isolated (siblings stay closed, bitwise)",
+        slow_bitwise and not sibling_opened
+        and slow_run.unaccounted == 0,
+        f"{slow_detail}; sibling breaker opened: {sibling_opened}",
+    ))
+
+    # Rolling hot-swap under load: zero dropped in-flight batches, the
+    # ⌈N/2⌉ live floor held, versions monotonic per acknowledgment,
+    # and a stale follow-up swap rejected.
+    swap_time = _injection_time(requests, 0.5)
+    swap_fleet = fleet()
+    swap_fleet.schedule_swap(swap_time, snapshot_v2)
+    # Re-offering the v1 snapshot after v2 was acknowledged is the
+    # stale-swap case: it must be rejected, not installed.
+    swap_fleet.schedule_swap(swap_time * 1.2, snapshot_v1)
+    swap_run = swap_fleet.run(requests)
+    swap_ok = (
+        len(swap_run.swaps) == 1
+        and swap_run.swaps[0].completed
+        and swap_run.swaps[0].dropped_in_flight == 0
+        and swap_run.swaps[0].min_live_observed
+        >= swap_run.swaps[0].min_live_floor
+        and swap_run.final_version == 2
+        and swap_run.stale_swaps_rejected == 1
+        and swap_run.unaccounted == 0
+        and not swap_run.shed_ids
+    )
+    completed_at = (
+        swap_run.swaps[0].completed_at if swap_run.swaps else None
+    )
+    monotonic = completed_at is not None and all(
+        batch.model_version == 2
+        for batch in swap_run.served_batches
+        if batch.start_time > completed_at
+    )
+    versions = sorted(swap_run.report.requests_per_version)
+    checks.append(ChaosCheck(
+        "rolling swap: zero drops, live floor held, stale rejected",
+        swap_ok and monotonic,
+        f"served versions {versions}, "
+        f"min live {swap_run.swaps[0].min_live_observed if swap_run.swaps else '-'}"
+        f"/floor {swap_run.swaps[0].min_live_floor if swap_run.swaps else '-'}, "
+        f"{swap_run.stale_swaps_rejected} stale rejected",
+    ))
+    return outcome

@@ -80,6 +80,12 @@ class CircuitBreaker:
         self._probe_successes = 0
 
     def _move(self, now: float, dst: BreakerState, reason: str) -> None:
+        if self.transitions and now < self.transitions[-1].time:
+            raise ValueError(
+                f"breaker time went backwards: {now} after "
+                f"{self.transitions[-1].time} (transitions must be fed "
+                "in event-loop order)"
+            )
         self.transitions.append(
             BreakerTransition(time=now, src=self.state, dst=dst, reason=reason)
         )
@@ -111,6 +117,12 @@ class CircuitBreaker:
     # -- outcome signals ------------------------------------------------
     def record_success(self, now: float) -> None:
         if self.state is BreakerState.HALF_OPEN:
+            if not self._probe_outstanding:
+                # Stale completion: a batch dispatched before the trip
+                # (or before this HALF_OPEN entry) is reporting back.
+                # It says nothing about the probe path's health, so it
+                # must not count toward closing the breaker.
+                return
             self._probe_outstanding = False
             self._probe_successes += 1
             if self._probe_successes >= self.config.half_open_successes:
@@ -124,8 +136,17 @@ class CircuitBreaker:
 
     def record_failure(self, now: float) -> None:
         if self.state is BreakerState.HALF_OPEN:
+            # The *first* failure re-trips, probe or stale: a breach
+            # observed while half-open means the path is still sick,
+            # and leaving the probe slot claimed after re-open would
+            # wedge the next HALF_OPEN entry shut.
+            reason = (
+                "probe failed" if self._probe_outstanding
+                else "stale breach in half-open"
+            )
             self._probe_outstanding = False
-            self._move(now, BreakerState.OPEN, "probe failed")
+            self._probe_successes = 0
+            self._move(now, BreakerState.OPEN, reason)
             self._opened_at = now
             return
         if self.state is BreakerState.CLOSED:
@@ -139,6 +160,11 @@ class CircuitBreaker:
         # OPEN: failures while open carry no extra information.
 
     # -- reporting ------------------------------------------------------
+    @property
+    def probe_outstanding(self) -> bool:
+        """Whether the single HALF_OPEN probe slot is claimed."""
+        return self._probe_outstanding
+
     def describe(self) -> str:
         lines = [f"breaker state: {self.state.value}"]
         lines += [

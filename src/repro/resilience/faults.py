@@ -65,6 +65,8 @@ class FaultKind(str, enum.Enum):
     TORN = "torn"            #: a checkpoint write is torn (tmp only, truncated)
     CORRUPT = "corrupt"      #: committed checkpoint bytes are flipped
     SLOWDOWN = "slowdown"    #: serving service times inflate for a window
+    STUCK = "stuck"          #: a replica accepts batches but never completes
+    SWAP = "swap"            #: a rolling hot-swap is forced mid-traffic
 
 
 class FaultSite(str, enum.Enum):
@@ -77,18 +79,28 @@ class FaultSite(str, enum.Enum):
     GRAD_QUEUE = "gradient"      #: the D2H gradient queue
     CHECKPOINT = "checkpoint"    #: snapshot write path
     SERVE = "serve"              #: the online-inference primary path
+    REPLICA = "replica"          #: one executor in the serving fleet
+    FLEET = "fleet"              #: the serving fleet as a whole
 
 
 #: Legal (kind, site) combinations; anything else is a plan bug.
 _VALID_COMBOS: Dict[FaultKind, Tuple[FaultSite, ...]] = {
-    FaultKind.CRASH: (FaultSite.GATHER, FaultSite.TRAIN, FaultSite.APPLY),
+    FaultKind.CRASH: (
+        FaultSite.GATHER, FaultSite.TRAIN, FaultSite.APPLY,
+        FaultSite.REPLICA,
+    ),
     FaultKind.STALL: (FaultSite.PREFETCH_QUEUE, FaultSite.GRAD_QUEUE),
     FaultKind.H2D_FAIL: (FaultSite.PREFETCH_QUEUE,),
     FaultKind.DROP: (FaultSite.GRAD_QUEUE,),
     FaultKind.TORN: (FaultSite.CHECKPOINT,),
     FaultKind.CORRUPT: (FaultSite.CHECKPOINT,),
-    FaultKind.SLOWDOWN: (FaultSite.SERVE,),
+    FaultKind.SLOWDOWN: (FaultSite.SERVE, FaultSite.REPLICA),
+    FaultKind.STUCK: (FaultSite.REPLICA,),
+    FaultKind.SWAP: (FaultSite.FLEET,),
 }
+
+#: Sites scheduled on the Simulator clock rather than the pipeline step.
+_FLEET_SITES = (FaultSite.REPLICA, FaultSite.FLEET)
 
 
 class FaultError(RuntimeError):
@@ -101,6 +113,8 @@ class FaultError(RuntimeError):
     def __init__(self, spec: "FaultSpec", detail: str = "") -> None:
         self.spec = spec
         message = f"injected {spec.kind.value} at {spec.site.value}"
+        if spec.replica is not None:
+            message += f"[{spec.replica}]"
         if spec.step is not None:
             message += f" (step {spec.step})"
         if detail:
@@ -125,9 +139,11 @@ class FaultSpec:
     """One scheduled fault.
 
     Trainer faults are *step*-scheduled (the pipeline's logical clock:
-    the batch id being gathered/trained/applied); serving faults are
-    *time*-scheduled on the Simulator clock, with a ``duration`` window
-    and a service-time ``factor``.
+    the batch id being gathered/trained/applied); serving and fleet
+    faults are *time*-scheduled on the Simulator clock, with a
+    ``duration`` window for slowdown/stuck kinds and a service-time
+    ``factor`` for slowdowns.  Faults at :attr:`FaultSite.REPLICA`
+    additionally name the ``replica`` they target.
     """
 
     kind: FaultKind
@@ -136,6 +152,12 @@ class FaultSpec:
     time: Optional[float] = None
     duration: float = 0.0
     factor: float = 1.0
+    replica: Optional[int] = None
+
+    @property
+    def time_scheduled(self) -> bool:
+        """Whether this fault fires on the Simulator clock (not a step)."""
+        return self.kind is FaultKind.SLOWDOWN or self.site in _FLEET_SITES
 
     def __post_init__(self) -> None:
         if self.site not in _VALID_COMBOS[self.kind]:
@@ -143,12 +165,26 @@ class FaultSpec:
                 f"fault kind {self.kind.value!r} cannot target site "
                 f"{self.site.value!r}"
             )
-        if self.kind is FaultKind.SLOWDOWN:
+        if self.site is FaultSite.REPLICA:
+            if self.replica is None or self.replica < 0:
+                raise ValueError(
+                    "replica faults need an integer replica id >= 0"
+                )
+        elif self.replica is not None:
+            raise ValueError(
+                f"replica only applies to {FaultSite.REPLICA.value} faults"
+            )
+        if self.time_scheduled:
             if self.time is None or self.time < 0:
-                raise ValueError("slowdown faults need time >= 0")
-            if self.duration <= 0:
-                raise ValueError("slowdown faults need duration > 0")
-            if self.factor < 1.0:
+                raise ValueError(
+                    f"{self.kind.value} faults need time >= 0"
+                )
+            if self.kind in (FaultKind.SLOWDOWN, FaultKind.STUCK):
+                if self.duration <= 0:
+                    raise ValueError(
+                        f"{self.kind.value} faults need duration > 0"
+                    )
+            if self.kind is FaultKind.SLOWDOWN and self.factor < 1.0:
                 raise ValueError(
                     f"slowdown factor must be >= 1, got {self.factor}"
                 )
@@ -159,13 +195,23 @@ class FaultSpec:
                 )
 
     def describe(self) -> str:
-        if self.kind is FaultKind.SLOWDOWN:
-            return (
-                f"{self.kind.value:9s} @ {self.site.value:10s} "
-                f"t=[{self.time:.3f}, {self.time + self.duration:.3f}) "
-                f"x{self.factor:g}"
+        target = self.site.value
+        if self.replica is not None:
+            target = f"{self.site.value}[{self.replica}]"
+        if self.kind in (FaultKind.SLOWDOWN, FaultKind.STUCK):
+            assert self.time is not None
+            window = (
+                f"t=[{self.time:.3f}, {self.time + self.duration:.3f})"
             )
-        return f"{self.kind.value:9s} @ {self.site.value:10s} step={self.step}"
+            suffix = (
+                f" x{self.factor:g}"
+                if self.kind is FaultKind.SLOWDOWN else ""
+            )
+            return f"{self.kind.value:9s} @ {target:10s} {window}{suffix}"
+        if self.time_scheduled:
+            assert self.time is not None
+            return f"{self.kind.value:9s} @ {target:10s} t={self.time:.3f}"
+        return f"{self.kind.value:9s} @ {target:10s} step={self.step}"
 
 
 @dataclass(frozen=True)
@@ -195,13 +241,21 @@ class FaultPlan:
 
     @property
     def train_specs(self) -> Tuple[FaultSpec, ...]:
-        return tuple(
-            s for s in self.specs if s.kind is not FaultKind.SLOWDOWN
-        )
+        """Step-scheduled trainer faults (crash/stall/drop/torn/...)."""
+        return tuple(s for s in self.specs if not s.time_scheduled)
 
     @property
     def serve_specs(self) -> Tuple[FaultSpec, ...]:
-        return tuple(s for s in self.specs if s.kind is FaultKind.SLOWDOWN)
+        """Fleet-wide serving slowdown windows (the legacy SERVE site)."""
+        return tuple(
+            s for s in self.specs
+            if s.kind is FaultKind.SLOWDOWN and s.site is FaultSite.SERVE
+        )
+
+    @property
+    def fleet_specs(self) -> Tuple[FaultSpec, ...]:
+        """Per-replica and fleet-level faults (time-scheduled)."""
+        return tuple(s for s in self.specs if s.site in _FLEET_SITES)
 
     def describe(self) -> str:
         lines = [f"fault plan {self.name!r} (seed {self.seed}):"]
@@ -263,6 +317,8 @@ class FaultInjector:
         self._pending: List[FaultSpec] = list(plan.train_specs)
         self._slowdowns: List[FaultSpec] = list(plan.serve_specs)
         self._slowdowns_seen: Set[int] = set()
+        self._fleet: List[FaultSpec] = list(plan.fleet_specs)
+        self._fleet_seen: Set[int] = set()
         self.records: List[FaultRecord] = []
         #: Logical step of the batch the worker is currently training;
         #: maintained by :class:`FaultProbe` via ``on_batch_start``.
@@ -325,11 +381,92 @@ class FaultInjector:
                     )
         return factor
 
+    # -- fleet-side hooks ----------------------------------------------
+    def _mark_fleet(self, index: int, now: float, detail: str) -> None:
+        if index in self._fleet_seen:
+            return
+        self._fleet_seen.add(index)
+        self.records.append(
+            FaultRecord(
+                spec=self._fleet[index], fired_step=-1,
+                detail=f"{detail} at t={now:.4f}",
+            )
+        )
+
+    def replica_crashes(self) -> Tuple[Tuple[float, int, FaultSpec], ...]:
+        """(time, replica, spec) for every scheduled replica crash.
+
+        The fleet event loop schedules one crash event per entry and
+        calls :meth:`fleet_fired` when it actually fires.
+        """
+        out: List[Tuple[float, int, FaultSpec]] = []
+        for spec in self._fleet:
+            if spec.kind is FaultKind.CRASH:
+                assert spec.time is not None and spec.replica is not None
+                out.append((spec.time, spec.replica, spec))
+        return tuple(sorted(out, key=lambda entry: entry[0]))
+
+    def fleet_swaps(self) -> Tuple[Tuple[float, FaultSpec], ...]:
+        """(time, spec) for every forced mid-traffic swap, time-sorted."""
+        out: List[Tuple[float, FaultSpec]] = []
+        for spec in self._fleet:
+            if spec.kind is FaultKind.SWAP:
+                assert spec.time is not None
+                out.append((spec.time, spec))
+        return tuple(sorted(out, key=lambda entry: entry[0]))
+
+    def fleet_fired(self, spec: FaultSpec, now: float, detail: str) -> None:
+        """Record a scheduled fleet fault as fired (once per spec)."""
+        for i, candidate in enumerate(self._fleet):
+            if candidate is spec:
+                self._mark_fleet(i, now, detail)
+                return
+        raise ValueError(f"spec {spec.describe()!r} is not a fleet fault")
+
+    def replica_stuck(self, replica: int, now: float) -> bool:
+        """Whether ``replica`` is inside a stuck window at ``now``.
+
+        A stuck replica accepts the dispatch but never schedules its
+        completion — the health monitor's watchdog must notice.
+        """
+        stuck = False
+        for i, spec in enumerate(self._fleet):
+            if spec.kind is not FaultKind.STUCK or spec.replica != replica:
+                continue
+            assert spec.time is not None
+            if spec.time <= now < spec.time + spec.duration:
+                stuck = True
+                self._mark_fleet(i, now, "swallowed a dispatch")
+        return stuck
+
+    def replica_slowdown_factor(self, replica: int, now: float) -> float:
+        """Product of per-replica slowdown windows active at ``now``."""
+        factor = 1.0
+        for i, spec in enumerate(self._fleet):
+            if (
+                spec.kind is not FaultKind.SLOWDOWN
+                or spec.replica != replica
+            ):
+                continue
+            assert spec.time is not None
+            if spec.time <= now < spec.time + spec.duration:
+                factor *= spec.factor
+                self._mark_fleet(i, now, "window entered")
+        return factor
+
     # -- reporting ------------------------------------------------------
     @property
     def pending(self) -> Tuple[FaultSpec, ...]:
         """Trainer faults that have not fired yet."""
         return tuple(self._pending)
+
+    @property
+    def fleet_pending(self) -> Tuple[FaultSpec, ...]:
+        """Fleet faults that have not fired yet."""
+        return tuple(
+            spec for i, spec in enumerate(self._fleet)
+            if i not in self._fleet_seen
+        )
 
     @property
     def fired(self) -> Tuple[FaultSpec, ...]:

@@ -1,0 +1,166 @@
+"""Health probing for the replicated serving fleet.
+
+The :class:`HealthMonitor` is the fleet's observability plane: on
+every probe tick (driven by the deterministic Simulator, never wall
+clock) it snapshots each replica's state — executor lifecycle, breaker
+state, in-flight depth, EWMA completion latency — into an append-only
+:class:`ReplicaHealth` history, and runs the *stuck watchdog*: a
+replica whose oldest in-flight batch has aged past ``stuck_timeout``
+is declared dead so the router can redirect its work.  The watchdog is
+what turns a silent fault (a replica that accepts batches but never
+completes them) into an explicit crash the fleet already knows how to
+survive.
+
+Health rows feed two consumers: the :class:`~repro.serving.router.
+FleetRouter` ranks replicas by the same load signals the monitor
+records, and the autoscaler reads the recent completion latencies to
+measure SLO headroom.  Everything here is passive bookkeeping — the
+fleet event loop supplies every timestamp — so two runs of the same
+scenario produce byte-identical health histories.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.resilience.circuit import BreakerState
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "HealthStatus",
+    "ProbeConfig",
+    "ReplicaHealth",
+    "HealthMonitor",
+]
+
+
+class HealthStatus(str, enum.Enum):
+    """Coarse per-replica verdict derived from one probe observation."""
+
+    HEALTHY = "healthy"       #: live, breaker closed, latency nominal
+    DEGRADED = "degraded"     #: live but breaker half-open or latency high
+    UNHEALTHY = "unhealthy"   #: live but breaker open (no primary traffic)
+    DEAD = "dead"             #: crashed, stuck-declared, or retired
+
+
+@dataclass(frozen=True)
+class ProbeConfig:
+    """Health-probe cadence and watchdog thresholds (seconds)."""
+
+    #: Interval between probe ticks on the simulated clock.
+    interval: float = 2e-3
+    #: Oldest-in-flight age beyond which a replica is declared stuck
+    #: and treated as crashed (its batches are redirected).
+    stuck_timeout: float = 0.05
+    #: EWMA smoothing factor for per-replica completion latency.
+    ewma_alpha: float = 0.3
+    #: EWMA latency above which a live replica reports DEGRADED.
+    degraded_latency: float = 0.02
+
+    def __post_init__(self) -> None:
+        check_positive(self.interval, "interval")
+        check_positive(self.stuck_timeout, "stuck_timeout")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        check_positive(self.degraded_latency, "degraded_latency")
+
+
+@dataclass(frozen=True)
+class ReplicaHealth:
+    """One probe-tick observation of one replica."""
+
+    time: float
+    replica_id: int
+    status: HealthStatus
+    breaker_state: BreakerState
+    in_flight: int
+    ewma_latency: float
+    completed_batches: int
+
+
+class HealthMonitor:
+    """Append-only health historian plus stuck watchdog.
+
+    The fleet event loop calls :meth:`record_completion` on every batch
+    completion and :meth:`observe` on every probe tick; the monitor
+    never schedules events itself.
+    """
+
+    def __init__(self, config: ProbeConfig | None = None) -> None:
+        self.config = config or ProbeConfig()
+        self.history: List[ReplicaHealth] = []
+        self._ewma: Dict[int, float] = {}
+        self._completed: Dict[int, int] = {}
+
+    # -- completion feed -----------------------------------------------
+    def record_completion(self, replica_id: int, latency: float) -> None:
+        """Fold one batch's worst request latency into the EWMA."""
+        alpha = self.config.ewma_alpha
+        previous = self._ewma.get(replica_id)
+        if previous is None:
+            self._ewma[replica_id] = latency
+        else:
+            self._ewma[replica_id] = (
+                alpha * latency + (1.0 - alpha) * previous
+            )
+        self._completed[replica_id] = self._completed.get(replica_id, 0) + 1
+
+    def ewma_latency(self, replica_id: int) -> float:
+        return self._ewma.get(replica_id, 0.0)
+
+    # -- probe tick ----------------------------------------------------
+    def classify(
+        self,
+        alive: bool,
+        breaker_state: BreakerState,
+        ewma_latency: float,
+    ) -> HealthStatus:
+        """The status verdict for one observation (pure function)."""
+        if not alive:
+            return HealthStatus.DEAD
+        if breaker_state is BreakerState.OPEN:
+            return HealthStatus.UNHEALTHY
+        if (
+            breaker_state is BreakerState.HALF_OPEN
+            or ewma_latency > self.config.degraded_latency
+        ):
+            return HealthStatus.DEGRADED
+        return HealthStatus.HEALTHY
+
+    def observe(
+        self,
+        now: float,
+        replica_id: int,
+        alive: bool,
+        breaker_state: BreakerState,
+        in_flight: int,
+    ) -> ReplicaHealth:
+        """Record and return one probe observation."""
+        ewma = self._ewma.get(replica_id, 0.0)
+        row = ReplicaHealth(
+            time=now,
+            replica_id=replica_id,
+            status=self.classify(alive, breaker_state, ewma),
+            breaker_state=breaker_state,
+            in_flight=in_flight,
+            ewma_latency=ewma,
+            completed_batches=self._completed.get(replica_id, 0),
+        )
+        self.history.append(row)
+        return row
+
+    def is_stuck(self, oldest_start: float, now: float) -> bool:
+        """Watchdog: has an in-flight batch aged past the timeout?"""
+        return now - oldest_start > self.config.stuck_timeout
+
+    # -- reporting ------------------------------------------------------
+    def status_counts(self) -> Tuple[Tuple[str, int], ...]:
+        """(status, observations) pairs over the whole history, sorted."""
+        counts: Dict[str, int] = {}
+        for row in self.history:
+            counts[row.status.value] = counts.get(row.status.value, 0) + 1
+        return tuple(sorted(counts.items()))

@@ -221,6 +221,9 @@ class ServingOutcome:
     rejected_ids: Tuple[int, ...]
     swap_times: Tuple[float, ...]
     final_model_version: int
+    #: Swaps refused because their snapshot version was not newer than
+    #: the model already serving (version-counter monotonicity).
+    stale_swaps_rejected: int = 0
 
     def predictions_by_request(self) -> Dict[int, float]:
         return {r.request_id: r.prediction for r in self.results}
@@ -289,6 +292,7 @@ class InferenceServer:
         free_workers = list(range(self.num_workers))
         rejected_ids: List[int] = []
         batch_counter = {"next": 0}
+        stale_swaps = {"count": 0}
         first_arrival = requests[0].arrival_time if requests else 0.0
 
         def try_dispatch() -> None:
@@ -351,6 +355,13 @@ class InferenceServer:
 
         def swap(snapshot: ModelSnapshot, hot_rows: Optional[HotRowMap]
                  ) -> None:
+            # Version guard: once a snapshot is acknowledged (served),
+            # an older or equal-version snapshot must never displace
+            # it — interleaved swap schedules would otherwise serve
+            # stale predictions stamped with a recycled version.
+            if snapshot.version <= self.serving_model.version:
+                stale_swaps["count"] += 1
+                return
             effective = (
                 hot_rows if hot_rows is not None
                 else self.serving_model.hot_rows
@@ -391,6 +402,7 @@ class InferenceServer:
             rejected_ids=tuple(rejected_ids),
             swap_times=tuple(metrics.swap_times),
             final_model_version=self.serving_model.version,
+            stale_swaps_rejected=stale_swaps["count"],
         )
 
 

@@ -45,6 +45,17 @@ class BoundedQueue(Generic[T]):
     "producer is finished, finish the backlog" from "no data yet"
     without losing in-flight entries — the gradient queue relies on it
     during end-of-run drain.
+
+    Multi-consumer (MPMC) contract: any number of producers and
+    consumers may interleave ``put``/``get``/``peek``/``try_get``
+    turns — the serving fleet drains one queue from N replica
+    executors this way.  Because everything runs on one deterministic
+    event loop there is no concurrent mutation, but the *semantics*
+    are MPMC: every item is delivered to exactly one consumer (FIFO
+    across all of them), ``peek`` never transfers ownership, and after
+    ``close()`` each consumer independently observes drain-then-raise
+    — consumers that keep polling all see :class:`QueueClosed` once
+    the backlog is gone, never a half-state and never a lost item.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -79,6 +90,21 @@ class BoundedQueue(Generic[T]):
                 raise QueueClosed("peek on closed, empty queue")
             raise LookupError("queue empty")
         return self._items[0]
+
+    def try_get(self) -> Optional[T]:
+        """``get`` that returns ``None`` instead of raising on empty.
+
+        The polling form of the MPMC contract: an open-but-empty queue
+        yields ``None`` ("no data yet, poll again"); a closed queue
+        still drains its backlog first and only raises
+        :class:`QueueClosed` once dry ("producer finished, stop").
+        Items must not be ``None`` for the sentinel to be unambiguous.
+        """
+        if not self._items:
+            if self._closed:
+                raise QueueClosed("try_get on closed, empty queue")
+            return None
+        return self.get()
 
     def full(self) -> bool:
         return len(self._items) >= self.capacity

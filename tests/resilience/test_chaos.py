@@ -11,8 +11,10 @@ from repro.cli import main
 from repro.resilience.chaos import (
     FAULT_PLANS,
     ChaosHarnessConfig,
+    FleetChaosConfig,
     resume_determinism_check,
     run_chaos,
+    run_fleet_chaos,
 )
 from repro.resilience.faults import FaultPlan
 
@@ -91,3 +93,31 @@ def test_random_plan_recovers(tmp_path):
     plan = FaultPlan.random("fuzz", seed=4, num_faults=3, max_step=18)
     outcome = run_chaos(plan, str(tmp_path))
     assert outcome.passed, outcome.format()
+
+
+class TestFleetChaos:
+    def test_smoke_plan_passes(self):
+        outcome = run_fleet_chaos(
+            "fleet-smoke", FleetChaosConfig(num_requests=240)
+        )
+        assert outcome.passed, outcome.format()
+        assert "kill-one-replica bitwise" in outcome.format()
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(KeyError):
+            run_fleet_chaos("fleet-nonexistent")
+
+    def test_cli_fleet_smoke_exits_zero(self, capsys):
+        rc = main(["chaos", "--plan", "fleet-smoke", "--requests", "240"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "PASS" in out
+
+
+@pytest.mark.chaos_slow
+def test_fleet_replica_sweep_passes():
+    outcome = run_fleet_chaos("fleet-replica-sweep")
+    assert outcome.passed, outcome.format()
+    text = outcome.format()
+    assert "kill-any-replica bitwise at every injection point" in text
+    assert "rolling swap" in text

@@ -106,3 +106,79 @@ class TestHalfOpen:
         breaker = _tripped(at=0.0)
         text = breaker.describe()
         assert "open" in text and "closed -> open" in text
+
+
+class TestHalfOpenStaleCompletions:
+    """Batches dispatched before the trip report back during HALF_OPEN."""
+
+    def test_stale_success_does_not_close(self):
+        # No probe outstanding: a success from a pre-trip batch says
+        # nothing about the probe path and must not count.
+        breaker = _tripped(at=0.0)
+        assert breaker.allow(1.0)        # enter HALF_OPEN, claim slot
+        breaker.record_success(1.1)      # probe 1 of 2 succeeds
+        assert not breaker.probe_outstanding
+        breaker.record_success(1.15)     # STALE: no probe outstanding
+        assert breaker.state is BreakerState.HALF_OPEN  # still not closed
+        assert breaker.allow(1.2)        # second real probe
+        breaker.record_success(1.3)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_stale_failure_re_trips_immediately(self):
+        breaker = _tripped(at=0.0)
+        assert breaker.allow(1.0)
+        breaker.record_success(1.1)      # slot free, still HALF_OPEN
+        breaker.record_failure(1.2)      # STALE breach: path still sick
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.transitions[-1].reason == "stale breach in half-open"
+
+    def test_re_trip_frees_probe_slot_and_restarts_cooldown(self):
+        breaker = _tripped(at=0.0)
+        assert breaker.allow(1.0)
+        breaker.record_failure(1.2)      # probe fails -> OPEN again
+        assert not breaker.probe_outstanding  # slot must not stay claimed
+        assert not breaker.allow(2.1)    # cooldown restarted from 1.2
+        assert breaker.allow(2.2)        # 1.2 + 1.0 elapsed
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.probe_outstanding
+
+    def test_re_trip_resets_probe_success_count(self):
+        breaker = _tripped(at=0.0)
+        assert breaker.allow(1.0)
+        breaker.record_success(1.1)      # 1 of 2 successes banked
+        breaker.record_failure(1.2)      # stale breach re-trips
+        assert breaker.allow(2.3)        # back to HALF_OPEN
+        breaker.record_success(2.4)      # banked count restarted: 1 of 2
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow(2.5)
+        breaker.record_success(2.6)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_full_trajectory_is_time_ordered(self):
+        breaker = _tripped(at=0.0)
+        breaker.allow(1.0)
+        breaker.record_failure(1.2)
+        breaker.allow(2.3)
+        breaker.record_success(2.4)
+        breaker.allow(2.5)
+        breaker.record_success(2.6)
+        times = [tr.time for tr in breaker.transitions]
+        assert times == sorted(times)
+        trajectory = [
+            (tr.src.value, tr.dst.value) for tr in breaker.transitions
+        ]
+        assert trajectory == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_time_regression_rejected(self):
+        # Transitions must be fed in event-loop order; a timestamp
+        # older than the last transition is a harness bug, not data.
+        breaker = _tripped(at=5.0)
+        with pytest.raises(ValueError):
+            breaker.allow(6.0)           # HALF_OPEN at t=6.0
+            breaker.record_failure(4.0)  # would transition backwards

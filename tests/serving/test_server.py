@@ -242,3 +242,74 @@ class TestInferenceServer:
     def test_empty_stream(self):
         outcome = InferenceServer(ServingModel(DLRM(CFG, seed=0))).run([])
         assert outcome.report.completed == 0
+
+
+class TestSwapVersionMonotonicity:
+    """Interleaved swap schedules must never roll the served version back.
+
+    Once a snapshot version is acknowledged (served), any older-or-equal
+    snapshot arriving later is stale and must be rejected, not
+    installed — otherwise a recycled version number would stamp stale
+    predictions as fresh.
+    """
+
+    def _server(self, generator):
+        return InferenceServer(
+            ServingModel(
+                DLRM(CFG, seed=0), hot_rows=_hot(generator, 0.1), version=0,
+            ),
+            policy=BatchingPolicy(max_batch_size=16, max_wait=2e-3),
+        )
+
+    def test_stale_snapshot_rejected_after_newer_acknowledged(
+        self, generator, requests
+    ):
+        server = self._server(generator)
+        snap_v3 = ModelSnapshot.from_model(DLRM(CFG, seed=3), version=3)
+        snap_v1 = ModelSnapshot.from_model(DLRM(CFG, seed=1), version=1)
+        t1 = requests[len(requests) // 3].arrival_time
+        t2 = requests[2 * len(requests) // 3].arrival_time
+        server.schedule_swap(t1, snap_v3)
+        server.schedule_swap(t2, snap_v1)  # stale: v1 after v3 acknowledged
+        outcome = server.run(requests)
+        assert outcome.final_model_version == 3
+        assert outcome.stale_swaps_rejected == 1
+        assert len(outcome.swap_times) == 1
+        # no request is ever stamped with the stale version
+        assert all(r.model_version in (0, 3) for r in outcome.results)
+
+    def test_equal_version_reoffer_is_stale(self, generator, requests):
+        server = self._server(generator)
+        snap_a = ModelSnapshot.from_model(DLRM(CFG, seed=4), version=2)
+        snap_b = ModelSnapshot.from_model(DLRM(CFG, seed=5), version=2)
+        t1 = requests[len(requests) // 3].arrival_time
+        t2 = requests[2 * len(requests) // 3].arrival_time
+        server.schedule_swap(t1, snap_a)
+        server.schedule_swap(t2, snap_b)  # same counter: must not install
+        outcome = server.run(requests)
+        assert outcome.final_model_version == 2
+        assert outcome.stale_swaps_rejected == 1
+        assert len(outcome.swap_times) == 1
+
+    def test_versions_monotone_along_request_timeline(
+        self, generator, requests
+    ):
+        server = self._server(generator)
+        times = [
+            requests[len(requests) // 4].arrival_time,
+            requests[len(requests) // 2].arrival_time,
+            requests[3 * len(requests) // 4].arrival_time,
+        ]
+        # out-of-order schedule calls; the run applies them by time
+        server.schedule_swap(times[2], ModelSnapshot.from_model(
+            DLRM(CFG, seed=8), version=9))
+        server.schedule_swap(times[0], ModelSnapshot.from_model(
+            DLRM(CFG, seed=6), version=4))
+        server.schedule_swap(times[1], ModelSnapshot.from_model(
+            DLRM(CFG, seed=7), version=7))
+        outcome = server.run(requests)
+        assert outcome.final_model_version == 9
+        ordered = sorted(outcome.served_batches, key=lambda b: b.start_time)
+        versions = [b.model_version for b in ordered]
+        assert versions == sorted(versions)  # never rolls back
+        assert outcome.stale_swaps_rejected == 0
